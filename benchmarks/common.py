@@ -1,0 +1,121 @@
+"""Shared configuration and helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at
+simulator scale.  The scaled-down geometry keeps the paper's *ratios*
+(cache:database size, entries per block, level shape) while shrinking
+absolute sizes so the whole suite runs on a laptop:
+
+* database: ``NUM_KEYS`` keys of 24 B + 1000 B logical entries,
+* LSM: 4-entry blocks, 64-entry SSTables, size ratio 10, L0 triggers
+  4/4/8 — the paper's configuration with smaller files,
+* cache sizes swept as a fraction of the database footprint, matching
+  the spirit of the paper's 100 GB / tens-of-GB sweep.
+
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.3``) to shrink operation counts for
+a quick pass; results get noisier but shapes survive.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.harness import RunResult, run_workload, seed_database
+from repro.bench.strategies import DISPLAY_NAMES, build_engine
+from repro.core.config import AdCacheConfig
+from repro.lsm.options import LSMOptions
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+#: Operation-count multiplier from the environment (default full scale).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Keys in the benchmark database (logical footprint ~4 MB).
+NUM_KEYS = 4000
+
+#: LSM geometry: paper configuration, laptop-sized files.
+BENCH_OPTS = dict(memtable_entries=32, entries_per_sstable=64)
+
+#: Cache budgets swept in Figure 7 (fractions of the DB footprint).
+CACHE_SIZES = {
+    "3%": 128 * 1024,
+    "6%": 256 * 1024,
+    "12%": 512 * 1024,
+    "25%": 1024 * 1024,
+}
+
+#: The six schemes of Section 5.1, in the paper's presentation order.
+MAIN_STRATEGIES = ["block", "kv", "range", "range-lecar", "range-cacheus", "adcache"]
+
+#: Controller cadence for benchmark-scale runs (see AdCacheConfig docs).
+BENCH_WINDOW = 250
+
+
+def scaled(ops: int) -> int:
+    """Apply the REPRO_BENCH_SCALE multiplier with a sane floor."""
+    return max(500, int(ops * SCALE))
+
+
+def fresh_options() -> LSMOptions:
+    """A new LSMOptions with the benchmark geometry."""
+    return LSMOptions(**BENCH_OPTS)
+
+
+def bench_config(cache_bytes: int, seed: int = 0, **overrides) -> AdCacheConfig:
+    """AdCache configuration used across benchmarks."""
+    kwargs = dict(
+        total_cache_bytes=cache_bytes,
+        window_size=BENCH_WINDOW,
+        hidden_dim=64,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return AdCacheConfig(**kwargs)
+
+
+def build(strategy: str, cache_bytes: int, seed: int = 0, num_keys: int = NUM_KEYS):
+    """Fresh seeded tree + engine for one strategy."""
+    tree = seed_database(num_keys, fresh_options(), seed=7)
+    if strategy.startswith("adcache"):
+        from repro.core.adcache import AdCacheEngine
+
+        flags = dict(
+            enable_partitioning="admission" not in strategy,
+            enable_admission="partition" not in strategy,
+        )
+        if strategy == "adcache-pretrained":
+            return build_engine(strategy, tree, cache_bytes, seed=seed)
+        return AdCacheEngine(tree, bench_config(cache_bytes, seed=seed, **flags))
+    return build_engine(strategy, tree, cache_bytes, seed=seed)
+
+
+def measure(
+    strategy: str,
+    spec: WorkloadSpec,
+    cache_bytes: int,
+    num_ops: int,
+    warmup_ops: int,
+    seed: int = 0,
+) -> RunResult:
+    """One (strategy, workload, cache size) cell."""
+    engine = build(strategy, cache_bytes, seed=seed)
+    generator = WorkloadGenerator(spec, seed=seed + 100)
+    return run_workload(
+        engine,
+        generator,
+        num_ops=num_ops,
+        warmup_ops=warmup_ops,
+        name=f"{strategy}/{spec.name}",
+    )
+
+
+def display(strategy: str) -> str:
+    """Paper legend name for a strategy key."""
+    return DISPLAY_NAMES.get(strategy, strategy)
+
+
+def print_banner(title: str) -> None:
+    """Header separating benchmark outputs in the console."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

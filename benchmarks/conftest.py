@@ -1,0 +1,21 @@
+"""Benchmark-suite fixtures.
+
+Each experiment executes once inside ``benchmark.pedantic`` (these are
+system experiments, not microbenchmarks — a single deterministic round
+is the measurement) and prints the regenerated table/figure to stdout.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

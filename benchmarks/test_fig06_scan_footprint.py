@@ -1,0 +1,67 @@
+"""Figure 6: the eviction footprint of scans in each cache layout.
+
+The paper's illustration: with B = 4 entries/block, a length-16 scan
+touches ~8 blocks in the block cache (each overlapping sorted run
+contributes at least one block, double the ideal 4), while a length-64
+scan admitted whole into the range cache displaces 64 entries.  This
+bench measures both footprints on the live engine.
+"""
+
+from __future__ import annotations
+
+from common import build, print_banner
+from repro.bench.report import format_table
+from repro.workloads.keys import key_of
+
+
+def run_experiment():
+    out = {}
+
+    # Block-cache footprint of one length-16 scan on a multi-run tree.
+    engine = build("block", cache_bytes=4 << 20)
+    runs = engine.tree.num_sorted_runs
+    inserted_before = engine.block_cache.stats.insertions
+    engine.scan(key_of(1000), 16)
+    out["block_blocks_16"] = engine.block_cache.stats.insertions - inserted_before
+    out["ideal_blocks_16"] = 16 // engine.tree.options.entries_per_block
+    out["runs"] = runs
+
+    # Range-cache footprint of one length-64 scan (all-or-nothing).
+    engine2 = build("range", cache_bytes=4 << 20)
+    before = len(engine2.range_cache)
+    engine2.scan(key_of(1000), 64)
+    out["range_entries_64"] = len(engine2.range_cache) - before
+
+    # The same scan under AdCache's partial admission (a=16, b=0.5).
+    engine3 = build("adcache", cache_bytes=4 << 20)
+    engine3.scan_admission.set_params(16.0, 0.5)
+    engine3.controller.config.online_learning = False
+    before = len(engine3.range_cache)
+    engine3.scan(key_of(1000), 64)
+    out["adcache_entries_64"] = len(engine3.range_cache) - before
+    return out
+
+
+def test_fig06_scan_footprint(run_once):
+    out = run_once(run_experiment)
+    print_banner("Figure 6 — cache footprint of scans (B = 4 entries/block)")
+    print(
+        format_table(
+            ["measurement", "value"],
+            [
+                ["sorted runs overlapped", str(out["runs"])],
+                ["blocks filled by len-16 scan (block cache)", str(out["block_blocks_16"])],
+                ["ideal blocks (16 / B)", str(out["ideal_blocks_16"])],
+                ["entries filled by len-64 scan (range cache)", str(out["range_entries_64"])],
+                ["entries filled by len-64 scan (AdCache, a=16 b=0.5)", str(out["adcache_entries_64"])],
+            ],
+        )
+    )
+    # Paper: the scan touches more than the ideal block count because
+    # every overlapping sorted run contributes at least one block.
+    assert out["block_blocks_16"] > out["ideal_blocks_16"]
+    assert out["block_blocks_16"] >= out["runs"]
+    # All-or-nothing range admission takes the full 64 entries...
+    assert out["range_entries_64"] == 64
+    # ...while partial admission bounds it to b*(64-16) = 24.
+    assert out["adcache_entries_64"] <= 24

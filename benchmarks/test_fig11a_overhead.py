@@ -1,0 +1,118 @@
+"""Figure 11(a): learning overhead under multi-client load.
+
+The paper's claim: background training does not interfere with serving
+— per-client QPS stays flat as clients grow from 1 to 32.  Here the
+equivalent measurements are:
+
+* wall-clock throughput with online learning enabled vs frozen, at 1-8
+  client threads over sharded caches (ratio ~ 1 means no interference);
+* the fraction of wall time spent inside the controller (inference +
+  training), which the paper's design amortizes to negligible levels.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from common import NUM_KEYS, bench_config, fresh_options, print_banner, scaled
+from repro.bench.harness import seed_database
+from repro.bench.report import format_table
+from repro.core.adcache import AdCacheEngine
+from repro.workloads.keys import key_of
+from repro.workloads.zipfian import ZipfianGenerator
+
+CACHE = 512 * 1024
+OPS_PER_CLIENT = scaled(2500)
+CLIENT_COUNTS = [1, 2, 4, 8]
+
+
+def drive_clients(engine, num_clients: int) -> float:
+    """Read-only clients hammering the engine; returns wall seconds."""
+
+    def client(client_id: int) -> None:
+        gen = ZipfianGenerator(NUM_KEYS, 0.9, seed=client_id + 1)
+        for idx in gen.sample(OPS_PER_CLIENT):
+            i = int(idx)
+            if i % 4 == 0:
+                engine.scan(key_of(min(i, NUM_KEYS - 16)), 16)
+            else:
+                engine.get(key_of(i))
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(num_clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start
+
+
+def timed_engine(online: bool, num_shards: int):
+    tree = seed_database(NUM_KEYS, fresh_options(), seed=7)
+    config = bench_config(CACHE, seed=5, num_shards=num_shards)
+    config.online_learning = online
+    engine = AdCacheEngine(tree, config)
+    # Wrap the controller to account its wall time.
+    controller_time = [0.0]
+    inner = engine.controller.on_window
+
+    def timed_on_window(window):
+        t0 = time.perf_counter()
+        record = inner(window)
+        controller_time[0] += time.perf_counter() - t0
+        return record
+
+    engine.on_window = timed_on_window
+    return engine, controller_time
+
+
+def run_experiment():
+    rows = []
+    for clients in CLIENT_COUNTS:
+        engine_on, t_ctl = timed_engine(online=True, num_shards=4)
+        wall_on = drive_clients(engine_on, clients)
+        engine_off, _ = timed_engine(online=False, num_shards=4)
+        wall_off = drive_clients(engine_off, clients)
+        total_ops = clients * OPS_PER_CLIENT
+        rows.append(
+            {
+                "clients": clients,
+                "qps_per_client_on": total_ops / wall_on / clients,
+                "qps_per_client_off": total_ops / wall_off / clients,
+                "controller_share": t_ctl[0] / wall_on,
+            }
+        )
+    return rows
+
+
+def test_fig11a_overhead(run_once):
+    rows = run_once(run_experiment)
+    print_banner("Figure 11(a) — learning overhead vs client count")
+    print(
+        format_table(
+            ["clients", "per-client QPS (training)", "per-client QPS (frozen)",
+             "training/frozen", "controller wall share"],
+            [
+                [
+                    str(r["clients"]),
+                    f"{r['qps_per_client_on']:,.0f}",
+                    f"{r['qps_per_client_off']:,.0f}",
+                    f"{r['qps_per_client_on'] / r['qps_per_client_off']:.2f}",
+                    f"{r['controller_share'] * 100:.1f}%",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # Training must not cost a meaningful fraction of throughput: the
+    # load-bearing check is the training/frozen ratio.  The controller's
+    # wall share is informational — it reflects the pure-Python serving
+    # path and machine load, not the paper's C++ economics — so it only
+    # gets a coarse sanity bound.
+    for r in rows:
+        ratio = r["qps_per_client_on"] / r["qps_per_client_off"]
+        assert ratio > 0.7, r
+        assert r["controller_share"] < 0.6, r

@@ -1,0 +1,44 @@
+"""Table 2: memory overhead of the RL model and online training.
+
+The paper reports, for the two 2x256-hidden networks at float32:
+~550 KB of weights, ~140k parameters, and ~2 MB total once gradients
+and Adam moment estimates are counted.  This bench measures the real
+implementation's footprint.
+"""
+
+from __future__ import annotations
+
+from common import print_banner
+from repro.bench.report import format_table
+from repro.core.adcache import ACTION_DIM
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.features import STATE_DIM
+
+
+def run_experiment():
+    agent = ActorCriticAgent(STATE_DIM, ACTION_DIM, hidden_dim=256, seed=0)
+    overhead = agent.memory_overhead_bytes()
+    overhead["parameters"] = agent.num_parameters
+    return overhead
+
+
+def test_tab02_memory_overhead(run_once):
+    overhead = run_once(run_experiment)
+    print_banner("Table 2 — memory overhead of the RL model")
+    kb = lambda b: f"{b / 1024:.0f} KB"  # noqa: E731
+    print(
+        format_table(
+            ["component", "measured", "paper"],
+            [
+                ["parameters", f"{overhead['parameters']:,}", "~140,000"],
+                ["model weights", kb(overhead["model_weights"]), "~550 KB"],
+                ["gradients", kb(overhead["gradients"]), "~550 KB"],
+                ["optimizer states", kb(overhead["optimizer_states"]), "~1.1 MB"],
+                ["total (training)", kb(overhead["total"]), "~2 MB"],
+            ],
+        )
+    )
+    assert 130_000 <= overhead["parameters"] <= 160_000
+    assert 450 * 1024 <= overhead["model_weights"] <= 650 * 1024
+    assert overhead["optimizer_states"] == 2 * overhead["model_weights"]
+    assert 1_800_000 <= overhead["total"] <= 2_600_000

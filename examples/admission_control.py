@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Admission control under a hostile mix: hot points + long scan noise.
+
+A cache-polluting workload: a small set of hot keys is read constantly
+while infrequent 64-entry scans sweep random cold ranges.  Without
+admission control every scan evicts ~64 hot entries; with the paper's
+partial admission (cache only ``b*(l-a)`` entries of a long scan) and
+frequency gating, the hot set survives.
+
+Compares three configurations at the same cache size and prints how
+many disk reads the hot keys cost in each.
+
+Run:  python examples/admission_control.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import seed_database
+from repro.bench.report import format_table
+from repro.bench.strategies import build_engine
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.lsm.options import LSMOptions
+from repro.workloads.keys import key_of
+
+NUM_KEYS = 5_000
+CACHE_BYTES = 128 * 1024  # 128 entries' worth
+HOT_KEYS = [key_of(i * 37) for i in range(64)]
+ROUNDS = 120
+SCANS_PER_ROUND = 3  # 3 x 64 cold entries would flush the hot set
+
+
+def pollute_and_measure(engine, rng) -> dict:
+    """Alternate hot-point reads with cold long scans; count the damage."""
+    for key in HOT_KEYS * 3:  # warm the hot set
+        engine.get(key)
+    reads_before = engine.tree.disk.block_reads_total
+    hot_misses = 0
+    for _ in range(ROUNDS):
+        for key in HOT_KEYS:
+            before = engine.tree.disk.block_reads_total
+            engine.get(key)
+            if engine.tree.disk.block_reads_total > before:
+                hot_misses += 1
+        for _ in range(SCANS_PER_ROUND):
+            start = int(rng.integers(0, NUM_KEYS - 64))
+            engine.scan(key_of(start), 64)  # cold noise
+    return {
+        "hot_misses": hot_misses,
+        "disk_reads": engine.tree.disk.block_reads_total - reads_before,
+    }
+
+
+def build(config_name: str):
+    opts = LSMOptions(memtable_entries=64, entries_per_sstable=128)
+    tree = seed_database(NUM_KEYS, opts)
+    if config_name == "range (no admission)":
+        return build_engine("range", tree, CACHE_BYTES, seed=1)
+    config = AdCacheConfig(
+        total_cache_bytes=CACHE_BYTES,
+        initial_range_ratio=1.0,        # isolate the admission effect
+        enable_partitioning=False,
+        online_learning=False,          # hold parameters fixed
+        window_size=10**9,
+        hidden_dim=16,
+        seed=1,
+    )
+    engine = AdCacheEngine(tree, config)
+    if config_name == "admission (a=16, b=0.25)":
+        engine.scan_admission.set_params(16.0, 0.25)
+    else:  # strict: admit nothing from long scans, gate cold points
+        engine.scan_admission.set_params(16.0, 0.0)
+        engine.freq_admission.set_threshold(0.005)
+    return engine
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    rows = []
+    for name in (
+        "range (no admission)",
+        "admission (a=16, b=0.25)",
+        "admission (a=16, b=0, freq gate)",
+    ):
+        engine = build(name)
+        out = pollute_and_measure(engine, np.random.default_rng(7))
+        total_hot = ROUNDS * len(HOT_KEYS)
+        rows.append(
+            [
+                name,
+                f"{out['hot_misses']}/{total_hot}",
+                f"{out['hot_misses'] / total_hot * 100:.1f}%",
+                f"{out['disk_reads']:,}",
+            ]
+        )
+    print(format_table(
+        ["configuration", "hot-key misses", "miss rate", "disk block reads"], rows
+    ))
+    print(
+        "\nPartial admission keeps long-scan noise from evicting the hot set;"
+        "\nthe frequency gate additionally blocks one-off fills."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""AdCache reproduction: adaptive cache management for LSM-tree KV stores.
+
+Reproduces *AdCache: Adaptive Cache Management with Admission Control
+for LSM-tree Key-Value Stores* (EDBT 2026) as a pure-Python system:
+
+* :mod:`repro.lsm` — a RocksDB-flavoured LSM-tree simulator (the
+  storage substrate the caches manage).
+* :mod:`repro.cache` — block / KV / range caches, classic and learned
+  eviction policies, and the paper's admission-control mechanisms.
+* :mod:`repro.rl` — the numpy actor-critic controller, I/O-estimate
+  reward model, and pretraining.
+* :mod:`repro.core` — AdCache itself: dynamic cache boundary, window
+  controller, and the cached KV engine.
+* :mod:`repro.workloads` / :mod:`repro.bench` — workload generators and
+  the benchmark harness regenerating every figure and table.
+
+Quickstart::
+
+    from repro import AdCacheConfig, AdCacheEngine, seed_database
+
+    tree = seed_database(num_keys=50_000)
+    engine = AdCacheEngine(tree, AdCacheConfig(total_cache_bytes=8 << 20))
+    engine.put("key000000000000000000042", "hello")
+    engine.get("key000000000000000000042")
+    engine.scan("key000000000000000000000", length=16)
+"""
+
+from repro.bench.harness import run_workload, seed_database
+from repro.bench.strategies import STRATEGIES, build_engine
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.core.engine import KVEngine
+from repro.errors import ReproError
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdCacheEngine",
+    "AdCacheConfig",
+    "KVEngine",
+    "LSMTree",
+    "LSMOptions",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ReproError",
+    "STRATEGIES",
+    "build_engine",
+    "run_workload",
+    "seed_database",
+    "__version__",
+]

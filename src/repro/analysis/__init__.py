@@ -1,0 +1,23 @@
+"""Cache and workload analysis tools.
+
+The paper's related-work section surveys the analytical-modeling
+tradition (stack/reuse distances, Mattson's LRU hit-rate construction);
+this subpackage provides those tools over this repo's traces and
+engines:
+
+* :mod:`repro.analysis.reuse` — reuse/stack-distance computation
+  (Fenwick-tree O(n log n)) and Mattson miss-ratio curves, which
+  predict an LRU cache's hit rate at *every* size from one pass.
+* :mod:`repro.analysis.characterize` — workload characterization:
+  operation mix, scan-length histograms, skew estimation.
+"""
+
+from repro.analysis.characterize import WorkloadProfile, characterize
+from repro.analysis.reuse import mattson_hit_rates, stack_distances
+
+__all__ = [
+    "stack_distances",
+    "mattson_hit_rates",
+    "characterize",
+    "WorkloadProfile",
+]

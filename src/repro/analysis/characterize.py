@@ -1,0 +1,118 @@
+"""Workload characterization: the statistics the controller learns from.
+
+Summarises an operation stream into the quantities the paper's state
+vector and analysis reason about: operation mix, scan-length
+distribution, access skew, and working-set size.  Useful for sanity-
+checking generated workloads against intent and for profiling recorded
+traces before replaying them for pretraining.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.workloads.generator import Operation
+
+
+@dataclass
+class WorkloadProfile:
+    """Summary statistics of one operation stream."""
+
+    ops: int = 0
+    gets: int = 0
+    scans: int = 0
+    puts: int = 0
+    deletes: int = 0
+    scan_lengths: Dict[int, int] = field(default_factory=dict)
+    unique_keys: int = 0
+    top1pct_mass: float = 0.0  # access share of the hottest 1% of keys
+    estimated_zipf_theta: float = 0.0
+
+    @property
+    def get_ratio(self) -> float:
+        """Fraction of operations that are point lookups."""
+        return self.gets / self.ops if self.ops else 0.0
+
+    @property
+    def scan_ratio(self) -> float:
+        """Fraction of operations that are scans."""
+        return self.scans / self.ops if self.ops else 0.0
+
+    @property
+    def write_ratio(self) -> float:
+        """Fraction of operations that are puts/deletes."""
+        return (self.puts + self.deletes) / self.ops if self.ops else 0.0
+
+    @property
+    def avg_scan_length(self) -> float:
+        """Mean requested scan length."""
+        total = sum(length * count for length, count in self.scan_lengths.items())
+        return total / self.scans if self.scans else 0.0
+
+
+def _estimate_zipf_theta(counts: np.ndarray) -> float:
+    """Least-squares slope of log(frequency) vs log(rank).
+
+    For a Zipf(theta) popularity law, ``log f_r = const - theta log r``;
+    the fitted negative slope estimates theta.  Requires >= 10 distinct
+    keys to be meaningful; returns 0 otherwise.
+    """
+    counts = np.sort(counts)[::-1].astype(float)
+    counts = counts[counts > 0]
+    if counts.size < 10:
+        return 0.0
+    # Restrict to the head (the tail is truncated by finite sampling).
+    head = counts[: max(10, counts.size // 10)]
+    ranks = np.arange(1, head.size + 1, dtype=float)
+    slope, _ = np.polyfit(np.log(ranks), np.log(head), 1)
+    return float(max(0.0, -slope))
+
+
+def characterize(ops: Iterable[Operation]) -> WorkloadProfile:
+    """Profile an operation stream (consumes it)."""
+    profile = WorkloadProfile()
+    key_counts: Counter = Counter()
+    scan_lengths: Counter = Counter()
+    for op in ops:
+        profile.ops += 1
+        key_counts[op.key] += 1
+        if op.kind == "get":
+            profile.gets += 1
+        elif op.kind == "scan":
+            profile.scans += 1
+            scan_lengths[op.length] += 1
+        elif op.kind == "put":
+            profile.puts += 1
+        elif op.kind == "delete":
+            profile.deletes += 1
+    profile.scan_lengths = dict(scan_lengths)
+    profile.unique_keys = len(key_counts)
+    if key_counts:
+        counts = np.array(sorted(key_counts.values(), reverse=True), dtype=float)
+        top = max(1, int(round(len(counts) * 0.01)))
+        profile.top1pct_mass = float(counts[:top].sum() / counts.sum())
+        profile.estimated_zipf_theta = _estimate_zipf_theta(counts)
+    return profile
+
+
+def format_profile(profile: WorkloadProfile) -> str:
+    """Human-readable multi-line summary."""
+    lines = [
+        f"operations        : {profile.ops:,}",
+        f"mix (get/scan/wr) : {profile.get_ratio:.2f} / "
+        f"{profile.scan_ratio:.2f} / {profile.write_ratio:.2f}",
+        f"unique keys       : {profile.unique_keys:,}",
+        f"avg scan length   : {profile.avg_scan_length:.1f}",
+        f"top-1% key mass   : {profile.top1pct_mass:.2f}",
+        f"zipf theta (est.) : {profile.estimated_zipf_theta:.2f}",
+    ]
+    if profile.scan_lengths:
+        hist = ", ".join(
+            f"{length}:{count}" for length, count in sorted(profile.scan_lengths.items())
+        )
+        lines.append(f"scan lengths      : {hist}")
+    return "\n".join(lines)

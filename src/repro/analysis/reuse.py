@@ -1,0 +1,108 @@
+"""Stack distances and Mattson miss-ratio curves.
+
+The *stack distance* of an access is the number of distinct keys
+touched since the previous access to the same key (infinite for first
+accesses).  Mattson et al.'s classic result: an LRU cache of capacity
+``C`` (in entries) hits exactly the accesses whose stack distance is
+``<= C``, so one pass over a trace yields the full miss-ratio curve.
+
+The computation uses a Fenwick (binary indexed) tree over access
+positions: position ``i`` holds 1 while it is the *most recent* access
+of its key, and the stack distance of an access at position ``j`` to a
+key last seen at ``i`` is the number of set positions in ``(i, j)``.
+Overall O(n log n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Sentinel distance for a key's first access (cold/compulsory miss).
+INFINITE = -1
+
+
+class _Fenwick:
+    """1-based Fenwick tree over integer counts."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += int(self._tree[index])
+            index -= index & (-index)
+        return total
+
+
+def stack_distances(keys: Sequence[str]) -> List[int]:
+    """Per-access LRU stack distances (``INFINITE`` for first accesses).
+
+    A stack distance of ``d`` means ``d`` distinct *other* keys were
+    touched since this key's previous access, so any LRU cache holding
+    more than ``d`` entries serves the access as a hit.
+    """
+    n = len(keys)
+    fenwick = _Fenwick(n)
+    last_pos: Dict[str, int] = {}
+    out: List[int] = []
+    for pos, key in enumerate(keys):
+        prev = last_pos.get(key)
+        if prev is None:
+            out.append(INFINITE)
+        else:
+            # Distinct keys since prev = set flags in (prev, pos).
+            distinct = fenwick.prefix_sum(pos - 1) - fenwick.prefix_sum(prev)
+            out.append(distinct)
+            fenwick.add(prev, -1)
+        fenwick.add(pos, 1)
+        last_pos[key] = pos
+    return out
+
+
+def mattson_hit_rates(
+    keys: Sequence[str], cache_sizes: Iterable[int]
+) -> Dict[int, float]:
+    """Predicted LRU hit rate at each entry-count capacity.
+
+    An access with stack distance ``d`` hits a cache of capacity
+    ``> d`` entries; compulsory (first) accesses always miss.
+    """
+    sizes = sorted(set(int(s) for s in cache_sizes))
+    if not sizes or sizes[0] <= 0:
+        raise ConfigError("cache sizes must be positive")
+    distances = stack_distances(keys)
+    n = len(distances)
+    if n == 0:
+        return {size: 0.0 for size in sizes}
+    finite = np.array([d for d in distances if d != INFINITE], dtype=np.int64)
+    out: Dict[int, float] = {}
+    for size in sizes:
+        hits = int(np.count_nonzero(finite < size)) if finite.size else 0
+        out[size] = hits / n
+    return out
+
+
+def miss_ratio_curve(
+    keys: Sequence[str], max_size: int, num_points: int = 16
+) -> List[tuple]:
+    """``(size, miss_ratio)`` samples up to ``max_size`` entries."""
+    if max_size <= 0:
+        raise ConfigError("max_size must be positive")
+    sizes = sorted(
+        {max(1, int(round(max_size * i / num_points))) for i in range(1, num_points + 1)}
+    )
+    hit_rates = mattson_hit_rates(keys, sizes)
+    return [(size, 1.0 - hit_rates[size]) for size in sizes]

@@ -1,0 +1,239 @@
+"""Factory for the paper's evaluated cache-management strategies.
+
+Section 5.1's lineup, each built over a caller-supplied LSM tree and a
+single cache budget:
+
+* ``block``          — RocksDB's default block cache (LRU, sharded).
+* ``kv``             — KV (row) cache: point results only.
+* ``range``          — Range Cache with LRU eviction.
+* ``range-lecar``    — Range Cache with LeCaR eviction.
+* ``range-cacheus``  — Range Cache with Cacheus eviction.
+* ``adcache``        — the full system.
+
+Plus the ablations of Figure 11(b) and the frozen pretrained variant of
+Figure 10:
+
+* ``adcache-admission``  — admission control only (fixed boundary).
+* ``adcache-partition``  — adaptive partitioning only (no admission).
+* ``adcache-pretrained`` — pretrained actor, no online learning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.cacheus import CacheusPolicy
+from repro.cache.kv_cache import KVCache
+from repro.cache.lecar import LeCaRPolicy
+from repro.cache.range_cache import RangeCache
+from repro.core.adcache import ACTION_DIM, AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.core.engine import KVEngine
+from repro.errors import ConfigError
+from repro.lsm.tree import LSMTree
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.features import STATE_DIM
+from repro.rl.pretrain import generate_supervised_dataset, pretrain_actor_supervised
+
+
+def _entry_charge(tree: LSMTree) -> int:
+    return tree.options.key_size + tree.options.value_size
+
+
+def _block_engine(
+    tree: LSMTree,
+    cache_bytes: int,
+    seed: int,
+    num_shards: int,
+    policy_factory=None,
+    prefetch: bool = False,
+) -> KVEngine:
+    cache = BlockCache(
+        cache_bytes,
+        block_size=tree.options.block_size,
+        backing_fetch=tree.disk.read_block,
+        num_shards=num_shards,
+        policy_factory=policy_factory,
+    )
+    if prefetch:
+        from repro.cache.prefetcher import CompactionPrefetcher
+
+        CompactionPrefetcher.attach(tree, cache)
+    return KVEngine(tree, block_cache=cache)
+
+
+def _clock_factory():
+    from repro.cache.clock import ClockPolicy
+
+    return ClockPolicy()
+
+
+def _arc_factory(cache_bytes: int, tree: LSMTree):
+    from repro.cache.arc import ARCPolicy
+
+    return ARCPolicy(capacity_hint=max(8, cache_bytes // tree.options.block_size))
+
+
+def _make_tinylfu(seed: int):
+    from repro.cache.tinylfu import TinyLFUPolicy
+
+    return TinyLFUPolicy(seed=seed)
+
+
+def _tinylfu_factory(seed: int):
+    return lambda: _make_tinylfu(seed)
+
+
+def _kv_engine(tree: LSMTree, cache_bytes: int, seed: int, num_shards: int) -> KVEngine:
+    cache = KVCache(cache_bytes, entry_charge=_entry_charge(tree))
+    return KVEngine(tree, kv_cache=cache)
+
+
+def _ackey_engine(tree: LSMTree, cache_bytes: int, seed: int, num_shards: int) -> KVEngine:
+    """AC-Key-flavoured hierarchy: KV + KP + block caches.
+
+    AC-Key adapts the three budgets with ARC; this simplified baseline
+    uses a fixed 25% KV / 5% KP / 70% block split (its reported steady
+    state under mixed workloads) — enough to compare the *architecture*
+    against the paper's two-cache design.
+    """
+    from repro.cache.kp_cache import KPCache
+
+    kv_budget = cache_bytes // 4
+    kp_budget = cache_bytes // 20
+    block_budget = cache_bytes - kv_budget - kp_budget
+    block = BlockCache(
+        block_budget,
+        block_size=tree.options.block_size,
+        backing_fetch=tree.disk.read_block,
+        num_shards=num_shards,
+    )
+    kv = KVCache(kv_budget, entry_charge=_entry_charge(tree))
+    kp = KPCache(kp_budget, is_live=tree.disk.has)
+    return KVEngine(tree, block_cache=block, kv_cache=kv, kp_cache=kp)
+
+
+def _range_engine_with(policy_factory) -> Callable[..., KVEngine]:
+    def build(tree: LSMTree, cache_bytes: int, seed: int, num_shards: int) -> KVEngine:
+        charge = _entry_charge(tree)
+        capacity_entries = max(16, cache_bytes // charge)
+        policy = policy_factory(capacity_entries, seed)
+        cache = RangeCache(cache_bytes, entry_charge=charge, policy=policy, seed=seed)
+        return KVEngine(tree, range_cache=cache)
+
+    return build
+
+
+def _adcache_engine(
+    tree: LSMTree,
+    cache_bytes: int,
+    seed: int,
+    num_shards: int,
+    *,
+    enable_partitioning: bool = True,
+    enable_admission: bool = True,
+    pretrained_frozen: bool = False,
+    config: Optional[AdCacheConfig] = None,
+) -> AdCacheEngine:
+    if config is None:
+        config = AdCacheConfig(
+            total_cache_bytes=cache_bytes,
+            enable_partitioning=enable_partitioning,
+            enable_admission=enable_admission,
+            online_learning=not pretrained_frozen,
+            num_shards=num_shards,
+            seed=seed,
+        )
+    agent = None
+    if pretrained_frozen:
+        agent = ActorCriticAgent(
+            STATE_DIM,
+            ACTION_DIM,
+            hidden_dim=config.hidden_dim,
+            actor_lr=config.actor_lr,
+            critic_lr=config.critic_lr,
+            seed=seed,
+        )
+        dataset = generate_supervised_dataset(256, seed=seed)
+        pretrain_actor_supervised(agent, dataset, epochs=30, lr=1e-3, seed=seed)
+    return AdCacheEngine(tree, config=config, agent=agent)
+
+
+STRATEGIES: Dict[str, Callable[..., KVEngine]] = {
+    "block": _block_engine,
+    "block-clock": lambda tree, cache_bytes, seed, num_shards: _block_engine(
+        tree, cache_bytes, seed, num_shards, policy_factory=_clock_factory
+    ),
+    "block-arc": lambda tree, cache_bytes, seed, num_shards: _block_engine(
+        tree,
+        cache_bytes,
+        seed,
+        num_shards,
+        policy_factory=lambda: _arc_factory(cache_bytes, tree),
+    ),
+    "block-prefetch": lambda tree, cache_bytes, seed, num_shards: _block_engine(
+        tree, cache_bytes, seed, num_shards, prefetch=True
+    ),
+    "block-tinylfu": lambda tree, cache_bytes, seed, num_shards: _block_engine(
+        tree, cache_bytes, seed, num_shards, policy_factory=_tinylfu_factory(seed)
+    ),
+    "range-tinylfu": _range_engine_with(
+        lambda cap, seed: _make_tinylfu(seed)
+    ),
+    "kv": _kv_engine,
+    "ackey": _ackey_engine,
+    "range": _range_engine_with(lambda _cap, _seed: None),
+    "range-lecar": _range_engine_with(
+        lambda cap, seed: LeCaRPolicy(history_size=cap, seed=seed)
+    ),
+    "range-cacheus": _range_engine_with(
+        lambda cap, seed: CacheusPolicy(history_size=cap, seed=seed)
+    ),
+    "adcache": _adcache_engine,
+    "adcache-admission": lambda tree, cache_bytes, seed, num_shards: _adcache_engine(
+        tree, cache_bytes, seed, num_shards, enable_partitioning=False
+    ),
+    "adcache-partition": lambda tree, cache_bytes, seed, num_shards: _adcache_engine(
+        tree, cache_bytes, seed, num_shards, enable_admission=False
+    ),
+    "adcache-pretrained": lambda tree, cache_bytes, seed, num_shards: _adcache_engine(
+        tree, cache_bytes, seed, num_shards, pretrained_frozen=True
+    ),
+}
+
+#: Display names matching the paper's legends.
+DISPLAY_NAMES: Dict[str, str] = {
+    "block": "RocksDB (Block Cache)",
+    "block-clock": "Block Cache (CLOCK)",
+    "block-arc": "Block Cache (ARC)",
+    "block-prefetch": "Block Cache + Leaper-style prefetch",
+    "block-tinylfu": "Block Cache (TinyLFU-gated LRU)",
+    "range-tinylfu": "Range Cache + TinyLFU",
+    "kv": "KV Cache",
+    "ackey": "AC-Key-style (KV + KP + block)",
+    "range": "Range Cache",
+    "range-lecar": "Range Cache + LeCaR",
+    "range-cacheus": "Range Cache + Cacheus",
+    "adcache": "AdCache",
+    "adcache-admission": "AdCache (admission only)",
+    "adcache-partition": "AdCache (partitioning only)",
+    "adcache-pretrained": "AdCache (pretrained, frozen)",
+}
+
+
+def build_engine(
+    strategy: str,
+    tree: LSMTree,
+    cache_bytes: int,
+    seed: int = 0,
+    num_shards: int = 1,
+) -> KVEngine:
+    """Instantiate one of the evaluated strategies over ``tree``."""
+    try:
+        factory = STRATEGIES[strategy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+    return factory(tree, cache_bytes, seed, num_shards)

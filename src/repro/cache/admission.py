@@ -1,0 +1,129 @@
+"""Admission control: frequency gating for points, partial for scans.
+
+Section 3.4 of the paper.  Two independent mechanisms, both with
+RL-tunable parameters:
+
+* :class:`FrequencyAdmission` — on every point-lookup miss the key's
+  count in a decaying Count-Min sketch is incremented; the key is
+  admitted only when its *normalized* frequency (count / global sum of
+  missed-key counts) reaches a threshold.  The threshold is the RL
+  action; 0 admits everything non-pathological, higher values admit
+  only the persistently hot tail.
+* :class:`PartialScanAdmission` — a scan of length ``l`` is fully
+  admitted when ``l <= a``; otherwise only ``round(b * (l - a))``
+  entries are admitted per access.  Overlapping scans accumulate
+  coverage across accesses, so ``b`` sets how many repetitions it takes
+  for a hot range to become fully resident.
+"""
+
+from __future__ import annotations
+
+from repro.cache.sketch import CountMinSketch
+from repro.errors import CacheError
+
+
+class FrequencyAdmission:
+    """TinyLFU-style frequency filter for point-lookup results.
+
+    Parameters
+    ----------
+    sketch:
+        Count-Min sketch used for frequency estimates (owns decay).
+    threshold:
+        Normalized-frequency admission bar in [0, 1].  Adjusted at
+        runtime by the RL controller via :meth:`set_threshold`.
+    """
+
+    def __init__(self, sketch: CountMinSketch, threshold: float = 0.0) -> None:
+        self._sketch = sketch
+        self._threshold = 0.0
+        self.set_threshold(threshold)
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    @property
+    def threshold(self) -> float:
+        """Current normalized-frequency bar."""
+        return self._threshold
+
+    def set_threshold(self, threshold: float) -> None:
+        """Clamp and apply a new admission bar."""
+        if threshold != threshold:  # NaN guard
+            raise CacheError("threshold must not be NaN")
+        self._threshold = min(1.0, max(0.0, threshold))
+
+    def observe_and_decide(self, key: str) -> bool:
+        """Count one miss of ``key`` and decide whether to admit it.
+
+        Always admits when the bar is zero (but still counts, keeping
+        the sketch warm for when the controller raises the bar).
+        """
+        count = self._sketch.increment(key)
+        total = max(1, self._sketch.total)
+        admit = (count / total) >= self._threshold
+        if admit:
+            self.admitted_total += 1
+        else:
+            self.rejected_total += 1
+        return admit
+
+    @property
+    def sketch(self) -> CountMinSketch:
+        """The underlying frequency sketch."""
+        return self._sketch
+
+
+class PartialScanAdmission:
+    """The paper's ``a``/``b`` partial caching policy for scan results.
+
+    Parameters
+    ----------
+    a:
+        Full-admission length threshold (initialised to the workload's
+        typical short-scan length; learned thereafter).
+    b:
+        Partial-admission aggressiveness in [0, 1].
+    """
+
+    def __init__(self, a: float = 16.0, b: float = 0.5) -> None:
+        self._a = 0.0
+        self._b = 0.0
+        self.set_params(a, b)
+
+    @property
+    def a(self) -> float:
+        """Full-admission length threshold."""
+        return self._a
+
+    @property
+    def b(self) -> float:
+        """Partial-admission slope."""
+        return self._b
+
+    def set_params(self, a: float, b: float) -> None:
+        """Clamp and apply new (a, b)."""
+        if a != a or b != b:  # NaN guard
+            raise CacheError("a and b must not be NaN")
+        self._a = max(0.0, a)
+        self._b = min(1.0, max(0.0, b))
+
+    def admit_count(self, scan_length: int) -> int:
+        """How many of a ``scan_length`` result's entries to admit.
+
+        ``l <= a`` admits everything; longer scans admit
+        ``round(b * (l - a))`` entries, capped at ``l``.
+        """
+        if scan_length <= 0:
+            return 0
+        if scan_length <= self._a:
+            return scan_length
+        return min(scan_length, int(round(self._b * (scan_length - self._a))))
+
+    def effective_threshold(self, scan_length: int) -> float:
+        """Diagnostic: per-access admitted length for a given scan length.
+
+        This is the "scan threshold" series plotted in the paper's
+        Figure 10 (third panel), which stabilizes near the workload's
+        scan length when the policy converges to full admission.
+        """
+        return float(self.admit_count(scan_length))

@@ -1,0 +1,110 @@
+"""Adaptive Replacement Cache (ARC) eviction policy.
+
+ARC (Megiddo & Modha, FAST'03) is the policy AC-Key builds its
+hierarchical caching on; we provide it as an optional policy for the
+block and KV caches.  Resident keys live in T1 (seen once recently) or
+T2 (seen at least twice); ghost lists B1/B2 remember recent evictions
+and steer the adaptive target ``p`` (the desired size of T1).
+
+This implementation adapts ARC to the container/policy split: ghost-list
+consultation happens in :meth:`record_insert` (which the container calls
+on every admitted miss), and :meth:`select_victim` implements REPLACE.
+Sizes are tracked in keys rather than bytes; for the fixed-size entries
+used in this simulator the two are proportional.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class ARCPolicy(EvictionPolicy[K], Generic[K]):
+    """ARC with T1/T2 resident lists and B1/B2 ghost lists.
+
+    Parameters
+    ----------
+    capacity_hint:
+        Expected resident capacity ``c`` in keys; bounds the ghost lists
+        and scales the adaptation of ``p``.
+    """
+
+    def __init__(self, capacity_hint: int = 1024) -> None:
+        if capacity_hint <= 0:
+            raise CacheError("capacity_hint must be positive")
+        self._c = capacity_hint
+        self._p = 0.0  # adaptive target size of T1
+        self._t1: "OrderedDict[K, None]" = OrderedDict()
+        self._t2: "OrderedDict[K, None]" = OrderedDict()
+        self._b1: "OrderedDict[K, None]" = OrderedDict()
+        self._b2: "OrderedDict[K, None]" = OrderedDict()
+
+    @property
+    def p(self) -> float:
+        """Current adaptive target for |T1|."""
+        return self._p
+
+    def record_insert(self, key: K) -> None:
+        if key in self._b1:
+            # Ghost hit in B1: T1 was evicted too eagerly -> grow p.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self._c), self._p + delta)
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            # Ghost hit in B2 -> shrink p.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+        self._trim_ghosts()
+
+    def record_access(self, key: K) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def select_victim(self) -> K:
+        if not self._t1 and not self._t2:
+            raise CacheError("ARC policy has no resident keys")
+        # REPLACE: evict from T1 when it exceeds the target p (or T2 empty).
+        if self._t1 and (len(self._t1) > self._p or not self._t2):
+            return next(iter(self._t1))
+        return next(iter(self._t2))
+
+    def record_evict(self, key: K) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._b1[key] = None
+        elif key in self._t2:
+            del self._t2[key]
+            self._b2[key] = None
+        self._trim_ghosts()
+
+    def record_remove(self, key: K) -> None:
+        # Invalidation: forget entirely, no ghost (not a policy mistake).
+        self._t1.pop(key, None)
+        self._t2.pop(key, None)
+        self._b1.pop(key, None)
+        self._b2.pop(key, None)
+
+    def _trim_ghosts(self) -> None:
+        while len(self._b1) > self._c:
+            self._b1.popitem(last=False)
+        while len(self._b2) > self._c:
+            self._b2.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._t1 or key in self._t2

@@ -1,0 +1,227 @@
+"""Core cache abstractions: stats, eviction-policy interface, container.
+
+The container/policy split mirrors how RocksDB separates the sharded
+hash table from its LRU/Clock policies: :class:`BudgetedCache` owns the
+key->value map and the byte budget, and delegates *which* resident key
+to sacrifice to an :class:`EvictionPolicy`.  LeCaR and Cacheus plug in
+through the same interface, receiving eviction/ghost feedback via
+``record_evict``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/admission accounting for one cache component."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejections: int = 0  # admission-control refusals
+    invalidations: int = 0  # removals not driven by capacity
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 when no lookups yet."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """Copy of the current counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            insertions=self.insertions,
+            evictions=self.evictions,
+            rejections=self.rejections,
+            invalidations=self.invalidations,
+        )
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            insertions=self.insertions - earlier.insertions,
+            evictions=self.evictions - earlier.evictions,
+            rejections=self.rejections - earlier.rejections,
+            invalidations=self.invalidations - earlier.invalidations,
+        )
+
+
+class EvictionPolicy(ABC, Generic[K]):
+    """Decides which resident key a cache should evict.
+
+    The container calls ``record_insert`` when a key becomes resident,
+    ``record_access`` on every hit, ``select_victim`` when over budget,
+    ``record_evict`` when the chosen victim leaves (capacity pressure,
+    so learning policies may ghost-list it), and ``record_remove`` for
+    non-capacity removals (invalidation), which must not count as a
+    policy mistake.
+    """
+
+    @abstractmethod
+    def record_insert(self, key: K) -> None:
+        """A key became resident."""
+
+    @abstractmethod
+    def record_access(self, key: K) -> None:
+        """A resident key was hit."""
+
+    @abstractmethod
+    def select_victim(self) -> K:
+        """Choose the resident key to evict; raises CacheError if empty."""
+
+    @abstractmethod
+    def record_evict(self, key: K) -> None:
+        """The victim left due to capacity pressure."""
+
+    @abstractmethod
+    def record_remove(self, key: K) -> None:
+        """A key left for a non-capacity reason (e.g. invalidation)."""
+
+
+class BudgetedCache(Generic[K, V]):
+    """Byte-budgeted key-value cache with a pluggable eviction policy.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Capacity.  May be resized at runtime (the dynamic boundary).
+    policy:
+        Eviction policy instance; owns no values, only key ordering.
+    charge_of:
+        Size function applied to ``(key, value)`` on insert.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        policy: EvictionPolicy[K],
+        charge_of,
+    ) -> None:
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        self._policy = policy
+        self._charge_of = charge_of
+        self._data: Dict[K, Tuple[V, int]] = {}
+        self._used = 0
+        self.stats = CacheStats()
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        """Current capacity in (logical) bytes."""
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged."""
+        return self._used
+
+    @property
+    def occupancy(self) -> float:
+        """used/budget in [0, 1]; 0 when the budget is zero."""
+        return self._used / self._budget if self._budget else 0.0
+
+    def resize(self, budget_bytes: int) -> int:
+        """Change capacity, evicting as needed; returns evictions made."""
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        return self._evict_to_fit()
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        """Value for ``key`` (promoting it), or None; counts hit/miss."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._policy.record_access(key)
+        return entry[0]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Value for ``key`` without touching stats or recency."""
+        entry = self._data.get(key)
+        return entry[0] if entry else None
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[K]:
+        """Resident keys (unordered)."""
+        return iter(self._data)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def put(self, key: K, value: V) -> bool:
+        """Insert or overwrite ``key``; returns False if it can never fit."""
+        charge = self._charge_of(key, value)
+        if charge > self._budget:
+            self.stats.rejections += 1
+            return False
+        if key in self._data:
+            _, old_charge = self._data[key]
+            self._used -= old_charge
+            self._data[key] = (value, charge)
+            self._used += charge
+            self._policy.record_access(key)
+        else:
+            self._data[key] = (value, charge)
+            self._used += charge
+            self._policy.record_insert(key)
+            self.stats.insertions += 1
+        self._evict_to_fit()
+        return True
+
+    def remove(self, key: K) -> bool:
+        """Invalidate ``key`` (not an eviction); returns whether present."""
+        entry = self._data.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[1]
+        self._policy.record_remove(key)
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        """Invalidate everything."""
+        for key in list(self._data):
+            self.remove(key)
+
+    def _evict_to_fit(self) -> int:
+        evicted = 0
+        while self._used > self._budget and self._data:
+            victim = self._policy.select_victim()
+            entry = self._data.pop(victim, None)
+            if entry is None:
+                raise CacheError(f"policy chose non-resident victim {victim!r}")
+            self._used -= entry[1]
+            self._policy.record_evict(victim)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted

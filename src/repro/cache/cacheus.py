@@ -1,0 +1,272 @@
+"""Cacheus: LeCaR's successor with scan- and churn-resistant experts.
+
+Reimplementation of Cacheus (Rodriguez et al., FAST'21) at the fidelity
+the AdCache paper uses it: a regret-weighted mixture (like LeCaR) whose
+two experts are
+
+* **SR-LRU** — scan-resistant LRU.  Resident keys split into a
+  probationary list R (seen once) and a safe list S (re-referenced).
+  One-shot scan keys never leave R and are evicted first; keys
+  returning from the ghost history are inserted straight into S.
+* **CR-LFU** — churn-resistant LFU.  Among the minimum-frequency
+  bucket it evicts the *most recently used* key, so under churn the
+  same few victims cycle while older keys keep their slots and
+  accumulate frequency.
+
+Cacheus also replaces LeCaR's fixed learning rate with a hill-climbing
+adaptive rate: after every adaptation window the miss count is compared
+with the previous window's, and the learning rate keeps moving in the
+direction that reduced misses (reversing otherwise).  That mechanism is
+reproduced here in simplified form; the full paper also anneals toward
+a restart value, which we omit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import OrderedDict
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+_SRLRU, _CRLFU = 0, 1
+
+
+class SRLRUPolicy(EvictionPolicy[K], Generic[K]):
+    """Scan-resistant LRU with probationary (R) and safe (S) lists."""
+
+    def __init__(self) -> None:
+        self._r: "OrderedDict[K, None]" = OrderedDict()
+        self._s: "OrderedDict[K, None]" = OrderedDict()
+
+    def record_insert(self, key: K, safe: bool = False) -> None:
+        target = self._s if safe else self._r
+        target[key] = None
+        self._rebalance()
+
+    def record_access(self, key: K) -> None:
+        if key in self._r:
+            del self._r[key]
+            self._s[key] = None
+            self._rebalance()
+        elif key in self._s:
+            self._s.move_to_end(key)
+
+    def _rebalance(self) -> None:
+        # Keep S at no more than half the resident keys (rounded up):
+        # demote its LRU end back into R as most-recent there, so a
+        # demoted key is not the immediate next victim.
+        total = len(self._r) + len(self._s)
+        while self._s and len(self._s) > (total + 1) // 2:
+            key, _ = self._s.popitem(last=False)
+            self._r[key] = None
+
+    def select_victim(self) -> K:
+        if self._r:
+            return next(iter(self._r))
+        if self._s:
+            return next(iter(self._s))
+        raise CacheError("SR-LRU policy has no resident keys")
+
+    def record_evict(self, key: K) -> None:
+        self._r.pop(key, None)
+        self._s.pop(key, None)
+
+    def record_remove(self, key: K) -> None:
+        self._r.pop(key, None)
+        self._s.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._r) + len(self._s)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._r or key in self._s
+
+
+class CRLFUPolicy(EvictionPolicy[K], Generic[K]):
+    """Churn-resistant LFU: min-frequency bucket, most-recent first out."""
+
+    def __init__(self) -> None:
+        self._freq: Dict[K, int] = {}
+        self._buckets: Dict[int, "OrderedDict[K, None]"] = {}
+        self._min_freq = 0
+
+    def _bucket(self, freq: int) -> "OrderedDict[K, None]":
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._buckets[freq] = bucket
+        return bucket
+
+    def record_insert(self, key: K) -> None:
+        self._freq[key] = 1
+        self._bucket(1)[key] = None
+        self._min_freq = 1
+
+    def record_access(self, key: K) -> None:
+        freq = self._freq.get(key)
+        if freq is None:
+            return
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._bucket(freq + 1)[key] = None
+
+    def select_victim(self) -> K:
+        if not self._freq:
+            raise CacheError("CR-LFU policy has no resident keys")
+        bucket = self._buckets[self._min_freq]
+        # Churn resistance: sacrifice the *most recent* arrival in the
+        # cold bucket so long-resident cold keys can ripen.
+        return next(reversed(bucket))
+
+    def _drop(self, key: K) -> None:
+        freq = self._freq.pop(key, None)
+        if freq is None:
+            return
+        bucket = self._buckets.get(freq)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._buckets[freq]
+        if freq == self._min_freq and self._freq:
+            while self._min_freq not in self._buckets:
+                self._min_freq += 1
+        if not self._freq:
+            self._min_freq = 0
+
+    def record_evict(self, key: K) -> None:
+        self._drop(key)
+
+    def record_remove(self, key: K) -> None:
+        self._drop(key)
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._freq
+
+
+class CacheusPolicy(EvictionPolicy[K], Generic[K]):
+    """Adaptive mixture of SR-LRU and CR-LFU with hill-climbed rate.
+
+    Parameters
+    ----------
+    history_size:
+        Ghost capacity per expert and the learning-rate window length.
+    initial_learning_rate:
+        Starting multiplicative penalty scale.
+    discount_base:
+        Regret discount (as in LeCaR).
+    seed:
+        RNG seed for expert sampling.
+    """
+
+    def __init__(
+        self,
+        history_size: int = 512,
+        initial_learning_rate: float = 0.45,
+        discount_base: float = 0.005,
+        seed: int = 0,
+    ) -> None:
+        if history_size <= 0:
+            raise CacheError("history_size must be positive")
+        self._srlru: SRLRUPolicy[K] = SRLRUPolicy()
+        self._crlfu: CRLFUPolicy[K] = CRLFUPolicy()
+        self._history_size = history_size
+        self._lr = initial_learning_rate
+        self._lr_direction = 1.0
+        self._discount = discount_base ** (1.0 / history_size)
+        self._rng = random.Random(seed)
+        self._weights = [0.5, 0.5]
+        self._time = 0
+        self._history: "OrderedDict[K, Tuple[int, int]]" = OrderedDict()
+        self._pending_expert: Optional[int] = None
+        # learning-rate window accounting
+        self._window_misses = 0
+        self._prev_window_misses: Optional[int] = None
+        self._ops_in_window = 0
+
+    @property
+    def weights(self) -> Tuple[float, float]:
+        """Current (w_srlru, w_crlfu)."""
+        return self._weights[0], self._weights[1]
+
+    @property
+    def learning_rate(self) -> float:
+        """Current adaptive learning rate."""
+        return self._lr
+
+    def record_insert(self, key: K) -> None:
+        self._time += 1
+        self._note_op(miss=True)
+        ghost = self._history.pop(key, None)
+        safe = ghost is not None
+        if ghost is not None:
+            expert, evicted_at = ghost
+            regret = self._discount ** (self._time - evicted_at)
+            self._weights[expert] *= math.exp(-self._lr * regret)
+            total = self._weights[0] + self._weights[1]
+            self._weights = [w / total for w in self._weights]
+        # A key the cache has recently seen goes straight to the safe list.
+        self._srlru.record_insert(key, safe=safe)
+        self._crlfu.record_insert(key)
+
+    def record_access(self, key: K) -> None:
+        self._time += 1
+        self._note_op(miss=False)
+        self._srlru.record_access(key)
+        self._crlfu.record_access(key)
+
+    def select_victim(self) -> K:
+        expert = _SRLRU if self._rng.random() < self._weights[_SRLRU] else _CRLFU
+        self._pending_expert = expert
+        policy = self._srlru if expert == _SRLRU else self._crlfu
+        return policy.select_victim()
+
+    def record_evict(self, key: K) -> None:
+        expert = self._pending_expert if self._pending_expert is not None else _SRLRU
+        self._pending_expert = None
+        self._srlru.record_evict(key)
+        self._crlfu.record_evict(key)
+        self._history[key] = (expert, self._time)
+        while len(self._history) > self._history_size:
+            self._history.popitem(last=False)
+
+    def record_remove(self, key: K) -> None:
+        self._pending_expert = None
+        self._srlru.record_remove(key)
+        self._crlfu.record_remove(key)
+
+    def _note_op(self, miss: bool) -> None:
+        self._ops_in_window += 1
+        if miss:
+            self._window_misses += 1
+        if self._ops_in_window >= self._history_size:
+            self._adapt_learning_rate()
+            self._ops_in_window = 0
+            self._prev_window_misses = self._window_misses
+            self._window_misses = 0
+
+    def _adapt_learning_rate(self) -> None:
+        """Hill climb: keep moving the rate the way that reduced misses."""
+        if self._prev_window_misses is None:
+            return
+        if self._window_misses > self._prev_window_misses:
+            self._lr_direction = -self._lr_direction
+        self._lr = min(1.0, max(0.001, self._lr * (1.0 + 0.1 * self._lr_direction)))
+
+    def __len__(self) -> int:
+        return len(self._srlru)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._srlru

@@ -1,0 +1,59 @@
+"""CLOCK (second-chance) eviction policy.
+
+RocksDB offers a Clock-based block cache as a lower-contention
+alternative to LRU; we provide it for the same role.  Keys sit on a
+circular list with a reference bit; the hand sweeps, clearing bits,
+and evicts the first unreferenced key it meets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Hashable, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class ClockPolicy(EvictionPolicy[K], Generic[K]):
+    """Second-chance CLOCK over resident keys.
+
+    The ring is an insertion-ordered dict; the "hand" rotates by moving
+    referenced keys to the back with their bit cleared, which is
+    behaviourally identical to a circular sweep.
+    """
+
+    def __init__(self) -> None:
+        self._ring: "OrderedDict[K, bool]" = OrderedDict()  # key -> referenced bit
+
+    def record_insert(self, key: K) -> None:
+        self._ring[key] = False
+
+    def record_access(self, key: K) -> None:
+        if key in self._ring:
+            self._ring[key] = True
+
+    def select_victim(self) -> K:
+        if not self._ring:
+            raise CacheError("CLOCK policy has no resident keys")
+        while True:
+            key, referenced = next(iter(self._ring.items()))
+            if not referenced:
+                return key
+            # Second chance: clear the bit and rotate the hand past it.
+            del self._ring[key]
+            self._ring[key] = False
+
+    def record_evict(self, key: K) -> None:
+        self._ring.pop(key, None)
+
+    def record_remove(self, key: K) -> None:
+        self._ring.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._ring

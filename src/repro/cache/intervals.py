@@ -1,0 +1,105 @@
+"""Complete-interval bookkeeping for the Range Cache.
+
+A *complete interval* ``[start, end]`` (inclusive string bounds) records
+that every live database key within the bounds is currently resident in
+the cache, so a range scan beginning inside it can be answered without
+touching the LSM-tree.  Inserting a scan result adds (and merges)
+intervals; evicting a cached key splits the interval around it using
+the evicted key's cached neighbours as the new bounds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+Interval = Tuple[str, str]  # inclusive (start, end), start <= end
+
+
+class IntervalSet:
+    """Sorted, disjoint set of inclusive string-key intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[str] = []
+        self._ends: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def intervals(self) -> List[Interval]:
+        """All intervals in order."""
+        return list(zip(self._starts, self._ends))
+
+    def clear(self) -> None:
+        """Drop all intervals."""
+        self._starts.clear()
+        self._ends.clear()
+
+    # -- queries ----------------------------------------------------------------
+
+    def covering(self, point: str) -> Optional[Interval]:
+        """The interval containing ``point``, or None."""
+        idx = bisect.bisect_right(self._starts, point) - 1
+        if idx >= 0 and self._ends[idx] >= point:
+            return self._starts[idx], self._ends[idx]
+        return None
+
+    def index_covering(self, point: str) -> Optional[int]:
+        """Index of the interval containing ``point``, or None."""
+        idx = bisect.bisect_right(self._starts, point) - 1
+        if idx >= 0 and self._ends[idx] >= point:
+            return idx
+        return None
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, start: str, end: str) -> None:
+        """Insert ``[start, end]``, merging any overlapping intervals."""
+        if start > end:
+            raise ValueError(f"interval start {start!r} > end {end!r}")
+        # Find the span of existing intervals that overlap [start, end].
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+            del self._starts[lo:hi]
+            del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+
+    def split_around(
+        self,
+        key: str,
+        left_neighbor: Optional[str],
+        right_neighbor: Optional[str],
+    ) -> bool:
+        """Shrink/split the interval containing evicted ``key``.
+
+        ``left_neighbor``/``right_neighbor`` are the evicted key's
+        still-resident cache neighbours (or None at the extremes).  The
+        interval ``[a, b]`` containing ``key`` becomes up to two pieces:
+        ``[a, left_neighbor]`` and ``[right_neighbor, b]``, each kept
+        only when its bound still lies inside the original interval.
+
+        Returns True when an interval was modified.
+        """
+        idx = self.index_covering(key)
+        if idx is None:
+            return False
+        a, b = self._starts[idx], self._ends[idx]
+        del self._starts[idx]
+        del self._ends[idx]
+        pieces: List[Interval] = []
+        if left_neighbor is not None and a <= left_neighbor:
+            pieces.append((a, left_neighbor))
+        if right_neighbor is not None and right_neighbor <= b:
+            pieces.append((right_neighbor, b))
+        for offset, (ps, pe) in enumerate(pieces):
+            self._starts.insert(idx + offset, ps)
+            self._ends.insert(idx + offset, pe)
+        return True
+
+    def total_span_count(self) -> int:
+        """Number of tracked intervals (diagnostics)."""
+        return len(self._starts)

@@ -1,0 +1,88 @@
+"""Point-lookup result cache (RocksDB row-cache analogue).
+
+Stores ``key -> value`` pairs produced by point lookups.  Scans never
+consult it — the paper's KV Cache baseline exists precisely to show
+that a pure point-result cache is blind to range traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.base import BudgetedCache, CacheStats, EvictionPolicy
+from repro.cache.lru import LRUPolicy
+
+
+class KVCache:
+    """Byte-budgeted key-value result cache.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Capacity.
+    entry_charge:
+        Logical bytes per entry (key + value size).
+    policy:
+        Eviction policy (default LRU).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        entry_charge: int = 1024,
+        policy: Optional[EvictionPolicy[str]] = None,
+    ) -> None:
+        self.entry_charge = entry_charge
+        self._cache: BudgetedCache[str, str] = BudgetedCache(
+            budget_bytes,
+            policy if policy is not None else LRUPolicy(),
+            lambda _key, _value: entry_charge,
+        )
+
+    def get(self, key: str) -> Optional[str]:
+        """Serve a point lookup; None on miss."""
+        return self._cache.get(key)
+
+    def put(self, key: str, value: str) -> bool:
+        """Admit a point-lookup result."""
+        return self._cache.put(key, value)
+
+    def on_write(self, key: str, value: str) -> None:
+        """Refresh a resident entry after an upstream put (stale otherwise)."""
+        if key in self._cache:
+            self._cache.put(key, value)
+
+    def on_delete(self, key: str) -> None:
+        """Invalidate after an upstream delete."""
+        self._cache.remove(key)
+
+    def contains(self, key: str) -> bool:
+        """Residency probe without stats side effects."""
+        return key in self._cache
+
+    def resize(self, budget_bytes: int) -> int:
+        """Change capacity; returns evictions made."""
+        return self._cache.resize(budget_bytes)
+
+    @property
+    def budget_bytes(self) -> int:
+        """Current capacity."""
+        return self._cache.budget_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes charged."""
+        return self._cache.used_bytes
+
+    @property
+    def occupancy(self) -> float:
+        """used/budget in [0, 1]."""
+        return self._cache.occupancy
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss counters."""
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)

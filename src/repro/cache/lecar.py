@@ -1,0 +1,119 @@
+"""LeCaR: learning cache replacement with regret minimization.
+
+Reimplementation of LeCaR (Vietri et al., HotStorage'18), used by the
+paper as the "Range Cache + naive ML eviction" baseline.  LeCaR keeps
+two expert policies — LRU and LFU — with a probability weight each.
+Evictions sample an expert by weight; the victim goes into that
+expert's ghost history.  When a missed key is found in a history, the
+expert that evicted it is penalized multiplicatively
+(``w *= exp(-lr * d^age)``, weights renormalized), steering future
+evictions toward the expert that would not have made the mistake.
+
+Adapted to the container/policy interface: the regret update runs in
+:meth:`record_insert`, which the container invokes on every admitted
+miss (the baselines admit all misses, so this observes every miss).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.lru import LRUPolicy
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+_LRU, _LFU = 0, 1
+
+
+class LeCaRPolicy(EvictionPolicy[K], Generic[K]):
+    """Regret-weighted mixture of LRU and LFU experts.
+
+    Parameters
+    ----------
+    history_size:
+        Ghost-list capacity per expert; the original sizes it to the
+        cache's entry capacity.  Also sets the regret discount horizon.
+    learning_rate:
+        Multiplicative penalty scale (paper default 0.45).
+    discount_base:
+        ``d = discount_base ** (1 / history_size)`` per time step
+        (paper default 0.005).
+    seed:
+        RNG seed for expert sampling.
+    """
+
+    def __init__(
+        self,
+        history_size: int = 512,
+        learning_rate: float = 0.45,
+        discount_base: float = 0.005,
+        seed: int = 0,
+    ) -> None:
+        if history_size <= 0:
+            raise CacheError("history_size must be positive")
+        self._lru: LRUPolicy[K] = LRUPolicy()
+        self._lfu: LFUPolicy[K] = LFUPolicy()
+        self._history_size = history_size
+        self._lr = learning_rate
+        self._discount = discount_base ** (1.0 / history_size)
+        self._rng = random.Random(seed)
+        self._weights = [0.5, 0.5]
+        self._time = 0
+        # ghost: key -> (expert, eviction time)
+        self._history: "OrderedDict[K, Tuple[int, int]]" = OrderedDict()
+        self._pending_expert: Optional[int] = None
+
+    @property
+    def weights(self) -> Tuple[float, float]:
+        """Current (w_lru, w_lfu)."""
+        return self._weights[0], self._weights[1]
+
+    def record_insert(self, key: K) -> None:
+        self._time += 1
+        ghost = self._history.pop(key, None)
+        if ghost is not None:
+            expert, evicted_at = ghost
+            regret = self._discount ** (self._time - evicted_at)
+            self._weights[expert] *= math.exp(-self._lr * regret)
+            total = self._weights[0] + self._weights[1]
+            self._weights = [w / total for w in self._weights]
+        self._lru.record_insert(key)
+        self._lfu.record_insert(key)
+
+    def record_access(self, key: K) -> None:
+        self._time += 1
+        self._lru.record_access(key)
+        self._lfu.record_access(key)
+
+    def select_victim(self) -> K:
+        expert = _LRU if self._rng.random() < self._weights[_LRU] else _LFU
+        self._pending_expert = expert
+        policy = self._lru if expert == _LRU else self._lfu
+        return policy.select_victim()
+
+    def record_evict(self, key: K) -> None:
+        expert = self._pending_expert if self._pending_expert is not None else _LRU
+        self._pending_expert = None
+        self._lru.record_evict(key)
+        self._lfu.record_evict(key)
+        self._history[key] = (expert, self._time)
+        while len(self._history) > self._history_size:
+            self._history.popitem(last=False)
+
+    def record_remove(self, key: K) -> None:
+        # Invalidation is not an expert mistake: no ghost entry.
+        self._pending_expert = None
+        self._lru.record_remove(key)
+        self._lfu.record_remove(key)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._lru

@@ -1,0 +1,47 @@
+"""Least-recently-used eviction policy.
+
+The default policy for every cache in the paper's baseline lineup
+(RocksDB block cache, KV cache, vanilla Range Cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LRUPolicy(EvictionPolicy[K], Generic[K]):
+    """Classic LRU over resident keys."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+
+    def record_insert(self, key: K) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def record_access(self, key: K) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def select_victim(self) -> K:
+        if not self._order:
+            raise CacheError("LRU policy has no resident keys")
+        return next(iter(self._order))
+
+    def record_evict(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def record_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._order

@@ -1,0 +1,282 @@
+"""Result-based cache over a skip list: the Range Cache.
+
+Reimplementation of Range Cache (Wang et al., ICDE'24) as the paper's
+result-caching substrate.  Query results — single keys from point
+lookups, runs of adjacent keys from scans — are stored in a skip list
+in logical key order, decoupled from SSTable layout, so compactions
+never invalidate them.
+
+Correctness for scans needs more than resident keys: a scan must know
+that *no* database key in the requested window is missing from the
+cache.  The cache therefore tracks *complete intervals*
+(:class:`~repro.cache.intervals.IntervalSet`): a scan starting at
+``start`` is a hit only when ``start`` lies in a complete interval and
+the requested number of entries is found without leaving it.  Evicting
+any entry splits the interval around the evicted key.
+
+Eviction policy is pluggable (LRU by default; LeCaR and Cacheus form
+the paper's baseline variants) and works at single-entry granularity.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import List, Optional, Tuple
+
+from repro.cache.base import CacheStats, EvictionPolicy
+from repro.cache.intervals import IntervalSet
+from repro.cache.lru import LRUPolicy
+from repro.cache.skiplist import SkipList
+from repro.errors import CacheError
+
+Entry = Tuple[str, str]
+
+
+def _locked(method):
+    """Guard a RangeCache method with the instance lock.
+
+    The paper shards the range cache for multi-client deployments; at
+    simulator scale a single re-entrant lock gives the same safety with
+    negligible cost next to the simulated I/O.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+class RangeCache:
+    """Sorted result cache with complete-interval tracking.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Memory budget; resized at runtime by the adaptive boundary.
+    entry_charge:
+        Logical bytes charged per cached entry (key + value size).
+    policy:
+        Eviction policy over cached keys (default: fresh LRU).
+    seed:
+        Seed for the skip list's level RNG.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        entry_charge: int = 1024,
+        policy: Optional[EvictionPolicy[str]] = None,
+        seed: int = 0,
+    ) -> None:
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        if entry_charge <= 0:
+            raise CacheError("entry_charge must be positive")
+        self._budget = budget_bytes
+        self.entry_charge = entry_charge
+        self._entries = SkipList(seed=seed)
+        self._intervals = IntervalSet()
+        self._policy: EvictionPolicy[str] = policy if policy is not None else LRUPolicy()
+        self._used = 0
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+        self.point_hits = 0
+        self.range_hits = 0
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        """Current capacity in logical bytes."""
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged."""
+        return self._used
+
+    @property
+    def occupancy(self) -> float:
+        """used/budget in [0, 1]."""
+        return self._used / self._budget if self._budget else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @_locked
+    def resize(self, budget_bytes: int) -> int:
+        """Change capacity, evicting to fit; returns evictions made."""
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        return self._evict_to_fit()
+
+    # -- point lookups -----------------------------------------------------------
+
+    @_locked
+    def get_point(self, key: str) -> Optional[str]:
+        """Serve a point lookup from cache, or None on miss."""
+        found, value = self._entries.get(key)
+        if found:
+            self.stats.hits += 1
+            self.point_hits += 1
+            self._policy.record_access(key)
+            return value
+        self.stats.misses += 1
+        return None
+
+    @_locked
+    def contains(self, key: str) -> bool:
+        """Residency probe without stats side effects."""
+        return key in self._entries
+
+    @_locked
+    def insert_point(self, key: str, value: str) -> bool:
+        """Admit one point-lookup result."""
+        return self._insert_entry(key, value)
+
+    # -- range scans -----------------------------------------------------------
+
+    @_locked
+    def get_range(self, start: str, length: int) -> Optional[List[Entry]]:
+        """Serve ``scan(start, length)`` wholly from cache, else None.
+
+        A hit requires a complete interval covering ``start`` that still
+        contains ``length`` entries from ``start`` onward.  Partial
+        coverage is a miss (a partial hit would still pay the full
+        LSM-tree seek, as the paper notes).
+        """
+        interval = self._intervals.covering(start)
+        if interval is None:
+            self.stats.misses += 1
+            return None
+        _, end = interval
+        result: List[Entry] = []
+        for key, value in self._entries.items_from(start):
+            if key > end or len(result) >= length:
+                break
+            result.append((key, value))
+        if len(result) < length:
+            # Fewer cached entries than requested before the interval's
+            # end: keys beyond the interval are unknown, so this is a
+            # miss even though a prefix was covered.
+            self.stats.misses += 1
+            return None
+        for key, _ in result:
+            self._policy.record_access(key)
+        self.stats.hits += 1
+        self.range_hits += 1
+        return result
+
+    @_locked
+    def insert_range(
+        self, start: str, entries: List[Entry], admit_count: Optional[int] = None
+    ) -> int:
+        """Admit a scan result (optionally only its first ``admit_count``).
+
+        ``entries`` must be the scan's result in key order; ``start`` is
+        the scan's requested start key, which anchors the complete
+        interval (all database keys in ``[start, last-admitted-key]``
+        are in ``entries``).  Returns the number of entries admitted.
+        """
+        if admit_count is None:
+            admit_count = len(entries)
+        admit_count = max(0, min(admit_count, len(entries)))
+        if admit_count == 0:
+            self.stats.rejections += 1
+            return 0
+        admitted = entries[:admit_count]
+        for key, value in admitted:
+            self._insert_entry(key, value, defer_eviction=True)
+        self._intervals.add(start, admitted[-1][0])
+        self._evict_to_fit()
+        return admit_count
+
+    # -- write-path hooks -----------------------------------------------------------
+
+    @_locked
+    def on_write(self, key: str, value: str) -> None:
+        """Keep the cache coherent with an upstream put.
+
+        Overwrites a resident entry; a *new* key landing inside a
+        complete interval must be inserted to preserve completeness.
+        """
+        if key in self._entries:
+            self._entries.insert(key, value)
+            self._policy.record_access(key)
+        elif self._intervals.covering(key) is not None:
+            self._insert_entry(key, value)
+
+    @_locked
+    def on_delete(self, key: str) -> None:
+        """Keep the cache coherent with an upstream delete.
+
+        Removing the entry preserves interval completeness: the key is
+        no longer a live database key, so scans must not return it.
+        """
+        if key in self._entries:
+            self._drop_entry(key, split_interval=False)
+            self.stats.invalidations += 1
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert_entry(self, key: str, value: str, defer_eviction: bool = False) -> bool:
+        if self.entry_charge > self._budget:
+            self.stats.rejections += 1
+            return False
+        is_new = self._entries.insert(key, value)
+        if is_new:
+            self._used += self.entry_charge
+            self._policy.record_insert(key)
+            self.stats.insertions += 1
+        else:
+            self._policy.record_access(key)
+        if not defer_eviction:
+            self._evict_to_fit()
+        return True
+
+    def _drop_entry(self, key: str, split_interval: bool, evicted: bool = False) -> None:
+        if evicted or split_interval:
+            left = self._entries.predecessor(key)
+            right = self._entries.successor(key)
+        removed = self._entries.remove(key)
+        if not removed:
+            return
+        self._used -= self.entry_charge
+        if evicted:
+            self._policy.record_evict(key)
+            self._intervals.split_around(key, left, right)
+            self.stats.evictions += 1
+        else:
+            self._policy.record_remove(key)
+            if split_interval:
+                self._intervals.split_around(key, left, right)
+
+    def _evict_to_fit(self) -> int:
+        evicted = 0
+        while self._used > self._budget and len(self._entries):
+            victim = self._policy.select_victim()
+            self._drop_entry(victim, split_interval=True, evicted=True)
+            evicted += 1
+        return evicted
+
+    # -- diagnostics -----------------------------------------------------------
+
+    @property
+    def num_complete_intervals(self) -> int:
+        """Number of tracked complete intervals."""
+        return len(self._intervals)
+
+    def complete_intervals(self) -> List[Tuple[str, str]]:
+        """Copy of the complete-interval list (diagnostics/tests)."""
+        return self._intervals.intervals()
+
+    @_locked
+    def clear(self) -> None:
+        """Drop all entries and intervals."""
+        for key, _ in list(self._entries.items()):
+            self._drop_entry(key, split_interval=False)
+        self._intervals.clear()

@@ -1,0 +1,105 @@
+"""Decaying Count-Min sketch for frequency-based admission.
+
+The paper's point-lookup admission (Section 3.4) counts missed keys "in
+a compact data structure (e.g., Count-Min Sketch)" and normalizes a
+key's frequency against the global sum of missed-key frequencies.  To
+stay responsive it halves everything once any key's count reaches a
+saturation point (default 8), exactly the TinyLFU aging scheme.
+
+Counters are a ``depth x width`` numpy array; increments use the
+conservative-update variant, which tightens the classic overestimate
+bound without changing the "never underestimates" guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CacheError
+from repro.lsm.bloom import fnv1a
+
+
+class CountMinSketch:
+    """Conservative-update Count-Min sketch with saturation halving.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; larger -> fewer collisions.
+    depth:
+        Number of hash rows.
+    saturation:
+        When a key's estimate reaches this after an increment, all
+        counters and the global sum are halved (integer division).
+    seed:
+        Salt for the row hashes.
+    """
+
+    def __init__(
+        self,
+        width: int = 4096,
+        depth: int = 4,
+        saturation: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise CacheError("width and depth must be positive")
+        if saturation < 2:
+            raise CacheError("saturation must be >= 2")
+        self.width = width
+        self.depth = depth
+        self.saturation = saturation
+        self._salts = [seed ^ (0xA5A5_0000 + i * 0x1234_5677) for i in range(depth)]
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0  # global sum of observed increments (decayed with counters)
+        self.decays_total = 0
+
+    def _rows(self, key: str) -> np.ndarray:
+        data = key.encode("utf-8")
+        return np.array(
+            [fnv1a(data, salt) % self.width for salt in self._salts], dtype=np.int64
+        )
+
+    def estimate(self, key: str) -> int:
+        """Frequency estimate for ``key`` (never an underestimate)."""
+        cols = self._rows(key)
+        return int(self._table[np.arange(self.depth), cols].min())
+
+    def increment(self, key: str) -> int:
+        """Count one occurrence of ``key``; returns the new estimate.
+
+        Triggers a global halving when the estimate reaches saturation.
+        """
+        rows = np.arange(self.depth)
+        cols = self._rows(key)
+        current = self._table[rows, cols]
+        new_min = int(current.min()) + 1
+        # Conservative update: only raise counters below the new minimum.
+        np.maximum(current, new_min, out=current)
+        self._table[rows, cols] = current
+        self.total += 1
+        if new_min >= self.saturation:
+            self._decay()
+            new_min //= 2
+        return new_min
+
+    def normalized(self, key: str) -> float:
+        """``estimate(key) / total`` in [0, 1]; 0 when nothing counted."""
+        if self.total == 0:
+            return 0.0
+        return min(1.0, self.estimate(key) / self.total)
+
+    def _decay(self) -> None:
+        self._table >>= 1
+        self.total //= 2
+        self.decays_total += 1
+
+    def reset(self) -> None:
+        """Zero all counters and the global sum."""
+        self._table.fill(0)
+        self.total = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the counter table."""
+        return int(self._table.nbytes)

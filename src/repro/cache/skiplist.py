@@ -1,0 +1,155 @@
+"""Probabilistic skip list over string keys.
+
+The Range Cache paper stores cached results "in a sorted structure
+(e.g., a skip list)"; this is that structure.  Standard Pugh skip list
+with geometric level promotion, supporting exact lookup, ordered
+iteration from an arbitrary key, and predecessor/successor queries —
+the latter two drive complete-interval splitting when entries are
+evicted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[str], value: Optional[str], level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Sorted string-key map with O(log n) expected operations.
+
+    Parameters
+    ----------
+    p:
+        Level-promotion probability (classic 0.5).
+    max_level:
+        Hard cap on tower height.
+    seed:
+        RNG seed so structures are reproducible across runs.
+    """
+
+    def __init__(self, p: float = 0.5, max_level: int = 24, seed: int = 0) -> None:
+        self._p = p
+        self._max_level = max_level
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, max_level)
+        self._level = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key)[0]
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < self._max_level and self._rng.random() < self._p:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: str) -> List[_Node]:
+        """Per-level nodes immediately before ``key``."""
+        update: List[_Node] = [self._head] * self._max_level
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+            update[lv] = node
+        return update
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: str, value: str) -> bool:
+        """Insert or overwrite; returns True when the key is new."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for lv in range(level):
+            node.forward[lv] = update[lv].forward[lv]
+            update[lv].forward[lv] = node
+        self._size += 1
+        return True
+
+    def remove(self, key: str) -> bool:
+        """Delete ``key``; returns whether it was present."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for lv in range(len(node.forward)):
+            if update[lv].forward[lv] is node:
+                update[lv].forward[lv] = node.forward[lv]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Exact lookup; ``(found, value)``."""
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return True, node.value
+        return False, None
+
+    def predecessor(self, key: str) -> Optional[str]:
+        """Largest stored key strictly less than ``key``."""
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+        return node.key  # None when node is the head sentinel
+
+    def successor(self, key: str) -> Optional[str]:
+        """Smallest stored key strictly greater than ``key``."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            node = node.forward[0]
+        return node.key if node is not None else None
+
+    def items_from(self, key: str) -> Iterator[Tuple[str, str]]:
+        """Iterate ``(key, value)`` pairs with key >= ``key`` in order."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.forward[0]
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        """Iterate all pairs in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.forward[0]
+
+    def first_key(self) -> Optional[str]:
+        """Smallest stored key, or None when empty."""
+        node = self._head.forward[0]
+        return node.key if node is not None else None

@@ -1,0 +1,116 @@
+"""TinyLFU-gated eviction (Einziger, Friedman & Manes, ToS'17).
+
+The paper's frequency admission (Section 3.4) descends directly from
+TinyLFU, which it cites: "research such as TinyLFU demonstrated that
+[admitting all misses] can significantly reduce cache efficiency".
+This policy implements TinyLFU's core duel at eviction time:
+
+* every insert and access feeds a decaying Count-Min sketch;
+* when the cache must evict, the freshly-inserted *candidate* duels the
+  LRU victim — whichever has the lower sketch frequency is evicted.
+
+Admitting-then-dueling is behaviourally identical to TinyLFU's
+reject-at-admission under this container (the container inserts first
+and evicts to fit immediately after), and it means a cold key can never
+displace a demonstrably hotter resident one.
+
+This is the segment-free core of W-TinyLFU; the windowed/SLRU variant
+adds recency protection that our LRU base already approximates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+from repro.cache.base import EvictionPolicy
+from repro.cache.sketch import CountMinSketch
+from repro.errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class TinyLFUPolicy(EvictionPolicy[K], Generic[K]):
+    """LRU order with a frequency duel protecting hot residents.
+
+    Parameters
+    ----------
+    sketch:
+        Optional pre-built frequency sketch (shared sketches allowed);
+        a private one is created otherwise.
+    sketch_width / sketch_depth / saturation / seed:
+        Geometry for the private sketch (TinyLFU's aging via
+        saturation halving, as in the paper's admission design).
+    """
+
+    def __init__(
+        self,
+        sketch: Optional[CountMinSketch] = None,
+        sketch_width: int = 2048,
+        sketch_depth: int = 4,
+        saturation: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+        self._sketch = sketch or CountMinSketch(
+            width=sketch_width, depth=sketch_depth, saturation=saturation, seed=seed
+        )
+        self._candidate: Optional[K] = None
+        self.duels_won_by_candidate = 0
+        self.duels_won_by_victim = 0
+
+    def _count(self, key: K) -> None:
+        self._sketch.increment(str(key))
+
+    def record_insert(self, key: K) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+        self._count(key)
+        self._candidate = key
+
+    def record_access(self, key: K) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+            self._count(key)
+
+    def select_victim(self) -> K:
+        if not self._order:
+            raise CacheError("TinyLFU policy has no resident keys")
+        lru_victim = next(iter(self._order))
+        candidate = self._candidate
+        if (
+            candidate is None
+            or candidate == lru_victim
+            or candidate not in self._order
+        ):
+            return lru_victim
+        # The duel: keep whichever of (new candidate, LRU victim) the
+        # sketch believes is hotter.
+        if self._sketch.estimate(str(candidate)) <= self._sketch.estimate(
+            str(lru_victim)
+        ):
+            self.duels_won_by_victim += 1
+            return candidate
+        self.duels_won_by_candidate += 1
+        return lru_victim
+
+    def record_evict(self, key: K) -> None:
+        self._order.pop(key, None)
+        if key == self._candidate:
+            self._candidate = None
+
+    def record_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+        if key == self._candidate:
+            self._candidate = None
+
+    @property
+    def sketch(self) -> CountMinSketch:
+        """The frequency sketch (for introspection and tests)."""
+        return self._sketch
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._order

@@ -1,0 +1,166 @@
+"""Command-line interface: run workloads against the cache schemes.
+
+Examples
+--------
+Run one strategy on one workload::
+
+    python -m repro run --strategy adcache --workload balanced \
+        --num-keys 10000 --cache-kb 1024 --ops 20000
+
+Compare every scheme on a workload::
+
+    python -m repro compare --workload short_scan --cache-kb 512
+
+Replay the dynamic phase sequence::
+
+    python -m repro phases --phases ABCDEF --ops-per-phase 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import run_phases, run_workload, seed_database
+from repro.bench.report import format_table
+from repro.bench.strategies import DISPLAY_NAMES, STRATEGIES, build_engine
+from repro.lsm.options import LSMOptions
+from repro.workloads.dynamic import dynamic_phase_specs
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_workload,
+    long_scan_workload,
+    point_lookup_workload,
+    short_scan_workload,
+)
+
+WORKLOADS = {
+    "point": point_lookup_workload,
+    "short_scan": short_scan_workload,
+    "balanced": balanced_workload,
+    "long_scan": long_scan_workload,
+}
+
+
+def _spec(args: argparse.Namespace) -> WorkloadSpec:
+    if args.workload in WORKLOADS:
+        return WORKLOADS[args.workload](args.num_keys, skew=args.skew)
+    raise SystemExit(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}")
+
+
+def _options(args: argparse.Namespace) -> LSMOptions:
+    return LSMOptions(
+        memtable_entries=args.memtable_entries,
+        entries_per_sstable=args.sstable_entries,
+    )
+
+
+def _result_row(name: str, result) -> List[str]:
+    return [
+        name,
+        f"{result.hit_rate:.3f}",
+        f"{result.sst_reads:,}",
+        f"{result.qps:,.0f}",
+        f"{result.compactions}",
+    ]
+
+
+_HEADERS = ["strategy", "est. hit rate", "SST reads", "sim QPS", "compactions"]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one strategy on one workload and print its metrics."""
+    tree = seed_database(args.num_keys, _options(args), seed=args.seed)
+    engine = build_engine(args.strategy, tree, args.cache_kb * 1024, seed=args.seed)
+    generator = WorkloadGenerator(_spec(args), seed=args.seed + 1)
+    result = run_workload(
+        engine, generator, num_ops=args.ops, warmup_ops=args.warmup,
+        name=args.strategy,
+    )
+    print(format_table(_HEADERS, [_result_row(DISPLAY_NAMES[args.strategy], result)]))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every main strategy on one workload and rank them."""
+    rows = []
+    strategies = ["block", "kv", "range", "range-lecar", "range-cacheus", "adcache"]
+    for strategy in strategies:
+        tree = seed_database(args.num_keys, _options(args), seed=args.seed)
+        engine = build_engine(strategy, tree, args.cache_kb * 1024, seed=args.seed)
+        generator = WorkloadGenerator(_spec(args), seed=args.seed + 1)
+        result = run_workload(
+            engine, generator, num_ops=args.ops, warmup_ops=args.warmup,
+            name=strategy,
+        )
+        rows.append((result.hit_rate, _result_row(DISPLAY_NAMES[strategy], result)))
+    rows.sort(key=lambda pair: -pair[0])
+    print(format_table(_HEADERS, [row for _, row in rows]))
+    return 0
+
+
+def cmd_phases(args: argparse.Namespace) -> int:
+    """Run the Table 3 dynamic phases on one strategy."""
+    tree = seed_database(args.num_keys, _options(args), seed=args.seed)
+    engine = build_engine(args.strategy, tree, args.cache_kb * 1024, seed=args.seed)
+    phases = dynamic_phase_specs(args.num_keys, skew=args.skew, phases=args.phases)
+    results = run_phases(engine, phases, ops_per_phase=args.ops_per_phase, seed=args.seed + 1)
+    print(format_table(
+        ["phase"] + _HEADERS[1:],
+        [[r.name] + _result_row("", r)[1:] for r in results],
+    ))
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--num-keys", type=int, default=10_000, help="database size in keys")
+    parser.add_argument("--cache-kb", type=int, default=1024, help="total cache budget (KiB)")
+    parser.add_argument("--skew", type=float, default=0.9, help="Zipfian skew")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument("--memtable-entries", type=int, default=64)
+    parser.add_argument("--sstable-entries", type=int, default=128)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdCache reproduction: LSM-tree cache management experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one strategy on one workload")
+    _add_common(run)
+    run.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
+    run.add_argument("--workload", choices=sorted(WORKLOADS), default="balanced")
+    run.add_argument("--ops", type=int, default=20_000)
+    run.add_argument("--warmup", type=int, default=5_000)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare all schemes on one workload")
+    _add_common(compare)
+    compare.add_argument("--workload", choices=sorted(WORKLOADS), default="balanced")
+    compare.add_argument("--ops", type=int, default=10_000)
+    compare.add_argument("--warmup", type=int, default=5_000)
+    compare.set_defaults(func=cmd_compare)
+
+    phases = sub.add_parser("phases", help="run the Table 3 dynamic phases")
+    _add_common(phases)
+    phases.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
+    phases.add_argument("--phases", default="ABCDEF")
+    phases.add_argument("--ops-per-phase", type=int, default=5_000)
+    phases.set_defaults(func=cmd_phases)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""AdCache core: the adaptive cache manager on top of the LSM substrate.
+
+* :mod:`repro.core.config` — :class:`AdCacheConfig` tunables.
+* :mod:`repro.core.stats` — per-window workload/IO statistics.
+* :mod:`repro.core.engine` — :class:`KVEngine`, the cached key-value
+  engine implementing the paper's query-handling and cache-fill paths
+  over any composition of block / KV / range caches.
+* :mod:`repro.core.controller` — the window-based policy decision
+  controller (actor-critic in, cache boundary + admission params out).
+* :mod:`repro.core.adcache` — :class:`AdCacheEngine`, the fully wired
+  system (Figure 4), plus ablation variants.
+"""
+
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.core.engine import KVEngine
+
+__all__ = ["AdCacheEngine", "AdCacheConfig", "KVEngine"]

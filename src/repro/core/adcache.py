@@ -1,0 +1,168 @@
+"""AdCacheEngine: the fully wired adaptive caching system (Figure 4).
+
+Composes the LSM tree with a block cache and a range cache under a
+dynamic memory boundary, frequency admission for point results,
+partial admission for scan results, and the actor-critic policy
+decision controller running at window boundaries.
+
+Ablation variants (Figure 11b) are one-flag configurations:
+
+* ``enable_partitioning=False`` — admission control only; the boundary
+  stays at ``initial_range_ratio``.
+* ``enable_admission=False`` — adaptive partitioning only; every result
+  is admitted.
+* ``online_learning=False`` with a pretrained agent — the "pretrained"
+  frozen configuration of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
+from repro.cache.block_cache import BlockCache
+from repro.cache.range_cache import RangeCache
+from repro.cache.sketch import CountMinSketch
+from repro.core.config import AdCacheConfig
+from repro.core.controller import PolicyDecisionController
+from repro.core.engine import KVEngine
+from repro.lsm.options import KEY_SIZE, VALUE_SIZE
+from repro.lsm.tree import LSMTree
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.features import STATE_DIM
+
+#: Actions: range ratio, point threshold, scan ``a``, scan ``b``.
+ACTION_DIM = 4
+
+
+class AdCacheEngine(KVEngine):
+    """The AdCache system: adaptive partitioning + admission + RL.
+
+    Parameters
+    ----------
+    tree:
+        The LSM-tree storage engine to manage caching for.
+    config:
+        All tunables; ``config.total_cache_bytes`` is the unified
+        budget the dynamic boundary splits.
+    agent:
+        Optionally a pre-built (e.g. pretrained) actor-critic agent;
+        a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        tree: LSMTree,
+        config: Optional[AdCacheConfig] = None,
+        agent: Optional[ActorCriticAgent] = None,
+    ) -> None:
+        config = config or AdCacheConfig()
+        self.config = config
+        opts = tree.options
+        entry_charge = opts.key_size + opts.value_size
+
+        range_budget = int(config.total_cache_bytes * config.initial_range_ratio)
+        block_budget = config.total_cache_bytes - range_budget
+        block_cache = BlockCache(
+            block_budget,
+            block_size=opts.block_size,
+            backing_fetch=tree.disk.read_block,
+            num_shards=config.num_shards,
+        )
+        if config.range_shard_boundaries:
+            from repro.cache.sharded_range import ShardedRangeCache
+
+            range_cache = ShardedRangeCache(
+                range_budget,
+                config.range_shard_boundaries,
+                entry_charge=entry_charge,
+                seed=config.seed,
+            )
+        else:
+            range_cache = RangeCache(
+                range_budget, entry_charge=entry_charge, seed=config.seed
+            )
+
+        sketch = CountMinSketch(
+            width=config.sketch_width,
+            depth=config.sketch_depth,
+            saturation=config.sketch_saturation,
+            seed=config.seed,
+        )
+        freq_admission = (
+            FrequencyAdmission(sketch, threshold=0.0)
+            if config.enable_admission
+            else None
+        )
+        scan_admission = (
+            PartialScanAdmission(a=config.initial_a, b=config.initial_b)
+            if config.enable_admission
+            else None
+        )
+        block_scan_admission = None
+        if config.enable_admission and config.enable_block_scan_admission:
+            block_scan_admission = PartialScanAdmission(
+                a=config.initial_a / opts.entries_per_block, b=config.initial_b
+            )
+
+        if agent is None:
+            agent = ActorCriticAgent(
+                state_dim=STATE_DIM,
+                action_dim=ACTION_DIM,
+                hidden_dim=config.hidden_dim,
+                actor_lr=config.actor_lr,
+                critic_lr=config.critic_lr,
+                gamma=config.gamma,
+                initial_log_std=config.exploration_log_std,
+                seed=config.seed,
+            )
+            # Start from the paper's initial configuration — the
+            # configured boundary, admission wide open, (a, b) at their
+            # initial values — instead of an arbitrary mid-scale point.
+            agent.set_initial_policy(
+                np.array(
+                    [
+                        config.initial_range_ratio,
+                        0.0,  # point-admission bar: admit everything
+                        config.initial_a / config.a_max,
+                        config.initial_b,
+                    ],
+                    dtype=np.float32,
+                )
+            )
+        self.agent = agent
+        self.controller = PolicyDecisionController(
+            config=config,
+            agent=agent,
+            block_cache=block_cache,
+            range_cache=range_cache,
+            freq_admission=freq_admission,
+            scan_admission=scan_admission,
+            block_scan_admission=block_scan_admission,
+            entries_per_block=opts.entries_per_block,
+            level0_max_runs=opts.level0_stop_writes_trigger,
+        )
+
+        super().__init__(
+            tree=tree,
+            block_cache=block_cache,
+            range_cache=range_cache,
+            kv_cache=None,
+            freq_admission=freq_admission,
+            scan_admission=scan_admission,
+            block_scan_admission=block_scan_admission,
+            window_size=config.window_size,
+            on_window=self.controller.on_window,
+        )
+
+    @property
+    def entry_charge(self) -> int:
+        """Logical bytes charged per cached key-value entry."""
+        return self.tree.options.key_size + self.tree.options.value_size
+
+
+def default_entry_charge() -> int:
+    """The paper's logical entry footprint (24 B key + 1000 B value)."""
+    return KEY_SIZE + VALUE_SIZE

@@ -1,0 +1,240 @@
+"""The Policy Decision Controller (Background Tuning Module).
+
+At every window boundary the controller:
+
+1. computes the window's reward from the I/O-estimate model
+   (:mod:`repro.rl.reward`), smoothing included;
+2. performs one actor-critic update with the *previous* window's
+   (state, action) and this window's reward — the one-window delay the
+   paper describes in Section 4.2;
+3. adapts the actor learning rate (``lr *= 1 - reward``);
+4. samples the next action and applies it: moves the block/range
+   boundary and retunes the admission thresholds.
+
+Every step is recorded in :attr:`history` so the paper's Figure 10
+(parameter-evolution and convergence plots) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
+from repro.cache.block_cache import BlockCache
+from repro.cache.range_cache import RangeCache
+from repro.core.config import AdCacheConfig
+from repro.core.stats import WindowStats
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.features import state_vector
+from repro.rl.reward import RewardCalculator, adapt_learning_rate
+
+
+@dataclass
+class ControlRecord:
+    """One window's controller activity (for analysis and Figure 10)."""
+
+    window_index: int
+    reward: float
+    trend: float
+    h_estimate: float
+    h_smoothed: float
+    actor_lr: float
+    range_ratio: float
+    point_threshold: float
+    scan_a: float
+    scan_b: float
+
+
+class PolicyDecisionController:
+    """Actor-critic in, cache boundary and admission parameters out.
+
+    Parameters
+    ----------
+    config:
+        AdCache configuration (budgets, learning setup, ablations).
+    agent:
+        The actor-critic agent (possibly pretrained).
+    block_cache / range_cache:
+        The two partitions the dynamic boundary moves between.
+    freq_admission / scan_admission:
+        Admission mechanisms retuned each window.
+    entries_per_block / level0_max_runs:
+        LSM constants for the I/O-estimate reward.
+    """
+
+    def __init__(
+        self,
+        config: AdCacheConfig,
+        agent: ActorCriticAgent,
+        block_cache: Optional[BlockCache],
+        range_cache: Optional[RangeCache],
+        freq_admission: Optional[FrequencyAdmission],
+        scan_admission: Optional[PartialScanAdmission],
+        entries_per_block: int,
+        level0_max_runs: int,
+        block_scan_admission: Optional[PartialScanAdmission] = None,
+    ) -> None:
+        self.config = config
+        self.agent = agent
+        self.block_cache = block_cache
+        self.range_cache = range_cache
+        self.freq_admission = freq_admission
+        self.scan_admission = scan_admission
+        self.block_scan_admission = block_scan_admission
+        self.entries_per_block = entries_per_block
+        self.level0_max_runs = level0_max_runs
+        self.reward_calc = RewardCalculator(
+            alpha=config.alpha,
+            entries_per_block=entries_per_block,
+            mode=config.reward_mode,
+        )
+        self.history: List[ControlRecord] = []
+        self._prev_state: Optional[np.ndarray] = None
+        self._prev_action: Optional[np.ndarray] = None
+        self._replay: Deque[Tuple[np.ndarray, np.ndarray, float, np.ndarray]] = deque(
+            maxlen=max(1, config.replay_capacity)
+        )
+        self._replay_rng = random.Random(config.seed + 17)
+        # Currently applied parameters (actions are normalized to [0,1]).
+        self._range_ratio = config.initial_range_ratio
+        self._point_threshold = 0.0
+        self._a = config.initial_a
+        self._b = config.initial_b
+
+    # -- current applied parameters ------------------------------------------------
+
+    @property
+    def range_ratio(self) -> float:
+        """Currently applied range-cache share of the budget."""
+        return self._range_ratio
+
+    @property
+    def point_threshold(self) -> float:
+        """Currently applied frequency-admission bar."""
+        return self._point_threshold
+
+    @property
+    def scan_params(self) -> tuple:
+        """Currently applied partial-admission ``(a, b)``."""
+        return self._a, self._b
+
+    # -- window entry point ------------------------------------------------
+
+    def on_window(self, window: WindowStats) -> ControlRecord:
+        """Process one sealed window (the engine's ``on_window`` hook)."""
+        reward_out = self.reward_calc.compute(
+            points=window.points,
+            scans=window.scans,
+            avg_scan_length=window.avg_scan_length,
+            io_miss=window.io_miss,
+            num_levels=window.num_levels,
+            level0_max_runs=self.level0_max_runs,
+        )
+        state = self._featurize(window, reward_out.h_smoothed)
+
+        if (
+            self.config.online_learning
+            and self._prev_state is not None
+            and self._prev_action is not None
+        ):
+            transition = (self._prev_state, self._prev_action, reward_out.reward, state)
+            self._replay.append(transition)
+            train_actor = window.window_index >= self.config.actor_warmup_windows
+            self.agent.update(*transition, update_actor=train_actor)
+            # Replay a few recent transitions: the asynchronous trainer's
+            # extra passes, off the serving path.
+            for _ in range(max(0, self.config.updates_per_window - 1)):
+                s, a, r, s2 = self._replay_rng.choice(self._replay)
+                self.agent.update(s, a, r, s2, update_actor=train_actor)
+            self.agent.set_actor_lr(
+                adapt_learning_rate(self.agent.actor_lr, reward_out.trend)
+            )
+
+        action = self.agent.act(state, explore=self.config.online_learning)
+        applied = self._apply(self.agent.clip_action(action))
+        self._prev_state = state
+        # Learn from the action that actually ran: the rate limiter may
+        # clamp the sampled boundary move, and crediting the raw sample
+        # with the clamped execution's reward would drag the policy
+        # toward whatever extreme the noise proposed.
+        self._prev_action = applied
+
+        record = ControlRecord(
+            window_index=window.window_index,
+            reward=reward_out.reward,
+            trend=reward_out.trend,
+            h_estimate=reward_out.h_estimate,
+            h_smoothed=reward_out.h_smoothed,
+            actor_lr=self.agent.actor_lr,
+            range_ratio=self._range_ratio,
+            point_threshold=self._point_threshold,
+            scan_a=self._a,
+            scan_b=self._b,
+        )
+        self.history.append(record)
+        return record
+
+    # -- internals ------------------------------------------------
+
+    def _featurize(self, window: WindowStats, h_smoothed: float) -> np.ndarray:
+        return state_vector(
+            point_ratio=window.point_ratio,
+            scan_ratio=window.scan_ratio,
+            write_ratio=window.write_ratio,
+            avg_scan_length=window.avg_scan_length,
+            range_hit_rate=window.range_hit_rate,
+            block_hit_rate=window.block_hit_rate,
+            h_smoothed=h_smoothed,
+            range_occupancy=window.range_occupancy,
+            block_occupancy=window.block_occupancy,
+            compactions=window.compactions,
+            current_range_ratio=self._range_ratio,
+            current_point_threshold_norm=(
+                self._point_threshold / self.config.point_threshold_max
+            ),
+            current_a_norm=self._a / self.config.a_max,
+            current_b=self._b,
+        )
+
+    def _apply(self, action: np.ndarray) -> np.ndarray:
+        """Execute an action; returns the normalized action as applied."""
+        ratio, thr_norm, a_norm, b = (float(x) for x in action)
+        if self.config.enable_partitioning:
+            # Walk the boundary toward the target at a bounded rate so a
+            # single exploratory action cannot flush either cache.
+            step = self.config.max_ratio_step
+            ratio = min(self._range_ratio + step, max(self._range_ratio - step, ratio))
+            self._range_ratio = ratio
+            total = self.config.total_cache_bytes
+            range_budget = int(total * ratio)
+            if self.range_cache is not None:
+                self.range_cache.resize(range_budget)
+            if self.block_cache is not None:
+                self.block_cache.resize(total - range_budget)
+        if self.config.enable_admission:
+            self._point_threshold = thr_norm * self.config.point_threshold_max
+            self._a = a_norm * self.config.a_max
+            self._b = b
+            if self.freq_admission is not None:
+                self.freq_admission.set_threshold(self._point_threshold)
+            if self.scan_admission is not None:
+                self.scan_admission.set_params(self._a, self._b)
+            if self.block_scan_admission is not None:
+                # Same policy, block-count units.
+                self.block_scan_admission.set_params(
+                    self._a / self.entries_per_block, self._b
+                )
+        return np.array(
+            [
+                self._range_ratio,
+                self._point_threshold / self.config.point_threshold_max,
+                self._a / self.config.a_max,
+                self._b,
+            ],
+            dtype=np.float32,
+        )

@@ -1,0 +1,296 @@
+"""The cached key-value engine: query handling and cache fill paths.
+
+:class:`KVEngine` implements the paper's Figure 5 on top of any cache
+composition:
+
+* **Query handling path** — a request probes the range cache first,
+  then the MemTable, then the SSTables (whose block reads flow through
+  the block cache), and only then the simulated disk.
+* **Cache fill path** — blocks read from disk populate the block cache;
+  query *results* are admitted into the range/KV caches subject to the
+  configured admission control.
+
+Every baseline in the paper's evaluation is a composition of the same
+engine: block cache only, KV cache only, range cache with some eviction
+policy, or the full AdCache stack with a controller attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
+from repro.cache.block_cache import BlockCache
+from repro.cache.kp_cache import KPCache
+from repro.cache.kv_cache import KVCache
+from repro.cache.range_cache import RangeCache
+from repro.core.stats import StatsCollector, WindowStats
+from repro.lsm.tree import LSMTree
+
+Entry = Tuple[str, str]
+#: Controller callback: receives the sealed window's statistics.
+WindowCallback = Callable[[WindowStats], None]
+
+
+class KVEngine:
+    """LSM-tree + cache composition + optional window controller.
+
+    Parameters
+    ----------
+    tree:
+        The LSM storage engine (its ``block_fetch`` is rewired when a
+        block cache is supplied).
+    block_cache / range_cache / kv_cache:
+        Any subset; omitted components are skipped in both paths.
+    freq_admission:
+        Frequency gate for point-result admission (AdCache only).
+    scan_admission:
+        Partial-admission policy for scan results (AdCache only).
+    window_size:
+        Operations per control window; at each boundary the collector
+        seals a :class:`WindowStats` and hands it to ``on_window``.
+    on_window:
+        The policy decision controller's entry point (may be None for
+        static baselines — stats are still collected).
+    """
+
+    def __init__(
+        self,
+        tree: LSMTree,
+        block_cache: Optional[BlockCache] = None,
+        range_cache: Optional[RangeCache] = None,
+        kv_cache: Optional[KVCache] = None,
+        kp_cache: Optional[KPCache] = None,
+        freq_admission: Optional[FrequencyAdmission] = None,
+        scan_admission: Optional[PartialScanAdmission] = None,
+        block_scan_admission: Optional[PartialScanAdmission] = None,
+        window_size: int = 1000,
+        on_window: Optional[WindowCallback] = None,
+    ) -> None:
+        self.tree = tree
+        self.block_cache = block_cache
+        self.range_cache = range_cache
+        self.kv_cache = kv_cache
+        self.kp_cache = kp_cache
+        self.freq_admission = freq_admission
+        self.scan_admission = scan_admission
+        self.block_scan_admission = block_scan_admission
+        self.window_size = window_size
+        self.on_window = on_window
+        self.collector = StatsCollector()
+        self.windows: List[WindowStats] = []
+
+        if block_cache is not None:
+            tree.set_block_fetch(block_cache.fetch_through)
+        tree.add_compaction_listener(
+            lambda event: self.collector.note_compaction(event.blocks_invalidated)
+        )
+        self._write_lock = threading.Lock()
+        self._window_lock = threading.Lock()
+        self._io_snapshot = tree.disk.block_reads_total
+        self._block_stats_snapshot = (
+            block_cache.stats if block_cache is not None else None
+        )
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup via the query handling path."""
+        if self.range_cache is not None:
+            value = self.range_cache.get_point(key)
+            if value is not None:
+                self.collector.note_point(range_hit=True)
+                self._maybe_end_window()
+                return value
+        if self.kv_cache is not None:
+            value = self.kv_cache.get(key)
+            if value is not None:
+                self.collector.note_point(range_hit=False, kv_hit=True)
+                self._maybe_end_window()
+                return value
+        found, value = self.tree.get_from_memtable(key)
+        if not found:
+            if self.kp_cache is not None:
+                hit, value = self.kp_cache.lookup(key, self._block_fetch())
+                if hit:
+                    self.collector.note_point(range_hit=False)
+                    self._maybe_end_window()
+                    return value
+            value, origin = self.tree.get_from_sstables_with_origin(key)
+            if value is not None:
+                self._fill_point(key, value)
+                if self.kp_cache is not None and origin is not None:
+                    self.kp_cache.remember(key, origin)
+        self.collector.note_point(range_hit=False)
+        self._maybe_end_window()
+        return value
+
+    def _block_fetch(self):
+        """The same block source the tree reads through."""
+        if self.block_cache is not None:
+            return self.block_cache.fetch_through
+        return self.tree.disk.read_block
+
+    def scan(self, start: str, length: int) -> List[Entry]:
+        """Range scan via the query handling path."""
+        if self.range_cache is not None:
+            cached = self.range_cache.get_range(start, length)
+            if cached is not None:
+                self.collector.note_scan(length, range_hit=True)
+                self._maybe_end_window()
+                return cached
+        result = self._scan_tree(start, length)
+        if self.range_cache is not None and result:
+            self._fill_scan(start, result)
+        self.collector.note_scan(length, range_hit=False)
+        self._maybe_end_window()
+        return result
+
+    def _scan_tree(self, start: str, length: int) -> List[Entry]:
+        """Scan the LSM-tree, optionally capping block-cache fills.
+
+        The paper notes its partial-admission policy "can also be
+        applied to the block cache, where the number of blocks instead
+        of the number of keys is controlled": a scan may fill at most
+        ``admit_count(blocks_touched)`` blocks.  (Single-writer hook;
+        under multi-client load leave ``block_scan_admission`` unset.)
+        """
+        if self.block_scan_admission is None or self.block_cache is None:
+            return self.tree.scan(start, length)
+        expected_blocks = max(1, length // self.tree.options.entries_per_block)
+        budget = self.block_scan_admission.admit_count(expected_blocks)
+        remaining = [budget]
+
+        def hook(_handle) -> bool:
+            if remaining[0] <= 0:
+                return False
+            remaining[0] -= 1
+            return True
+
+        previous = self.block_cache.admission_hook
+        self.block_cache.admission_hook = hook
+        try:
+            return self.tree.scan(start, length)
+        finally:
+            self.block_cache.admission_hook = previous
+
+    # -- cache fill path ---------------------------------------------------------------
+
+    def _fill_point(self, key: str, value: str) -> None:
+        if self.kv_cache is not None:
+            self.kv_cache.put(key, value)
+        if self.range_cache is not None:
+            if self.freq_admission is not None:
+                if self.freq_admission.observe_and_decide(key):
+                    self.range_cache.insert_point(key, value)
+                else:
+                    self.range_cache.stats.rejections += 1
+            else:
+                self.range_cache.insert_point(key, value)
+
+    def _fill_scan(self, start: str, result: List[Entry]) -> None:
+        assert self.range_cache is not None
+        if self.scan_admission is not None:
+            admit = self.scan_admission.admit_count(len(result))
+        else:
+            admit = len(result)
+        if admit > 0:
+            self.range_cache.insert_range(start, result, admit)
+        else:
+            self.range_cache.stats.rejections += 1
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Insert/overwrite; keeps every cache coherent."""
+        with self._write_lock:
+            self.tree.put(key, value)
+        if self.range_cache is not None:
+            self.range_cache.on_write(key, value)
+        if self.kv_cache is not None:
+            self.kv_cache.on_write(key, value)
+        if self.kp_cache is not None:
+            self.kp_cache.on_write(key)
+        self.collector.note_write()
+        self._maybe_end_window()
+
+    def delete(self, key: str) -> None:
+        """Delete; removes the key from every cache."""
+        with self._write_lock:
+            self.tree.delete(key)
+        if self.range_cache is not None:
+            self.range_cache.on_delete(key)
+        if self.kv_cache is not None:
+            self.kv_cache.on_delete(key)
+        if self.kp_cache is not None:
+            self.kp_cache.on_delete(key)
+        self.collector.note_delete()
+        self._maybe_end_window()
+
+    # -- window machinery ---------------------------------------------------------------
+
+    def _maybe_end_window(self) -> None:
+        if self.collector.ops_in_window < self.window_size:
+            return
+        with self._window_lock:
+            if self.collector.ops_in_window < self.window_size:
+                return  # another thread sealed it
+            self._end_window()
+
+    def _end_window(self) -> None:
+        io_now = self.tree.disk.block_reads_total
+        io_miss = io_now - self._io_snapshot
+        self._io_snapshot = io_now
+        if self.block_cache is not None and self._block_stats_snapshot is not None:
+            current = self.block_cache.stats
+            delta = current.delta(self._block_stats_snapshot)
+            self._block_stats_snapshot = current
+            block_hits, block_misses = delta.hits, delta.misses
+            block_occ = self.block_cache.occupancy
+        else:
+            block_hits = block_misses = 0
+            block_occ = 0.0
+        range_occ = (
+            self.range_cache.occupancy if self.range_cache is not None else 0.0
+        )
+        window = self.collector.end_window(
+            io_miss=io_miss,
+            block_hits=block_hits,
+            block_misses=block_misses,
+            num_levels=self.tree.num_levels,
+            level0_runs=self.tree.level0_run_count,
+            range_occupancy=range_occ,
+            block_occupancy=block_occ,
+            range_ratio=self.current_range_ratio,
+        )
+        self.windows.append(window)
+        if self.on_window is not None:
+            self.on_window(window)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def current_range_ratio(self) -> float:
+        """Fraction of the combined cache budget held by the range cache."""
+        range_budget = (
+            self.range_cache.budget_bytes if self.range_cache is not None else 0
+        )
+        block_budget = (
+            self.block_cache.budget_bytes if self.block_cache is not None else 0
+        )
+        total = range_budget + block_budget
+        return range_budget / total if total else 0.0
+
+    @property
+    def sst_reads_total(self) -> int:
+        """Query-path data-block reads that reached the simulated disk."""
+        return self.tree.disk.block_reads_total
+
+    def flush_window(self) -> Optional[WindowStats]:
+        """Force-seal a partial window (end-of-run bookkeeping)."""
+        if self.collector.ops_in_window == 0:
+            return None
+        with self._window_lock:
+            self._end_window()
+        return self.windows[-1]

@@ -1,0 +1,200 @@
+"""Per-window workload and I/O statistics (the Stats Collector).
+
+The Background Tuning Module's first half: an engine-side collector
+that tallies each operation as it happens and, at the end of every
+window, folds in deltas from the disk counters, the cache stats, and
+the compaction listener to produce one :class:`WindowStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WindowStats:
+    """Everything the controller sees about one window."""
+
+    window_index: int = 0
+    ops: int = 0
+    points: int = 0
+    scans: int = 0
+    writes: int = 0
+    deletes: int = 0
+    scan_length_sum: int = 0
+    # cache outcomes observed at the engine level
+    range_point_hits: int = 0
+    range_scan_hits: int = 0
+    kv_hits: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    # I/O and structural churn
+    io_miss: int = 0  # disk block reads in the window (query path)
+    compactions: int = 0
+    blocks_invalidated: int = 0
+    # end-of-window snapshots
+    num_levels: int = 1
+    level0_runs: int = 0
+    range_occupancy: float = 0.0
+    block_occupancy: float = 0.0
+    range_ratio: float = 0.0
+
+    @property
+    def reads(self) -> int:
+        """Read operations (points + scans)."""
+        return self.points + self.scans
+
+    @property
+    def point_ratio(self) -> float:
+        """Fraction of operations that were point lookups."""
+        return self.points / self.ops if self.ops else 0.0
+
+    @property
+    def scan_ratio(self) -> float:
+        """Fraction of operations that were scans."""
+        return self.scans / self.ops if self.ops else 0.0
+
+    @property
+    def write_ratio(self) -> float:
+        """Fraction of operations that were writes/deletes."""
+        return (self.writes + self.deletes) / self.ops if self.ops else 0.0
+
+    @property
+    def avg_scan_length(self) -> float:
+        """Mean requested scan length over the window."""
+        return self.scan_length_sum / self.scans if self.scans else 0.0
+
+    @property
+    def range_hit_rate(self) -> float:
+        """Range-cache hits over read operations."""
+        if not self.reads:
+            return 0.0
+        return (self.range_point_hits + self.range_scan_hits) / self.reads
+
+    @property
+    def block_hit_rate(self) -> float:
+        """Block-cache hit fraction among block accesses."""
+        total = self.block_hits + self.block_misses
+        return self.block_hits / total if total else 0.0
+
+
+class StatsCollector:
+    """Accumulates one window at a time; engine feeds it per-op events."""
+
+    def __init__(self) -> None:
+        self._current = WindowStats()
+        self._window_index = 0
+        self._pending_compactions = 0
+        self._pending_blocks_invalidated = 0
+        # lifetime aggregates (for end-of-run reports)
+        self.lifetime = WindowStats()
+
+    # -- per-op events ------------------------------------------------------------
+
+    def note_point(self, range_hit: bool, kv_hit: bool = False) -> None:
+        """Record one point lookup and where it was served."""
+        self._current.ops += 1
+        self._current.points += 1
+        if range_hit:
+            self._current.range_point_hits += 1
+        if kv_hit:
+            self._current.kv_hits += 1
+
+    def note_scan(self, length: int, range_hit: bool) -> None:
+        """Record one range scan of requested ``length``."""
+        self._current.ops += 1
+        self._current.scans += 1
+        self._current.scan_length_sum += length
+        if range_hit:
+            self._current.range_scan_hits += 1
+
+    def note_write(self) -> None:
+        """Record one put."""
+        self._current.ops += 1
+        self._current.writes += 1
+
+    def note_delete(self) -> None:
+        """Record one delete."""
+        self._current.ops += 1
+        self._current.deletes += 1
+
+    def note_compaction(self, blocks_invalidated: int) -> None:
+        """Compaction-listener hook (may fire mid-window)."""
+        self._pending_compactions += 1
+        self._pending_blocks_invalidated += blocks_invalidated
+
+    @property
+    def ops_in_window(self) -> int:
+        """Operations recorded since the last :meth:`end_window`."""
+        return self._current.ops
+
+    def totals(self) -> WindowStats:
+        """Lifetime counters including the in-progress window."""
+        out = WindowStats()
+        for source in (self.lifetime, self._current):
+            out.ops += source.ops
+            out.points += source.points
+            out.scans += source.scans
+            out.writes += source.writes
+            out.deletes += source.deletes
+            out.scan_length_sum += source.scan_length_sum
+            out.range_point_hits += source.range_point_hits
+            out.range_scan_hits += source.range_scan_hits
+            out.kv_hits += source.kv_hits
+            out.block_hits += source.block_hits
+            out.block_misses += source.block_misses
+            out.io_miss += source.io_miss
+            out.compactions += source.compactions
+            out.blocks_invalidated += source.blocks_invalidated
+        return out
+
+    # -- window boundary ------------------------------------------------------------
+
+    def end_window(
+        self,
+        io_miss: int,
+        block_hits: int,
+        block_misses: int,
+        num_levels: int,
+        level0_runs: int,
+        range_occupancy: float,
+        block_occupancy: float,
+        range_ratio: float,
+    ) -> WindowStats:
+        """Seal the window with I/O deltas and snapshots; start the next."""
+        window = self._current
+        window.window_index = self._window_index
+        window.io_miss = io_miss
+        window.block_hits = block_hits
+        window.block_misses = block_misses
+        window.compactions = self._pending_compactions
+        window.blocks_invalidated = self._pending_blocks_invalidated
+        window.num_levels = num_levels
+        window.level0_runs = level0_runs
+        window.range_occupancy = range_occupancy
+        window.block_occupancy = block_occupancy
+        window.range_ratio = range_ratio
+
+        self._accumulate_lifetime(window)
+        self._window_index += 1
+        self._current = WindowStats()
+        self._pending_compactions = 0
+        self._pending_blocks_invalidated = 0
+        return window
+
+    def _accumulate_lifetime(self, w: WindowStats) -> None:
+        life = self.lifetime
+        life.ops += w.ops
+        life.points += w.points
+        life.scans += w.scans
+        life.writes += w.writes
+        life.deletes += w.deletes
+        life.scan_length_sum += w.scan_length_sum
+        life.range_point_hits += w.range_point_hits
+        life.range_scan_hits += w.range_scan_hits
+        life.kv_hits += w.kv_hits
+        life.block_hits += w.block_hits
+        life.block_misses += w.block_misses
+        life.io_miss += w.io_miss
+        life.compactions += w.compactions
+        life.blocks_invalidated += w.blocks_invalidated

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An option object was constructed with invalid values."""
+
+
+class StorageError(ReproError):
+    """The simulated storage layer was asked to do something impossible."""
+
+
+class CacheError(ReproError):
+    """A cache component was misused (bad budget, unknown key class...)."""
+
+
+class WriteStallError(ReproError):
+    """A write was rejected because Level-0 reached its stop trigger.
+
+    Mirrors RocksDB's write-stop behaviour.  The engine normally waits
+    for compaction instead of surfacing this, so user code only sees it
+    when compactions are disabled.
+    """
+
+
+class ClosedError(ReproError):
+    """An operation was attempted on a closed store or engine."""

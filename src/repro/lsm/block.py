@@ -1,0 +1,84 @@
+"""Data blocks: the unit of disk I/O and of block-cache residency.
+
+A :class:`DataBlock` is an immutable, sorted run of key-value entries.
+Blocks are identified globally by :class:`BlockHandle` —
+``(sst_id, block_no)`` — which is exactly how RocksDB's block cache
+keys entries (file number + offset).  Compaction writes new SSTables
+with fresh ids, so handles of compacted-away files silently stop
+matching: the cached blocks become dead weight until evicted, the
+invalidation behaviour the paper's motivation hinges on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+Entry = Tuple[str, Optional[str]]  # value None == tombstone
+
+
+@dataclass(frozen=True, order=True)
+class BlockHandle:
+    """Global identity of a data block: which SSTable, which slot."""
+
+    sst_id: int
+    block_no: int
+
+
+class DataBlock:
+    """An immutable sorted sequence of entries within one SSTable.
+
+    Entries are ``(key, value)`` pairs where ``value is None`` encodes a
+    tombstone.  Keys within a block are strictly increasing.
+    """
+
+    __slots__ = ("handle", "_keys", "_values")
+
+    def __init__(self, handle: BlockHandle, entries: Sequence[Entry]) -> None:
+        self.handle = handle
+        self._keys: List[str] = [key for key, _ in entries]
+        self._values: List[Optional[str]] = [value for _, value in entries]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def first_key(self) -> str:
+        """Smallest key in the block."""
+        return self._keys[0]
+
+    @property
+    def last_key(self) -> str:
+        """Largest key in the block."""
+        return self._keys[-1]
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Look up ``key``; returns ``(found, value)``.
+
+        ``found`` is True for tombstones too — the caller must treat a
+        ``(True, None)`` result as "deleted, stop searching older runs".
+        """
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return True, self._values[idx]
+        return False, None
+
+    def entries_from(self, key: str) -> List[Entry]:
+        """All entries with key >= ``key``, in order."""
+        idx = bisect.bisect_left(self._keys, key)
+        return list(zip(self._keys[idx:], self._values[idx:]))
+
+    def entries(self) -> List[Entry]:
+        """All entries in key order."""
+        return list(zip(self._keys, self._values))
+
+    def keys(self) -> List[str]:
+        """All keys in order."""
+        return list(self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DataBlock({self.handle.sst_id}:{self.handle.block_no}, "
+            f"[{self.first_key}..{self.last_key}], n={len(self)})"
+        )

@@ -1,0 +1,197 @@
+"""Leveled compaction ("1-leveling", size ratio 10 by default).
+
+Two triggers, mirroring RocksDB's leveled policy at the granularity the
+caching experiments care about:
+
+* **L0 -> L1** when the Level-0 file count reaches the compaction
+  trigger: every L0 run plus all overlapping L1 files merge into fresh
+  L1 files.
+* **Ln -> Ln+1** (n >= 1) when a level exceeds its target capacity
+  (base capacity times ``size_ratio`` per level): one victim file plus
+  the overlapping files below merge downward.
+
+Compaction rewrites data into SSTables with *new ids*, which is what
+invalidates block-cache entries keyed by ``(sst_id, block_no)`` — the
+effect the paper's range cache is designed to survive.  Listeners are
+notified with a :class:`CompactionEvent` per merge so the stats
+collector can count compactions and invalidated blocks per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lsm.block import Entry
+from repro.lsm.options import LSMOptions
+from repro.lsm.sstable import SSTable
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.version import LevelState
+
+
+@dataclass
+class CompactionEvent:
+    """What one compaction did, for listeners and stats."""
+
+    level_from: int
+    level_to: int
+    input_sst_ids: List[int] = field(default_factory=list)
+    output_sst_ids: List[int] = field(default_factory=list)
+    entries_in: int = 0
+    entries_out: int = 0
+    blocks_invalidated: int = 0
+
+
+CompactionListener = Callable[[CompactionEvent], None]
+
+
+class Compactor:
+    """Runs compactions against a :class:`LevelState` and disk."""
+
+    def __init__(
+        self, options: LSMOptions, disk: SimulatedDisk, levels: LevelState
+    ) -> None:
+        self._options = options
+        self._disk = disk
+        self._levels = levels
+        self._listeners: List[CompactionListener] = []
+        # Round-robin victim cursor per level, RocksDB-style.
+        self._cursor: Dict[int, str] = {}
+        self.compactions_total = 0
+        self.entries_compacted_total = 0
+
+    def add_listener(self, listener: CompactionListener) -> None:
+        """Register a callback fired after every compaction."""
+        self._listeners.append(listener)
+
+    # -- trigger loop --------------------------------------------------------
+
+    def maybe_compact(self) -> int:
+        """Run compactions until no trigger fires; returns how many ran."""
+        ran = 0
+        while True:
+            if self._levels.level0_file_count >= self._options.level0_file_num_compaction_trigger:
+                self._compact_level0()
+                ran += 1
+                continue
+            level = self._find_oversized_level()
+            if level is None:
+                break
+            self._compact_level(level)
+            ran += 1
+        return ran
+
+    def _find_oversized_level(self) -> Optional[int]:
+        for level in range(1, self._options.max_levels - 1):
+            if self._levels.level_entry_count(level) > self._options.level_capacity_entries(level):
+                return level
+        return None
+
+    # -- the two compaction shapes --------------------------------------------
+
+    def _compact_level0(self) -> None:
+        l0_files = self._levels.level_files(0)  # newest first
+        start = min(t.first_key for t in l0_files)
+        end = max(t.last_key for t in l0_files)
+        l1_files = [
+            t
+            for t in self._levels.level_files(1)
+            if not (t.last_key < start or t.first_key > end)
+        ]
+        # Priority order: L0 newest-first, then L1 (older than any L0 data).
+        self._run_compaction(0, 1, l0_files, l1_files)
+
+    def _compact_level(self, level: int) -> None:
+        victim = self._pick_victim(level)
+        below = [
+            t
+            for t in self._levels.level_files(level + 1)
+            if not (t.last_key < victim.first_key or t.first_key > victim.last_key)
+        ]
+        self._run_compaction(level, level + 1, [victim], below)
+
+    def _pick_victim(self, level: int) -> SSTable:
+        """Round-robin over the level's key space (RocksDB's default)."""
+        files = self._levels.level_files(level)
+        cursor = self._cursor.get(level, "")
+        for table in files:
+            if table.first_key > cursor:
+                self._cursor[level] = table.first_key
+                return table
+        # Wrapped around the key space.
+        self._cursor[level] = files[0].first_key
+        return files[0]
+
+    # -- merge mechanics --------------------------------------------------------
+
+    def _run_compaction(
+        self,
+        level_from: int,
+        level_to: int,
+        newer_files: List[SSTable],
+        older_files: List[SSTable],
+    ) -> None:
+        drop_tombstones = self._is_bottom_output(level_to)
+        merged = self._merge_entries(newer_files, older_files, drop_tombstones)
+
+        event = CompactionEvent(level_from=level_from, level_to=level_to)
+        for table in newer_files:
+            self._levels.remove(level_from, table.sst_id)
+        for table in older_files:
+            self._levels.remove(level_to, table.sst_id)
+        for table in newer_files + older_files:
+            event.input_sst_ids.append(table.sst_id)
+            event.entries_in += table.num_entries
+            event.blocks_invalidated += table.num_blocks
+            self._disk.delete(table.sst_id)
+
+        for chunk_start in range(0, len(merged), self._options.entries_per_sstable):
+            chunk = merged[chunk_start : chunk_start + self._options.entries_per_sstable]
+            if not chunk:
+                continue
+            table = SSTable.from_entries(
+                self._disk.allocate_sst_id(),
+                chunk,
+                self._options.entries_per_block,
+                bloom_bits_per_key=self._options.bloom_bits_per_key,
+                bloom_seed=self._options.seed,
+                block_size=self._options.block_size,
+            )
+            self._disk.install(table)
+            self._levels.add_to_level(level_to, table)
+            event.output_sst_ids.append(table.sst_id)
+            event.entries_out += table.num_entries
+
+        self.compactions_total += 1
+        self.entries_compacted_total += event.entries_in
+        for listener in self._listeners:
+            listener(event)
+
+    def _is_bottom_output(self, level_to: int) -> bool:
+        """Tombstones may be dropped when nothing deeper could hold the key."""
+        if level_to >= self._options.max_levels - 1:
+            return True
+        return all(
+            not self._levels.level_files(lv)
+            for lv in range(level_to + 1, self._options.max_levels)
+        )
+
+    @staticmethod
+    def _merge_entries(
+        newer_files: List[SSTable],
+        older_files: List[SSTable],
+        drop_tombstones: bool,
+    ) -> List[Entry]:
+        """Merge input runs, newest version of each key winning."""
+        resolved: Dict[str, Optional[str]] = {}
+        # Apply oldest first so newer writes overwrite.
+        for table in reversed(older_files):
+            for key, value in table.all_entries():
+                resolved[key] = value
+        for table in reversed(newer_files):  # newer_files is newest-first
+            for key, value in table.all_entries():
+                resolved[key] = value
+        items: List[Tuple[str, Optional[str]]] = sorted(resolved.items())
+        if drop_tombstones:
+            items = [(k, v) for k, v in items if v is not None]
+        return items

@@ -1,0 +1,73 @@
+"""In-memory write buffer (MemTable).
+
+A sorted dictionary over string keys.  We keep a plain dict for O(1)
+point lookups plus a lazily re-sorted key list for range scans — at
+simulator scale this outperforms a hand-rolled balanced tree while
+behaving identically at the API level.
+
+Deletes are recorded as tombstones (``value=None``), which must shadow
+older values in SSTables during reads and be dropped only by a
+bottom-level compaction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lsm.block import Entry
+
+
+class MemTable:
+    """Mutable sorted buffer of the newest writes."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Optional[str]] = {}
+        self._sorted_keys: List[str] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+        if key not in self._data:
+            self._dirty = True
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        """Record a tombstone for ``key``."""
+        if key not in self._data:
+            self._dirty = True
+        self._data[key] = None
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Look up ``key``; ``(found, value)`` with tombstones found=True."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            self._sorted_keys = sorted(self._data)
+            self._dirty = False
+
+    def entries_from(self, key: str) -> Iterator[Entry]:
+        """Yield entries with key >= ``key`` in key order (tombstones included)."""
+        self._ensure_sorted()
+        idx = bisect.bisect_left(self._sorted_keys, key)
+        for k in self._sorted_keys[idx:]:
+            yield k, self._data[k]
+
+    def entries(self) -> Iterator[Entry]:
+        """Yield all entries in key order (tombstones included)."""
+        self._ensure_sorted()
+        for k in self._sorted_keys:
+            yield k, self._data[k]
+
+    def approximate_bytes(self, key_size: int, value_size: int) -> int:
+        """Logical footprint used for flush decisions in byte-based setups."""
+        return len(self._data) * (key_size + value_size)

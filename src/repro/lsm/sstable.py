@@ -1,0 +1,153 @@
+"""Immutable sorted string tables (SSTables).
+
+An SSTable packs a sorted entry run into fixed-fanout data blocks and
+carries two auxiliary structures that the read path consults *without*
+disk I/O, mirroring RocksDB's pinned index/filter blocks:
+
+* an index of each block's first key, for binary-searching the block
+  that may contain a lookup key, and
+* a bloom filter over all keys, for skipping the file entirely on point
+  lookups of absent keys.
+
+Blocks are only materialised through :class:`~repro.lsm.storage.
+SimulatedDisk.read_block` (or a block cache in front of it), so every
+data-block access is metered.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.block import BlockHandle, DataBlock, Entry
+from repro.lsm.bloom import BloomFilter
+
+
+class SSTable:
+    """One immutable sorted run file.
+
+    Build via :meth:`from_entries`; entries must be sorted by key and
+    free of duplicates (the compaction/flush machinery guarantees this).
+    """
+
+    def __init__(
+        self,
+        sst_id: int,
+        blocks: Sequence[DataBlock],
+        bloom: BloomFilter,
+        block_size: int,
+    ) -> None:
+        if not blocks:
+            raise StorageError("SSTable must contain at least one block")
+        self.sst_id = sst_id
+        self._blocks: List[DataBlock] = list(blocks)
+        self._index: List[str] = [b.first_key for b in self._blocks]
+        self.bloom = bloom
+        self.block_size = block_size
+        self.num_entries = sum(len(b) for b in self._blocks)
+
+    @classmethod
+    def from_entries(
+        cls,
+        sst_id: int,
+        entries: Sequence[Entry],
+        entries_per_block: int,
+        bloom_bits_per_key: int = 10,
+        bloom_seed: int = 0,
+        block_size: int = 4096,
+    ) -> "SSTable":
+        """Pack sorted ``entries`` into blocks and build the filter/index."""
+        if not entries:
+            raise StorageError("cannot build an empty SSTable")
+        blocks = []
+        for block_no, start in enumerate(range(0, len(entries), entries_per_block)):
+            chunk = entries[start : start + entries_per_block]
+            blocks.append(DataBlock(BlockHandle(sst_id, block_no), chunk))
+        bloom = BloomFilter.build(
+            (key for key, _ in entries),
+            bits_per_key=bloom_bits_per_key,
+            seed=bloom_seed ^ sst_id,
+        )
+        return cls(sst_id, blocks, bloom, block_size)
+
+    # -- metadata (no I/O) ---------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of data blocks."""
+        return len(self._blocks)
+
+    @property
+    def first_key(self) -> str:
+        """Smallest key in the file."""
+        return self._blocks[0].first_key
+
+    @property
+    def last_key(self) -> str:
+        """Largest key in the file."""
+        return self._blocks[-1].last_key
+
+    def key_in_range(self, key: str) -> bool:
+        """Whether ``key`` falls within [first_key, last_key]."""
+        return self.first_key <= key <= self.last_key
+
+    def overlaps(self, start: str, end: Optional[str]) -> bool:
+        """Whether the file's key span intersects ``[start, end)``.
+
+        ``end=None`` means an unbounded upper end.
+        """
+        if end is not None and self.first_key >= end:
+            return False
+        return self.last_key >= start
+
+    def may_contain(self, key: str) -> bool:
+        """Bloom-filter probe; False means definitely absent."""
+        return key in self.bloom
+
+    def find_block_no(self, key: str) -> Optional[int]:
+        """Index lookup: the block that may contain ``key``, or None.
+
+        Returns None when ``key`` sorts before the file's first key or
+        after its last key.
+        """
+        if not self.key_in_range(key):
+            return None
+        idx = bisect.bisect_right(self._index, key) - 1
+        return max(idx, 0)
+
+    def first_block_no_for(self, key: str) -> Optional[int]:
+        """Block where a scan starting at ``key`` should begin, or None if
+        all entries sort before ``key``."""
+        if key > self.last_key:
+            return None
+        idx = bisect.bisect_right(self._index, key) - 1
+        return max(idx, 0)
+
+    def handles(self) -> List[BlockHandle]:
+        """Handles of all data blocks in order."""
+        return [b.handle for b in self._blocks]
+
+    # -- direct block access (used only by the metered disk) -----------------
+
+    def block_at(self, block_no: int) -> DataBlock:
+        """The block at position ``block_no``; raises on bad index."""
+        if not 0 <= block_no < len(self._blocks):
+            raise StorageError(
+                f"block {block_no} out of range for sst {self.sst_id} "
+                f"({len(self._blocks)} blocks)"
+            )
+        return self._blocks[block_no]
+
+    def all_entries(self) -> List[Entry]:
+        """Every entry in the file in key order (compaction input path)."""
+        out: List[Entry] = []
+        for block in self._blocks:
+            out.extend(block.entries())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SSTable(id={self.sst_id}, [{self.first_key}..{self.last_key}], "
+            f"entries={self.num_entries}, blocks={self.num_blocks})"
+        )

@@ -1,0 +1,103 @@
+"""Simulated disk: SSTable residency and block-read accounting.
+
+The paper measures "SST reads" — the number of data-block reads that
+reach the storage device.  :class:`SimulatedDisk` is the single funnel
+for those reads: every block fetched by the read path that is not served
+by a cache goes through :meth:`read_block` and increments the counters.
+
+The disk also carries an optional per-read listener so the benchmark
+harness can charge simulated latency to a clock without the LSM code
+knowing about timing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.lsm.block import BlockHandle, DataBlock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lsm.sstable import SSTable
+
+ReadListener = Callable[[BlockHandle], None]
+
+
+class SimulatedDisk:
+    """Stores SSTables and meters every data-block read."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[int, "SSTable"] = {}
+        self._next_sst_id = 1
+        self.block_reads_total = 0
+        self.bytes_read_total = 0
+        self.sstables_written_total = 0
+        self.sstables_deleted_total = 0
+        self._read_listeners: List[ReadListener] = []
+
+    # -- SSTable lifecycle -------------------------------------------------
+
+    def allocate_sst_id(self) -> int:
+        """Reserve a globally unique SSTable id (monotonically increasing)."""
+        sst_id = self._next_sst_id
+        self._next_sst_id += 1
+        return sst_id
+
+    def install(self, table: "SSTable") -> None:
+        """Make a freshly built SSTable readable."""
+        if table.sst_id in self._tables:
+            raise StorageError(f"sst id {table.sst_id} already installed")
+        self._tables[table.sst_id] = table
+        self.sstables_written_total += 1
+
+    def delete(self, sst_id: int) -> None:
+        """Remove an SSTable (after compaction obsoletes it)."""
+        if sst_id not in self._tables:
+            raise StorageError(f"sst id {sst_id} not on disk")
+        del self._tables[sst_id]
+        self.sstables_deleted_total += 1
+
+    def has(self, sst_id: int) -> bool:
+        """Whether ``sst_id`` is currently live on disk."""
+        return sst_id in self._tables
+
+    def live_sst_ids(self) -> List[int]:
+        """Ids of all live SSTables."""
+        return list(self._tables)
+
+    # -- metered reads -----------------------------------------------------
+
+    def read_block(self, handle: BlockHandle) -> DataBlock:
+        """Fetch a data block from "disk", counting the I/O."""
+        table = self._tables.get(handle.sst_id)
+        if table is None:
+            raise StorageError(f"read of block {handle} from deleted/unknown sst")
+        block = table.block_at(handle.block_no)
+        self.block_reads_total += 1
+        self.bytes_read_total += table.block_size
+        for listener in self._read_listeners:
+            listener(handle)
+        return block
+
+    def add_read_listener(self, listener: ReadListener) -> None:
+        """Register a callback invoked on every metered block read."""
+        self._read_listeners.append(listener)
+
+    def remove_read_listener(self, listener: ReadListener) -> None:
+        """Unregister a previously added read listener."""
+        self._read_listeners.remove(listener)
+
+    # -- introspection -----------------------------------------------------
+
+    def table(self, sst_id: int) -> Optional["SSTable"]:
+        """The live SSTable with ``sst_id``, or None."""
+        return self._tables.get(sst_id)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of live SSTables."""
+        return len(self._tables)
+
+    def total_entries(self) -> int:
+        """Total entries across live SSTables (tombstones included)."""
+        return sum(t.num_entries for t in self._tables.values())

@@ -1,0 +1,343 @@
+"""The LSM-tree facade: put / get / scan / delete over the substrate.
+
+:class:`LSMTree` wires together the MemTable, WAL, level structure,
+simulated disk and compactor, and exposes the two read paths the cache
+layer intercepts:
+
+* **point lookups** — MemTable, then L0 files newest-to-oldest, then one
+  file per deeper level, with bloom filters pruning files and every
+  surviving block access routed through a pluggable ``block_fetch``
+  callable (the block cache's hook);
+* **range scans** — a merged iterator over every overlapping sorted run,
+  also fetching blocks through the hook.
+
+SST-read counts come from the underlying
+:class:`~repro.lsm.storage.SimulatedDisk`; the tree itself never reads
+a block except through ``block_fetch``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ClosedError, StorageError, WriteStallError
+from repro.lsm.block import BlockHandle, DataBlock, Entry
+from repro.lsm.compaction import CompactionListener, Compactor
+from repro.lsm.iterator import (
+    BlockFetch,
+    MergeItem,
+    level_source,
+    memtable_source,
+    merge_scan,
+    sstable_source,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import LSMOptions
+from repro.lsm.sstable import SSTable
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.version import LevelState
+from repro.lsm.wal import WriteAheadLog
+
+
+class LSMTree:
+    """A RocksDB-flavoured LSM-tree key-value store (simulated disk).
+
+    Parameters
+    ----------
+    options:
+        Tunables; defaults reproduce the paper's configuration.
+    block_fetch:
+        Optional hook that serves data-block reads.  Defaults to reading
+        straight from the metered disk; the engine replaces it with the
+        block cache's fetch-through method.
+    """
+
+    def __init__(
+        self,
+        options: Optional[LSMOptions] = None,
+        block_fetch: Optional[BlockFetch] = None,
+    ) -> None:
+        self.options = options or LSMOptions()
+        self.disk = SimulatedDisk()
+        self.levels = LevelState(self.options.max_levels)
+        self.memtable = MemTable()
+        self.wal = WriteAheadLog()
+        self.compactor = Compactor(self.options, self.disk, self.levels)
+        self._block_fetch: BlockFetch = block_fetch or self.disk.read_block
+        self._closed = False
+        # read-path counters
+        self.gets_total = 0
+        self.scans_total = 0
+        self.bloom_negative_total = 0
+        self.bloom_false_positive_total = 0
+        self.flushes_total = 0
+        self.write_slowdowns_total = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def set_block_fetch(self, fetch: BlockFetch) -> None:
+        """Route all data-block reads through ``fetch`` (e.g. a block cache)."""
+        self._block_fetch = fetch
+
+    def add_compaction_listener(self, listener: CompactionListener) -> None:
+        """Observe every compaction (used by the stats collector)."""
+        self.compactor.add_listener(listener)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("operation on closed LSMTree")
+
+    def close(self) -> None:
+        """Flush pending writes and refuse further operations."""
+        if not self._closed:
+            if self.memtable:
+                self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- write path ----------------------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+        self._write(key, value)
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (writes a tombstone)."""
+        self._write(key, None)
+
+    def _write(self, key: str, value: Optional[str]) -> None:
+        self._check_open()
+        self._maybe_stall()
+        self.wal.append(key, value)
+        if value is None:
+            self.memtable.delete(key)
+        else:
+            self.memtable.put(key, value)
+        if len(self.memtable) >= self.options.memtable_entries:
+            self.flush()
+
+    def _maybe_stall(self) -> None:
+        l0 = self.levels.level0_file_count
+        if l0 >= self.options.level0_slowdown_writes_trigger:
+            self.write_slowdowns_total += 1
+        if l0 >= self.options.level0_stop_writes_trigger:
+            if self.options.auto_compact:
+                self.compactor.maybe_compact()
+            else:
+                raise WriteStallError(
+                    f"level 0 has {l0} files (stop trigger "
+                    f"{self.options.level0_stop_writes_trigger})"
+                )
+
+    def flush(self) -> Optional[SSTable]:
+        """Flush the MemTable into a new Level-0 SSTable."""
+        self._check_open()
+        if not self.memtable:
+            return None
+        entries: List[Entry] = list(self.memtable.entries())
+        table = SSTable.from_entries(
+            self.disk.allocate_sst_id(),
+            entries,
+            self.options.entries_per_block,
+            bloom_bits_per_key=self.options.bloom_bits_per_key,
+            bloom_seed=self.options.seed,
+            block_size=self.options.block_size,
+        )
+        self.disk.install(table)
+        self.levels.add_level0(table)
+        self.memtable = MemTable()
+        self.wal.truncate()
+        self.flushes_total += 1
+        if self.options.auto_compact:
+            self.compactor.maybe_compact()
+        return table
+
+    # -- point lookups -----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup; returns the value or None if absent/deleted."""
+        self._check_open()
+        self.gets_total += 1
+        found, value = self.memtable.get(key)
+        if found:
+            return value
+        return self.get_from_sstables(key)
+
+    def get_from_memtable(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Probe only the MemTable: ``(found, value)``, tombstones found."""
+        self._check_open()
+        return self.memtable.get(key)
+
+    def get_from_sstables(self, key: str) -> Optional[str]:
+        """Probe only the on-disk runs (engine splits the lookup path)."""
+        value, _ = self.get_from_sstables_with_origin(key)
+        return value
+
+    def get_from_sstables_with_origin(
+        self, key: str
+    ) -> Tuple[Optional[str], Optional[BlockHandle]]:
+        """Like :meth:`get_from_sstables`, also reporting which block
+        served the key (for key-pointer caches a la AC-Key)."""
+        for table in self.levels.level_files(0):  # newest first
+            found, value, handle = self._get_from_table(table, key)
+            if found:
+                return value, handle
+        for level in range(1, self.options.max_levels):
+            table = self.levels.find_file(level, key)
+            if table is None:
+                continue
+            found, value, handle = self._get_from_table(table, key)
+            if found:
+                return value, handle
+        return None, None
+
+    def _get_from_table(
+        self, table: SSTable, key: str
+    ) -> Tuple[bool, Optional[str], Optional[BlockHandle]]:
+        if not table.key_in_range(key):
+            return False, None, None
+        if not table.may_contain(key):
+            self.bloom_negative_total += 1
+            return False, None, None
+        block_no = table.find_block_no(key)
+        if block_no is None:
+            return False, None, None
+        handle = BlockHandle(table.sst_id, block_no)
+        block = self._block_fetch(handle)
+        found, value = block.get(key)
+        if not found:
+            self.bloom_false_positive_total += 1
+        return found, value, handle if found else None
+
+    # -- range scans -----------------------------------------------------------------
+
+    def scan(self, start: str, length: int) -> List[Tuple[str, str]]:
+        """Return up to ``length`` live entries with key >= ``start``."""
+        return list(itertools.islice(self.scan_iter(start), length))
+
+    def scan_iter(self, start: str) -> Iterable[Tuple[str, str]]:
+        """Lazily merge all sorted runs from ``start`` (tombstones resolved).
+
+        Initialising the merge performs the seek: one block read per
+        overlapping run, as in the paper's I/O model.
+        """
+        self._check_open()
+        self.scans_total += 1
+        sources: List[Iterable[MergeItem]] = [
+            memtable_source(self.memtable, start, priority=0)
+        ]
+        priority = 1
+        for table in self.levels.level_files(0):  # newest first
+            sources.append(sstable_source(table, start, priority, self._block_fetch))
+            priority += 1
+        for level in range(1, self.options.max_levels):
+            files = self.levels.level_files(level)
+            if files:
+                sources.append(level_source(files, start, priority, self._block_fetch))
+                priority += 1
+        return merge_scan([iter(s) for s in sources])
+
+    # -- crash recovery -----------------------------------------------------------------
+
+    def simulate_crash_and_recover(self) -> int:
+        """Drop volatile state and rebuild the MemTable from the WAL.
+
+        Models a process crash: the MemTable (volatile) is lost, the
+        WAL and SSTables (durable) survive.  Replaying the log restores
+        every acknowledged write.  Returns the number of records
+        replayed.
+        """
+        self._check_open()
+        records = self.wal.replay()
+        self.memtable = MemTable()
+        for key, value in records:
+            if value is None:
+                self.memtable.delete(key)
+            else:
+                self.memtable.put(key, value)
+        return len(records)
+
+    # -- bulk loading -----------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Tuple[str, str]], seed: int = 7) -> None:
+        """Pre-populate the tree with sorted unique ``(key, value)`` pairs.
+
+        Spreads entries across levels proportionally to level capacity
+        (deepest level holding the bulk), producing a realistic resident
+        LSM shape without replaying millions of puts.  Only valid on an
+        empty tree.
+        """
+        self._check_open()
+        if self.levels.total_entries() or self.memtable:
+            raise StorageError("bulk_load requires an empty tree")
+        entries: List[Entry] = [(k, v) for k, v in items]
+        if not entries:
+            return
+        for i in range(1, len(entries)):
+            if entries[i - 1][0] >= entries[i][0]:
+                raise StorageError("bulk_load input must be sorted and unique")
+
+        levels_used = self._bulk_levels_for(len(entries))
+        weights = np.array(
+            [self.options.level_capacity_entries(lv) for lv in levels_used],
+            dtype=float,
+        )
+        probs = weights / weights.sum()
+        rng = np.random.default_rng(seed)
+        assignment = rng.choice(len(levels_used), size=len(entries), p=probs)
+        for slot, level in enumerate(levels_used):
+            chunk = [e for e, a in zip(entries, assignment) if a == slot]
+            for start in range(0, len(chunk), self.options.entries_per_sstable):
+                part = chunk[start : start + self.options.entries_per_sstable]
+                if not part:
+                    continue
+                table = SSTable.from_entries(
+                    self.disk.allocate_sst_id(),
+                    part,
+                    self.options.entries_per_block,
+                    bloom_bits_per_key=self.options.bloom_bits_per_key,
+                    bloom_seed=self.options.seed,
+                    block_size=self.options.block_size,
+                )
+                self.disk.install(table)
+                self.levels.add_to_level(level, table)
+
+    def _bulk_levels_for(self, n: int) -> List[int]:
+        """Deepest-first contiguous level span whose capacity covers ``n``."""
+        for bottom in range(1, self.options.max_levels):
+            capacity = sum(
+                self.options.level_capacity_entries(lv) for lv in range(1, bottom + 1)
+            )
+            if capacity >= n:
+                return list(range(1, bottom + 1))
+        return list(range(1, self.options.max_levels))
+
+    # -- reward-model inputs -----------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` in the paper's reward model."""
+        return self.levels.num_levels
+
+    @property
+    def num_sorted_runs(self) -> int:
+        """``r`` in the paper's reward model."""
+        return self.levels.num_sorted_runs
+
+    @property
+    def level0_run_count(self) -> int:
+        """Current number of Level-0 runs."""
+        return self.levels.level0_file_count
+
+    @property
+    def sst_reads_total(self) -> int:
+        """Data-block reads that reached the simulated disk."""
+        return self.disk.block_reads_total

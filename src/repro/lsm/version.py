@@ -1,0 +1,130 @@
+"""Level structure (the LSM-tree's "version" / manifest).
+
+Tracks which SSTables live at which level:
+
+* **Level 0** holds whole flushed MemTables; files may overlap and are
+  ordered newest-first.
+* **Levels 1+** each hold one sorted run: files are non-overlapping and
+  kept sorted by first key.
+
+The counts exposed here (``num_levels`` ``L`` and sorted-run totals
+``r``/``r0``) feed the paper's reward model directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.errors import StorageError
+from repro.lsm.sstable import SSTable
+
+
+class LevelState:
+    """Mutable view of the files at every level."""
+
+    def __init__(self, max_levels: int) -> None:
+        if max_levels < 2:
+            raise StorageError("need at least levels 0 and 1")
+        self.max_levels = max_levels
+        self._levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+
+    # -- structure queries ---------------------------------------------------
+
+    def level_files(self, level: int) -> List[SSTable]:
+        """Files at ``level`` (L0 newest-first, L1+ sorted by first key)."""
+        return list(self._levels[level])
+
+    def level_entry_count(self, level: int) -> int:
+        """Total entries at ``level`` (tombstones included)."""
+        return sum(t.num_entries for t in self._levels[level])
+
+    @property
+    def level0_file_count(self) -> int:
+        """Number of (overlapping) runs in Level 0."""
+        return len(self._levels[0])
+
+    @property
+    def num_levels(self) -> int:
+        """``L``: index of the deepest non-empty level plus one (>= 1)."""
+        deepest = 0
+        for level in range(self.max_levels - 1, -1, -1):
+            if self._levels[level]:
+                deepest = level
+                break
+        return deepest + 1
+
+    @property
+    def num_sorted_runs(self) -> int:
+        """``r``: L0 file count plus one run per non-empty deeper level."""
+        runs = len(self._levels[0])
+        runs += sum(1 for level in self._levels[1:] if level)
+        return runs
+
+    def total_entries(self) -> int:
+        """Entries across all levels (tombstones included)."""
+        return sum(self.level_entry_count(lv) for lv in range(self.max_levels))
+
+    # -- file bookkeeping ------------------------------------------------------
+
+    def add_level0(self, table: SSTable) -> None:
+        """Install a freshly flushed file as the newest L0 run."""
+        self._levels[0].insert(0, table)
+
+    def add_to_level(self, level: int, table: SSTable) -> None:
+        """Install ``table`` into a sorted level, keeping first-key order.
+
+        Raises if the file would overlap an existing file at that level.
+        """
+        if level == 0:
+            raise StorageError("use add_level0 for level 0")
+        files = self._levels[level]
+        firsts = [t.first_key for t in files]
+        idx = bisect.bisect_left(firsts, table.first_key)
+        left_ok = idx == 0 or files[idx - 1].last_key < table.first_key
+        right_ok = idx == len(files) or table.last_key < files[idx].first_key
+        if not (left_ok and right_ok):
+            raise StorageError(
+                f"file [{table.first_key}..{table.last_key}] overlaps level {level}"
+            )
+        files.insert(idx, table)
+
+    def remove(self, level: int, sst_id: int) -> SSTable:
+        """Detach the file with ``sst_id`` from ``level`` and return it."""
+        files = self._levels[level]
+        for i, table in enumerate(files):
+            if table.sst_id == sst_id:
+                return files.pop(i)
+        raise StorageError(f"sst {sst_id} not found at level {level}")
+
+    # -- read-path lookups -----------------------------------------------------
+
+    def find_file(self, level: int, key: str) -> Optional[SSTable]:
+        """In a sorted level, the single file whose range may hold ``key``."""
+        if level == 0:
+            raise StorageError("level 0 files overlap; iterate them instead")
+        files = self._levels[level]
+        if not files:
+            return None
+        firsts = [t.first_key for t in files]
+        idx = bisect.bisect_right(firsts, key) - 1
+        if idx < 0:
+            return None
+        table = files[idx]
+        return table if table.key_in_range(key) else None
+
+    def overlapping_files(
+        self, level: int, start: str, end: Optional[str]
+    ) -> List[SSTable]:
+        """Files at ``level`` intersecting ``[start, end)`` in key order.
+
+        For L0 this preserves newest-first order instead.
+        """
+        return [t for t in self._levels[level] if t.overlaps(start, end)]
+
+    def all_files(self) -> List[SSTable]:
+        """All live files, shallow copy."""
+        out: List[SSTable] = []
+        for files in self._levels:
+            out.extend(files)
+        return out

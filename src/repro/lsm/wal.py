@@ -1,0 +1,48 @@
+"""Write-ahead log (simulated).
+
+The WAL exists so the engine's write path matches the paper's Figure 2:
+every mutation is appended to the log before touching the MemTable, and
+the log segment is truncated when its MemTable is flushed to an SSTable.
+Since the simulator has no crash-recovery story to exercise for the
+cache experiments, the log is an in-memory record — but it tracks the
+append count and logical byte volume so write-path costs can be modelled
+and tests can assert the protocol ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+LogRecord = Tuple[str, Optional[str]]  # (key, value-or-tombstone)
+
+
+class WriteAheadLog:
+    """In-memory stand-in for the on-disk write-ahead log."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self.appends_total = 0
+        self.truncations_total = 0
+
+    def append(self, key: str, value: Optional[str]) -> None:
+        """Durably record a mutation (tombstone when ``value`` is None)."""
+        self._records.append((key, value))
+        self.appends_total += 1
+
+    def truncate(self) -> int:
+        """Drop records covered by a completed flush; returns count dropped."""
+        dropped = len(self._records)
+        self._records.clear()
+        self.truncations_total += 1
+        return dropped
+
+    def records(self) -> List[LogRecord]:
+        """Pending records (newest last), e.g. for recovery replay."""
+        return list(self._records)
+
+    def replay(self) -> List[LogRecord]:
+        """Records in apply order for rebuilding a MemTable after a crash."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,18 @@
+"""Reinforcement-learning substrate (numpy, no framework).
+
+The paper's controller is a small actor-critic pair: fully connected
+networks with two hidden layers of 256 units trained with Adam.  At
+~140k parameters a framework is overkill, so :mod:`repro.rl.nn`
+implements the MLP with manual backprop, :mod:`repro.rl.optim` the
+Adam optimizer, and :mod:`repro.rl.actor_critic` the Gaussian-policy
+agent.  :mod:`repro.rl.reward` reproduces the I/O-estimate reward with
+exponential smoothing and the adaptive actor learning rate;
+:mod:`repro.rl.pretrain` the supervised/unsupervised pretraining phase.
+"""
+
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.nn import MLP
+from repro.rl.optim import Adam
+from repro.rl.reward import RewardCalculator
+
+__all__ = ["ActorCriticAgent", "MLP", "Adam", "RewardCalculator"]

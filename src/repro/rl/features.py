@@ -1,0 +1,56 @@
+"""State featurization: window statistics -> actor/critic input vector.
+
+The paper's controller observes "access type ratios, cache hit
+statistics, and scan lengths" plus occupancy, and — since the policy is
+stateful control — the currently applied action parameters.  All
+features are scaled into roughly [0, 1] so the 256-unit MLPs train
+stably without input normalisation layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Scan lengths are normalised against this (longest workload scans: 64).
+SCAN_LEN_SCALE = 128.0
+
+#: Number of features produced by :func:`state_vector`.
+STATE_DIM = 14
+
+
+def state_vector(
+    point_ratio: float,
+    scan_ratio: float,
+    write_ratio: float,
+    avg_scan_length: float,
+    range_hit_rate: float,
+    block_hit_rate: float,
+    h_smoothed: float,
+    range_occupancy: float,
+    block_occupancy: float,
+    compactions: int,
+    current_range_ratio: float,
+    current_point_threshold_norm: float,
+    current_a_norm: float,
+    current_b: float,
+) -> np.ndarray:
+    """Assemble the controller's observation for one window."""
+    return np.array(
+        [
+            min(1.0, max(0.0, point_ratio)),
+            min(1.0, max(0.0, scan_ratio)),
+            min(1.0, max(0.0, write_ratio)),
+            min(1.0, avg_scan_length / SCAN_LEN_SCALE),
+            min(1.0, max(0.0, range_hit_rate)),
+            min(1.0, max(0.0, block_hit_rate)),
+            min(1.0, max(-1.0, h_smoothed)),
+            min(1.0, max(0.0, range_occupancy)),
+            min(1.0, max(0.0, block_occupancy)),
+            compactions / (1.0 + compactions),
+            min(1.0, max(0.0, current_range_ratio)),
+            min(1.0, max(0.0, current_point_threshold_norm)),
+            min(1.0, max(0.0, current_a_norm)),
+            min(1.0, max(0.0, current_b)),
+        ],
+        dtype=np.float32,
+    )

@@ -1,0 +1,146 @@
+"""Minimal fully connected network with manual backprop (numpy).
+
+Supports the two-hidden-layer, 256-unit, float32 architecture the paper
+reports (Section 4.3) and exposes the parameter/byte counts needed to
+reproduce its Table 2 memory-overhead numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+Array = np.ndarray
+
+
+def relu(x: Array) -> Array:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: Array) -> Array:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class MLP:
+    """Feed-forward net: Linear -> ReLU (hidden layers) -> Linear.
+
+    The output layer is linear; squashing (sigmoid for the actor's
+    bounded actions) is applied by the caller so the same class serves
+    actor and critic.
+
+    Parameters
+    ----------
+    layer_sizes:
+        e.g. ``[state_dim, 256, 256, action_dim]``.
+    seed:
+        He-initialisation seed.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], seed: int = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigError("need at least input and output sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ConfigError("layer sizes must be positive")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.weights: List[Array] = []
+        self.biases: List[Array] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(
+                (rng.standard_normal((fan_in, fan_out)) * scale).astype(np.float32)
+            )
+            self.biases.append(np.zeros(fan_out, dtype=np.float32))
+        self._cache: Optional[List[Array]] = None
+
+    # -- inference ------------------------------------------------------------
+
+    def forward(self, x: Array, remember: bool = False) -> Array:
+        """Compute outputs for ``x`` of shape ``(d,)`` or ``(n, d)``.
+
+        With ``remember=True`` the per-layer activations are stored for
+        a subsequent :meth:`backward`.
+        """
+        single = x.ndim == 1
+        h = np.atleast_2d(np.asarray(x, dtype=np.float32))
+        activations = [h]
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i < last:
+                h = relu(h)
+            activations.append(h)
+        if remember:
+            self._cache = activations
+        return h[0] if single else h
+
+    # -- training ------------------------------------------------------------
+
+    def backward(self, grad_out: Array) -> List[Array]:
+        """Backprop ``dLoss/dOutput`` through the remembered forward pass.
+
+        Returns gradients interleaved ``[dW0, db0, dW1, db1, ...]``
+        matching :meth:`parameters`.
+        """
+        if self._cache is None:
+            raise ConfigError("backward() requires a forward(remember=True) first")
+        activations = self._cache
+        self._cache = None
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float32))
+        grads: List[Array] = [np.empty(0)] * (2 * len(self.weights))
+        for i in range(len(self.weights) - 1, -1, -1):
+            inputs = activations[i]
+            grads[2 * i] = inputs.T @ grad
+            grads[2 * i + 1] = grad.sum(axis=0)
+            if i > 0:
+                grad = grad @ self.weights[i].T
+                grad = grad * (activations[i] > 0)  # ReLU mask
+        return grads
+
+    # -- parameter plumbing ------------------------------------------------------------
+
+    def parameters(self) -> List[Array]:
+        """Live parameter arrays interleaved ``[W0, b0, W1, b1, ...]``."""
+        params: List[Array] = []
+        for w, b in zip(self.weights, self.biases):
+            params.append(w)
+            params.append(b)
+        return params
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of float32 weight storage (Table 2's 'model weights')."""
+        return sum(p.nbytes for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, Array]:
+        """Copy of all parameters, keyed for (de)serialisation."""
+        out: Dict[str, Array] = {}
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            out[f"w{i}"] = w.copy()
+            out[f"b{i}"] = b.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, Array]) -> None:
+        """Load parameters saved by :meth:`state_dict` (shape-checked)."""
+        for i in range(len(self.weights)):
+            w, b = state[f"w{i}"], state[f"b{i}"]
+            if w.shape != self.weights[i].shape or b.shape != self.biases[i].shape:
+                raise ConfigError("state dict shape mismatch")
+            # Copy in place: optimizers hold references to these arrays.
+            self.weights[i][...] = w.astype(np.float32)
+            self.biases[i][...] = b.astype(np.float32)

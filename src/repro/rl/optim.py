@@ -1,0 +1,76 @@
+"""Adam optimizer (Kingma & Ba) over lists of numpy arrays.
+
+Maintains first/second moment estimates per parameter — the "optimizer
+states" line of the paper's Table 2 memory accounting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+Array = np.ndarray
+
+
+class Adam:
+    """Adam with bias correction; updates parameters in place.
+
+    Parameters
+    ----------
+    params:
+        The live parameter arrays (shared with the model).
+    lr:
+        Learning rate; mutable via :attr:`lr` for the paper's adaptive
+        actor rate.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Array],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        self._params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[Array] = [np.zeros_like(p, dtype=np.float32) for p in params]
+        self._v: List[Array] = [np.zeros_like(p, dtype=np.float32) for p in params]
+        self._t = 0
+
+    def step(self, grads: Sequence[Array]) -> None:
+        """Apply one update given gradients aligned with the parameters."""
+        if len(grads) != len(self._params):
+            raise ConfigError(
+                f"expected {len(self._params)} gradients, got {len(grads)}"
+            )
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self._params, grads, self._m, self._v):
+            g = g.astype(np.float32).reshape(p.shape)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes held in moment estimates (2 tensors per parameter)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of optimizer steps applied so far."""
+        return self._t

@@ -1,0 +1,36 @@
+"""Workload generation: Zipfian keys, operation mixes, dynamic phases.
+
+* :mod:`repro.workloads.keys` — fixed-width key/value encoding matching
+  the paper's 24 B keys and 1000 B (logical) values.
+* :mod:`repro.workloads.zipfian` — YCSB-style Zipfian generator with
+  optional key scrambling.
+* :mod:`repro.workloads.generator` — operation streams from a
+  :class:`WorkloadSpec` mix (the paper's four static workloads are
+  provided as constructors).
+* :mod:`repro.workloads.dynamic` — the Table 3 phase sequence A-F.
+"""
+
+from repro.workloads.generator import (
+    Operation,
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_workload,
+    long_scan_workload,
+    point_lookup_workload,
+    short_scan_workload,
+)
+from repro.workloads.dynamic import DYNAMIC_PHASES, dynamic_phase_specs
+from repro.workloads.zipfian import ZipfianGenerator
+
+__all__ = [
+    "Operation",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+    "point_lookup_workload",
+    "short_scan_workload",
+    "balanced_workload",
+    "long_scan_workload",
+    "DYNAMIC_PHASES",
+    "dynamic_phase_specs",
+]

@@ -1,0 +1,35 @@
+"""Key/value encoding for workloads.
+
+Keys are fixed-width and zero-padded so lexicographic order equals
+numeric order — essential for range scans — and sized to the paper's
+24-byte keys.  Values carry a deterministic payload marker; their
+*logical* size (1000 B) is what the caches charge, so the simulator
+does not materialise kilobyte strings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: "key" + 21 digits = 24 characters, the paper's key size.
+KEY_PREFIX = "key"
+KEY_DIGITS = 21
+
+
+def key_of(index: int) -> str:
+    """The 24-byte key for logical id ``index``."""
+    if index < 0:
+        raise ConfigError("key index must be >= 0")
+    return f"{KEY_PREFIX}{index:0{KEY_DIGITS}d}"
+
+
+def index_of(key: str) -> int:
+    """Inverse of :func:`key_of`."""
+    if not key.startswith(KEY_PREFIX):
+        raise ConfigError(f"not a workload key: {key!r}")
+    return int(key[len(KEY_PREFIX) :])
+
+
+def value_of(index: int, version: int = 0) -> str:
+    """Deterministic payload for key ``index`` (version bumps on update)."""
+    return f"val-{index}-{version}"

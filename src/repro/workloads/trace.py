@@ -1,0 +1,123 @@
+"""Workload trace recording and replay.
+
+Section 3.1: "The workload logs can be collected for pretraining to
+enhance system scalability, learning stability and avoid further online
+learning costs."  This module is that logging path: record an operation
+stream to a newline-delimited text file, replay it later (for
+unsupervised pretraining against a shadow engine, or for reproducing a
+production access pattern in tests).
+
+Format: one operation per line —
+
+    g <key>              point lookup
+    s <key> <length>     range scan
+    p <key> <value>      put
+    d <key>              delete
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import ConfigError
+from repro.workloads.generator import Operation
+
+PathLike = Union[str, Path]
+
+_KIND_TO_CODE = {"get": "g", "scan": "s", "put": "p", "delete": "d"}
+_CODE_TO_KIND = {v: k for k, v in _KIND_TO_CODE.items()}
+
+
+def _encode(op: Operation) -> str:
+    code = _KIND_TO_CODE.get(op.kind)
+    if code is None:
+        raise ConfigError(f"unknown operation kind {op.kind!r}")
+    if op.kind == "scan":
+        return f"s {op.key} {op.length}"
+    if op.kind == "put":
+        value = op.value or ""
+        if "\n" in value:
+            raise ConfigError("trace values must not contain newlines")
+        return f"p {op.key} {value}"
+    return f"{code} {op.key}"
+
+
+def _decode(line: str, lineno: int) -> Operation:
+    parts = line.rstrip("\n").split(" ", 2)
+    code = parts[0]
+    kind = _CODE_TO_KIND.get(code)
+    if kind is None or len(parts) < 2:
+        raise ConfigError(f"bad trace line {lineno}: {line!r}")
+    key = parts[1]
+    if kind == "scan":
+        if len(parts) != 3:
+            raise ConfigError(f"bad scan line {lineno}: {line!r}")
+        return Operation("scan", key, length=int(parts[2]))
+    if kind == "put":
+        value = parts[2] if len(parts) == 3 else ""
+        return Operation("put", key, value=value)
+    return Operation(kind, key)
+
+
+def record_trace(ops: Iterable[Operation], path: PathLike) -> int:
+    """Write an operation stream to ``path``; returns operations written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for op in ops:
+            fh.write(_encode(op))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def replay_trace(path: PathLike) -> Iterator[Operation]:
+    """Lazily yield the operations recorded at ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.strip():
+                yield _decode(line, lineno)
+
+
+def load_trace(path: PathLike) -> List[Operation]:
+    """Eagerly load a recorded trace."""
+    return list(replay_trace(path))
+
+
+class TracingSink:
+    """Wrap an engine so every executed operation is also recorded.
+
+    Usage::
+
+        sink = TracingSink(engine)
+        sink.get(key); sink.scan(key, 16); sink.put(key, value)
+        sink.save("workload.trace")
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self.operations: List[Operation] = []
+
+    def get(self, key: str):
+        """Point lookup, recorded."""
+        self.operations.append(Operation("get", key))
+        return self._engine.get(key)
+
+    def scan(self, start: str, length: int):
+        """Range scan, recorded."""
+        self.operations.append(Operation("scan", start, length=length))
+        return self._engine.scan(start, length)
+
+    def put(self, key: str, value: str) -> None:
+        """Put, recorded."""
+        self.operations.append(Operation("put", key, value=value))
+        self._engine.put(key, value)
+
+    def delete(self, key: str) -> None:
+        """Delete, recorded."""
+        self.operations.append(Operation("delete", key))
+        self._engine.delete(key)
+
+    def save(self, path: PathLike) -> int:
+        """Persist everything recorded so far."""
+        return record_trace(self.operations, path)

@@ -1,0 +1,108 @@
+"""YCSB-style Zipfian key-id generator.
+
+Implements the Gray et al. rejection-free Zipfian sampler used by YCSB,
+with the zeta normalisation constant computed once per ``(n, theta)``.
+With ``scrambled=True`` ranks are permuted with a salted FNV hash so hot
+keys spread across the key space (YCSB's ScrambledZipfian); unscrambled,
+rank 0 is key 0 — useful when hot-range locality is itself under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_zeta_cache: Dict[Tuple[int, float], float] = {}
+
+
+def zeta(n: int, theta: float) -> float:
+    """Generalized harmonic number ``sum_{i=1..n} 1/i^theta`` (cached)."""
+    key = (n, theta)
+    cached = _zeta_cache.get(key)
+    if cached is None:
+        cached = float(np.sum(1.0 / np.power(np.arange(1, n + 1), theta)))
+        _zeta_cache[key] = cached
+    return cached
+
+
+class ZipfianGenerator:
+    """Samples ids in ``[0, n)`` with Zipf(theta) popularity.
+
+    Parameters
+    ----------
+    n:
+        Key-space size.
+    theta:
+        Skew >= 0; 0 is uniform, the paper's default is 0.9 and its
+        skewness experiment sweeps past 1.0.  Below 1.0 the YCSB
+        closed-form transform is used; at or above 1.0 (where that
+        transform's constants diverge) sampling falls back to an exact
+        inverse-CDF table.
+    seed:
+        RNG seed.
+    scrambled:
+        Permute ranks across the key space (YCSB ScrambledZipfian).
+    """
+
+    def __init__(
+        self, n: int, theta: float = 0.9, seed: int = 0, scrambled: bool = True
+    ) -> None:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        if theta < 0.0:
+            raise ConfigError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self.scrambled = scrambled
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._cdf: "np.ndarray | None" = None
+        if theta >= 1.0:
+            pmf = 1.0 / np.power(np.arange(1, n + 1, dtype=float), theta)
+            self._cdf = np.cumsum(pmf / pmf.sum())
+        elif theta > 0.0:
+            self._zeta_n = zeta(n, theta)
+            self._zeta_2 = zeta(2, theta)
+            self._alpha = 1.0 / (1.0 - theta)
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+                1.0 - self._zeta_2 / self._zeta_n
+            )
+
+    def _rank_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Vectorized YCSB Zipfian transform: uniform -> rank."""
+        uz = u * self._zeta_n
+        ranks = (self.n * np.power(self._eta * u - self._eta + 1.0, self._alpha)).astype(
+            np.int64
+        )
+        ranks = np.where(uz < 1.0, 0, ranks)
+        ranks = np.where((uz >= 1.0) & (uz < 1.0 + 0.5**self.theta), 1, ranks)
+        return np.clip(ranks, 0, self.n - 1)
+
+    def _scramble(self, ranks: np.ndarray) -> np.ndarray:
+        if not self.scrambled:
+            return ranks
+        # Vectorized splitmix64 finalizer, salted, folded into [0, n).
+        with np.errstate(over="ignore"):
+            salt = (self._seed * 0x9E3779B97F4A7C15 + 1) & 0xFFFFFFFFFFFFFFFF
+            x = ranks.astype(np.uint64) + np.uint64(salt)
+            x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            x = x ^ (x >> np.uint64(31))
+        return (x % np.uint64(self.n)).astype(np.int64)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` key ids."""
+        if self.theta == 0.0:
+            return self._rng.integers(0, self.n, size=size)
+        u = self._rng.random(size)
+        if self._cdf is not None:
+            ranks = np.searchsorted(self._cdf, u).astype(np.int64)
+            return self._scramble(np.clip(ranks, 0, self.n - 1))
+        return self._scramble(self._rank_from_uniform(u))
+
+    def next(self) -> int:
+        """Draw one key id."""
+        return int(self.sample(1)[0])

@@ -1,0 +1,75 @@
+"""Workload characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.characterize import WorkloadProfile, characterize, format_profile
+from repro.workloads.generator import (
+    Operation,
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_workload,
+)
+
+
+class TestProfile:
+    def test_counts_by_kind(self):
+        ops = [
+            Operation("get", "a"),
+            Operation("scan", "b", length=16),
+            Operation("put", "c", value="v"),
+            Operation("delete", "d"),
+        ]
+        profile = characterize(ops)
+        assert (profile.gets, profile.scans, profile.puts, profile.deletes) == (
+            1, 1, 1, 1,
+        )
+        assert profile.get_ratio == 0.25
+        assert profile.write_ratio == 0.5
+
+    def test_scan_length_histogram(self):
+        ops = [Operation("scan", "a", length=16)] * 3 + [
+            Operation("scan", "b", length=64)
+        ]
+        profile = characterize(ops)
+        assert profile.scan_lengths == {16: 3, 64: 1}
+        assert profile.avg_scan_length == pytest.approx((3 * 16 + 64) / 4)
+
+    def test_empty_stream(self):
+        profile = characterize([])
+        assert profile.ops == 0
+        assert profile.get_ratio == 0.0
+        assert profile.avg_scan_length == 0.0
+
+    def test_generated_mix_recovered(self):
+        spec = balanced_workload(2000)
+        profile = characterize(WorkloadGenerator(spec, seed=3).ops(3000))
+        assert profile.get_ratio == pytest.approx(1 / 3, abs=0.05)
+        assert profile.scan_ratio == pytest.approx(1 / 3, abs=0.05)
+        assert profile.write_ratio == pytest.approx(1 / 3, abs=0.05)
+        assert profile.avg_scan_length == pytest.approx(16.0)
+
+    def test_skew_estimation_orders_correctly(self):
+        def theta_of(skew):
+            spec = WorkloadSpec(num_keys=5000, get_ratio=1.0, point_skew=skew)
+            return characterize(
+                WorkloadGenerator(spec, seed=4).ops(8000)
+            ).estimated_zipf_theta
+
+        low, high = theta_of(0.5), theta_of(0.99)
+        assert high > low
+
+    def test_top1pct_mass_reflects_skew(self):
+        skewed = WorkloadSpec(num_keys=5000, get_ratio=1.0, point_skew=0.99)
+        uniform = WorkloadSpec(num_keys=5000, get_ratio=1.0, point_skew=0.0)
+        mass_s = characterize(WorkloadGenerator(skewed, seed=5).ops(5000)).top1pct_mass
+        mass_u = characterize(WorkloadGenerator(uniform, seed=5).ops(5000)).top1pct_mass
+        assert mass_s > 2 * mass_u
+
+    def test_format_profile(self):
+        profile = characterize(
+            [Operation("get", "a"), Operation("scan", "b", length=16)]
+        )
+        text = format_profile(profile)
+        assert "operations" in text and "scan lengths" in text

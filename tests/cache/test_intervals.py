@@ -1,0 +1,122 @@
+"""Interval set: merging, covering queries, eviction splits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.intervals import IntervalSet
+
+
+class TestAdd:
+    def test_disjoint_kept_separate(self):
+        s = IntervalSet()
+        s.add("a", "b")
+        s.add("x", "y")
+        assert s.intervals() == [("a", "b"), ("x", "y")]
+
+    def test_overlap_merges(self):
+        s = IntervalSet()
+        s.add("a", "m")
+        s.add("g", "z")
+        assert s.intervals() == [("a", "z")]
+
+    def test_touching_bounds_merge(self):
+        s = IntervalSet()
+        s.add("a", "g")
+        s.add("g", "m")
+        assert s.intervals() == [("a", "m")]
+
+    def test_contained_interval_absorbed(self):
+        s = IntervalSet()
+        s.add("a", "z")
+        s.add("c", "d")
+        assert s.intervals() == [("a", "z")]
+
+    def test_bridge_merges_three(self):
+        s = IntervalSet()
+        s.add("a", "c")
+        s.add("j", "m")
+        s.add("b", "k")
+        assert s.intervals() == [("a", "m")]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add("z", "a")
+
+
+class TestCovering:
+    def test_covering_hit_and_miss(self):
+        s = IntervalSet()
+        s.add("c", "g")
+        assert s.covering("e") == ("c", "g")
+        assert s.covering("c") == ("c", "g")
+        assert s.covering("g") == ("c", "g")
+        assert s.covering("b") is None
+        assert s.covering("h") is None
+
+    def test_index_covering(self):
+        s = IntervalSet()
+        s.add("a", "b")
+        s.add("x", "z")
+        assert s.index_covering("y") == 1
+        assert s.index_covering("m") is None
+
+
+class TestSplit:
+    def test_split_middle(self):
+        s = IntervalSet()
+        s.add("a", "z")
+        assert s.split_around("m", left_neighbor="l", right_neighbor="n")
+        assert s.intervals() == [("a", "l"), ("n", "z")]
+
+    def test_split_at_left_edge_drops_left_piece(self):
+        s = IntervalSet()
+        s.add("c", "g")
+        s.split_around("c", left_neighbor="a", right_neighbor="d")
+        assert s.intervals() == [("d", "g")]
+
+    def test_split_at_right_edge_drops_right_piece(self):
+        s = IntervalSet()
+        s.add("c", "g")
+        s.split_around("g", left_neighbor="f", right_neighbor="x")
+        assert s.intervals() == [("c", "f")]
+
+    def test_split_without_neighbors_removes_interval(self):
+        s = IntervalSet()
+        s.add("c", "g")
+        s.split_around("e", left_neighbor=None, right_neighbor=None)
+        assert s.intervals() == []
+
+    def test_split_outside_any_interval_is_noop(self):
+        s = IntervalSet()
+        s.add("c", "g")
+        assert not s.split_around("z", "y", None)
+        assert s.intervals() == [("c", "g")]
+
+    def test_clear(self):
+        s = IntervalSet()
+        s.add("a", "b")
+        s.clear()
+        assert len(s) == 0
+
+
+bounds = st.tuples(
+    st.text(alphabet="abcdef", min_size=1, max_size=2),
+    st.text(alphabet="abcdef", min_size=1, max_size=2),
+).map(lambda t: (min(t), max(t)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(bounds, max_size=20))
+def test_property_disjoint_sorted_after_adds(intervals):
+    s = IntervalSet()
+    for a, b in intervals:
+        s.add(a, b)
+    out = s.intervals()
+    assert out == sorted(out)
+    for (a1, b1), (a2, b2) in zip(out, out[1:]):
+        assert b1 < a2  # strictly disjoint, non-touching
+    for a, b in intervals:
+        assert s.covering(a) is not None and s.covering(b) is not None

@@ -1,0 +1,111 @@
+"""Key-pointer cache (AC-Key's middle tier) and its engine wiring."""
+
+from __future__ import annotations
+
+from repro.bench.harness import seed_database
+from repro.bench.strategies import build_engine
+from repro.cache.kp_cache import DEFAULT_POINTER_CHARGE, KPCache
+from repro.lsm.options import LSMOptions
+from repro.workloads.keys import key_of, value_of
+
+OPTS = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+def kp_setup(num_keys=500, budget_entries=64):
+    tree = seed_database(num_keys, OPTS)
+    kp = KPCache(budget_entries * DEFAULT_POINTER_CHARGE, is_live=tree.disk.has)
+    return tree, kp
+
+
+class TestKPCache:
+    def test_remember_then_lookup_skips_search(self):
+        tree, kp = kp_setup()
+        value, origin = tree.get_from_sstables_with_origin(key_of(5))
+        assert value == value_of(5) and origin is not None
+        kp.remember(key_of(5), origin)
+        hit, got = kp.lookup(key_of(5), tree.disk.read_block)
+        assert hit and got == value_of(5)
+
+    def test_lookup_costs_exactly_one_block_read(self):
+        tree, kp = kp_setup()
+        _, origin = tree.get_from_sstables_with_origin(key_of(5))
+        kp.remember(key_of(5), origin)
+        reads = tree.disk.block_reads_total
+        kp.lookup(key_of(5), tree.disk.read_block)
+        assert tree.disk.block_reads_total == reads + 1
+
+    def test_stale_pointer_dropped_after_compaction(self):
+        tree, kp = kp_setup()
+        _, origin = tree.get_from_sstables_with_origin(key_of(5))
+        kp.remember(key_of(5), origin)
+        # Churn until the pointed-to file is compacted away.
+        i = 0
+        while tree.disk.has(origin.sst_id) and i < 5000:
+            tree.put(key_of(i % 500), value_of(i % 500, 1))
+            i += 1
+        assert not tree.disk.has(origin.sst_id)
+        hit, _ = kp.lookup(key_of(5), tree.disk.read_block)
+        assert not hit
+        assert kp.stale_hits == 1
+        assert not kp.contains(key_of(5))
+
+    def test_write_and_delete_invalidate(self):
+        tree, kp = kp_setup()
+        _, origin = tree.get_from_sstables_with_origin(key_of(5))
+        kp.remember(key_of(5), origin)
+        kp.on_write(key_of(5))
+        assert not kp.contains(key_of(5))
+        kp.remember(key_of(6), origin)
+        kp.on_delete(key_of(6))
+        assert not kp.contains(key_of(6))
+
+    def test_budget_in_pointer_units(self):
+        tree, kp = kp_setup(budget_entries=4)
+        _, origin = tree.get_from_sstables_with_origin(key_of(0))
+        for i in range(10):
+            kp.remember(key_of(i), origin)
+        assert len(kp) <= 4
+        assert kp.used_bytes <= kp.budget_bytes
+
+
+class TestACKeyStrategy:
+    def test_builds_and_serves(self):
+        tree = seed_database(500, OPTS)
+        engine = build_engine("ackey", tree, cache_bytes=256 * 1024, seed=1)
+        assert engine.kp_cache is not None
+        assert engine.get(key_of(10)) == value_of(10)
+        assert engine.scan(key_of(20), 4)[0][0] == key_of(20)
+
+    def test_kp_path_serves_after_kv_eviction(self):
+        tree = seed_database(2000, OPTS)
+        engine = build_engine("ackey", tree, cache_bytes=128 * 1024, seed=1)
+        # Touch many keys: KV (32 entries) churns, KP (163 ptrs) holds more.
+        for i in range(0, 600, 5):
+            engine.get(key_of(i))
+        assert len(engine.kp_cache) > len(engine.kv_cache)
+
+    def test_stale_pointers_never_serve_wrong_data(self):
+        tree = seed_database(1000, OPTS)
+        engine = build_engine("ackey", tree, cache_bytes=128 * 1024, seed=1)
+        for i in range(0, 200, 2):
+            engine.get(key_of(i))
+        for i in range(1500):  # churn forces compactions
+            engine.put(key_of(i % 1000), value_of(i % 1000, 7))
+        for i in range(0, 200, 2):
+            assert engine.get(key_of(i)) == value_of(i, 7), i
+
+    def test_correct_under_mixed_ops(self):
+        from repro.bench.harness import apply_operation
+        from repro.workloads.generator import WorkloadGenerator, balanced_workload
+        from repro.workloads.keys import index_of
+
+        tree = seed_database(500, OPTS)
+        engine = build_engine("ackey", tree, cache_bytes=128 * 1024, seed=1)
+        model = {key_of(i): value_of(i) for i in range(500)}
+        gen = WorkloadGenerator(balanced_workload(500), seed=4)
+        for op in gen.ops(1500):
+            if op.kind == "put":
+                model[op.key] = op.value
+            apply_operation(engine, op)
+        for i in range(0, 500, 17):
+            assert engine.get(key_of(i)) == model[key_of(i)]

@@ -1,0 +1,146 @@
+"""Range-partitioned sharded Range Cache (concurrency architecture)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache.lecar import LeCaRPolicy
+from repro.cache.sharded_range import ShardedRangeCache, even_boundaries
+from repro.errors import CacheError
+
+
+def entries(lo, hi):
+    return [(f"k{i:04d}", f"v{i}") for i in range(lo, hi)]
+
+
+def cache_of(budget_entries=32, boundaries=("k0100", "k0200")):
+    return ShardedRangeCache(
+        budget_entries * 100, boundaries, entry_charge=100, seed=1
+    )
+
+
+class TestRouting:
+    def test_shard_index(self):
+        c = cache_of()
+        assert c.shard_index("k0000") == 0
+        assert c.shard_index("k0100") == 1  # boundary belongs to the right
+        assert c.shard_index("k0150") == 1
+        assert c.shard_index("k0999") == 2
+        assert c.num_shards == 3
+
+    def test_points_routed_to_owner(self):
+        c = cache_of()
+        c.insert_point("k0050", "a")
+        c.insert_point("k0150", "b")
+        assert c.get_point("k0050") == "a"
+        assert c.get_point("k0150") == "b"
+        assert len(c.shards()[0]) == 1
+        assert len(c.shards()[1]) == 1
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(CacheError):
+            ShardedRangeCache(1000, ["b", "a"])
+        with pytest.raises(CacheError):
+            ShardedRangeCache(1000, ["a", "a"])
+
+    def test_even_boundaries_helper(self):
+        bounds = even_boundaries(100, 4, key_of=lambda i: f"k{i:04d}")
+        assert bounds == ["k0025", "k0050", "k0075"]
+        with pytest.raises(CacheError):
+            even_boundaries(100, 0, key_of=lambda i: str(i))
+
+
+class TestRangePath:
+    def test_in_shard_scan_hits(self):
+        c = cache_of()
+        c.insert_range("k0010", entries(10, 20))
+        assert c.get_range("k0012", 5) == entries(12, 17)
+
+    def test_cross_boundary_scan_is_a_miss(self):
+        c = cache_of(boundaries=("k0015",))
+        # Admission truncates at the boundary...
+        admitted = c.insert_range("k0010", entries(10, 20))
+        assert admitted == 5  # k0010..k0014 only
+        # ...so a scan crossing it cannot be served.
+        assert c.get_range("k0010", 8) is None
+        # But the in-shard prefix is.
+        assert c.get_range("k0010", 4) == entries(10, 14)
+
+    def test_cross_shard_hit_rejected_and_counted(self):
+        c = cache_of(boundaries=("k0015",))
+        c.insert_range("k0010", entries(10, 15))  # fills shard 0 fully
+        c.insert_range("k0015", entries(15, 20))  # shard 1
+        # Shard 0's interval covers k0010..k0014; a 5-length scan fits.
+        assert c.get_range("k0010", 5) == entries(10, 15)
+
+    def test_budget_split_and_totals(self):
+        c = ShardedRangeCache(1000, ["m"], entry_charge=100)
+        assert c.budget_bytes == 1000
+        shards = c.shards()
+        assert shards[0].budget_bytes + shards[1].budget_bytes == 1000
+
+    def test_resize(self):
+        c = cache_of(budget_entries=30)
+        c.insert_range("k0010", entries(10, 30))
+        c.resize(5 * 100)
+        assert c.used_bytes <= c.budget_bytes
+
+
+class TestCoherence:
+    def test_on_write_and_delete_routed(self):
+        c = cache_of()
+        c.insert_range("k0010", entries(10, 13))
+        c.on_write("k0011", "fresh")
+        assert c.get_point("k0011") == "fresh"
+        c.on_delete("k0011")
+        assert c.get_range("k0010", 2) == [("k0010", "v10"), ("k0012", "v12")]
+
+    def test_policy_factory_applied_per_shard(self):
+        c = ShardedRangeCache(
+            1000,
+            ["m"],
+            entry_charge=100,
+            policy_factory=lambda: LeCaRPolicy(history_size=8, seed=1),
+        )
+        for shard in c.shards():
+            assert isinstance(shard._policy, LeCaRPolicy)
+
+    def test_stats_aggregate(self):
+        c = cache_of()
+        c.insert_point("k0000", "x")
+        c.get_point("k0000")
+        c.get_point("k0250")
+        stats = c.stats
+        assert stats.hits == 1 and stats.misses == 1
+
+
+class TestConcurrency:
+    def test_parallel_clients_on_disjoint_shards(self):
+        c = ShardedRangeCache(
+            64 * 100,
+            even_boundaries(400, 4, key_of=lambda i: f"k{i:04d}"),
+            entry_charge=100,
+            seed=1,
+        )
+        errors = []
+
+        def client(base):
+            try:
+                for round_ in range(200):
+                    key = f"k{base + round_ % 50:04d}"
+                    c.insert_point(key, "v")
+                    got = c.get_point(key)
+                    if got != "v":
+                        errors.append((base, key, got))
+            except Exception as exc:  # noqa: BLE001
+                errors.append((base, repr(exc)))
+
+        threads = [threading.Thread(target=client, args=(b,)) for b in (0, 100, 200, 300)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert c.used_bytes <= c.budget_bytes

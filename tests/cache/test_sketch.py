@@ -1,0 +1,84 @@
+"""Count-Min sketch: bounds, decay, conservative update."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sketch import CountMinSketch
+from repro.errors import CacheError
+
+
+class TestBasics:
+    def test_counts_single_key(self):
+        sk = CountMinSketch(width=256, depth=4, seed=1)
+        for _ in range(5):
+            sk.increment("a")
+        assert sk.estimate("a") == 5
+        assert sk.total == 5
+
+    def test_unseen_key_estimates_low(self):
+        sk = CountMinSketch(width=1024, depth=4, seed=1)
+        for i in range(50):
+            sk.increment(f"k{i}")
+        assert sk.estimate("never-seen") <= 2  # collisions only
+
+    def test_normalized(self):
+        sk = CountMinSketch(width=256, depth=4, seed=1)
+        assert sk.normalized("a") == 0.0
+        for _ in range(4):
+            sk.increment("a")
+        sk.increment("b")
+        assert abs(sk.normalized("a") - 4 / 5) < 1e-9
+
+    def test_reset(self):
+        sk = CountMinSketch(width=64, depth=2, seed=1)
+        sk.increment("a")
+        sk.reset()
+        assert sk.estimate("a") == 0 and sk.total == 0
+
+    def test_size_bytes(self):
+        sk = CountMinSketch(width=128, depth=4)
+        assert sk.size_bytes == 128 * 4 * 8  # int64 counters
+
+    def test_validation(self):
+        with pytest.raises(CacheError):
+            CountMinSketch(width=0)
+        with pytest.raises(CacheError):
+            CountMinSketch(saturation=1)
+
+
+class TestDecay:
+    def test_saturation_halves_everything(self):
+        sk = CountMinSketch(width=256, depth=4, saturation=8, seed=1)
+        sk.increment("bg")  # background key
+        for _ in range(8):
+            new_est = sk.increment("hot")
+        assert sk.decays_total == 1
+        assert new_est == 4  # reported post-decay
+        assert sk.estimate("hot") <= 4
+        assert sk.total <= 5
+
+    def test_decay_keeps_relative_order(self):
+        sk = CountMinSketch(width=512, depth=4, saturation=8, seed=2)
+        for _ in range(7):
+            sk.increment("hot")
+        for _ in range(2):
+            sk.increment("warm")
+        sk.increment("hot")  # decay fires
+        assert sk.estimate("hot") > sk.estimate("warm")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from([f"k{i}" for i in range(12)]), max_size=60))
+def test_property_never_underestimates(keys):
+    """With saturation high enough to never decay, estimate >= true count."""
+    sk = CountMinSketch(width=64, depth=4, saturation=1000, seed=3)
+    true = {}
+    for k in keys:
+        sk.increment(k)
+        true[k] = true.get(k, 0) + 1
+    for k, count in true.items():
+        assert sk.estimate(k) >= count
+    assert sk.total == len(keys)

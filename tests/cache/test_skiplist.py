@@ -1,0 +1,102 @@
+"""Skip list: ordering, neighbours, removal — unit + model-based."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.skiplist import SkipList
+
+
+class TestBasics:
+    def test_insert_get(self):
+        sl = SkipList(seed=1)
+        assert sl.insert("b", "2") is True
+        assert sl.get("b") == (True, "2")
+        assert sl.get("a") == (False, None)
+
+    def test_overwrite_returns_false(self):
+        sl = SkipList(seed=1)
+        sl.insert("a", "1")
+        assert sl.insert("a", "2") is False
+        assert sl.get("a") == (True, "2")
+        assert len(sl) == 1
+
+    def test_remove(self):
+        sl = SkipList(seed=1)
+        sl.insert("a", "1")
+        assert sl.remove("a") is True
+        assert sl.remove("a") is False
+        assert len(sl) == 0
+
+    def test_contains(self):
+        sl = SkipList(seed=1)
+        sl.insert("x", "1")
+        assert "x" in sl and "y" not in sl
+
+
+class TestOrderedQueries:
+    def _loaded(self):
+        sl = SkipList(seed=2)
+        for k in ["d", "a", "c", "e", "b"]:
+            sl.insert(k, k.upper())
+        return sl
+
+    def test_items_sorted(self):
+        assert [k for k, _ in self._loaded().items()] == list("abcde")
+
+    def test_items_from(self):
+        assert [k for k, _ in self._loaded().items_from("c")] == list("cde")
+
+    def test_items_from_between_keys(self):
+        sl = SkipList(seed=2)
+        sl.insert("a", "1")
+        sl.insert("c", "2")
+        assert [k for k, _ in sl.items_from("b")] == ["c"]
+
+    def test_predecessor_successor(self):
+        sl = self._loaded()
+        assert sl.predecessor("c") == "b"
+        assert sl.successor("c") == "d"
+        assert sl.predecessor("a") is None
+        assert sl.successor("e") is None
+
+    def test_predecessor_successor_for_absent_key(self):
+        sl = SkipList(seed=2)
+        sl.insert("a", "1")
+        sl.insert("c", "2")
+        assert sl.predecessor("b") == "a"
+        assert sl.successor("b") == "c"
+
+    def test_first_key(self):
+        assert self._loaded().first_key() == "a"
+        assert SkipList().first_key() is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove"]),
+            st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        ),
+        max_size=80,
+    )
+)
+def test_property_matches_sorted_dict(ops):
+    sl = SkipList(seed=5)
+    model = {}
+    for kind, key in ops:
+        if kind == "insert":
+            sl.insert(key, key + "!")
+            model[key] = key + "!"
+        else:
+            assert sl.remove(key) == (key in model)
+            model.pop(key, None)
+    assert list(sl.items()) == sorted(model.items())
+    assert len(sl) == len(model)
+    for key in model:
+        keys = sorted(model)
+        idx = keys.index(key)
+        assert sl.predecessor(key) == (keys[idx - 1] if idx else None)
+        assert sl.successor(key) == (keys[idx + 1] if idx + 1 < len(keys) else None)

@@ -1,0 +1,29 @@
+"""Shared fixtures: small LSM configurations that compact quickly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.keys import key_of, value_of
+
+
+@pytest.fixture
+def small_opts() -> LSMOptions:
+    """Options scaled so a few hundred writes exercise flush + compaction."""
+    return LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+@pytest.fixture
+def tree(small_opts: LSMOptions) -> LSMTree:
+    """An empty tree with the small options."""
+    return LSMTree(small_opts)
+
+
+@pytest.fixture
+def seeded_tree(small_opts: LSMOptions) -> LSMTree:
+    """A tree bulk-loaded with 2000 sequential keys."""
+    t = LSMTree(small_opts)
+    t.bulk_load((key_of(i), value_of(i)) for i in range(2000))
+    return t

@@ -1,0 +1,80 @@
+"""Partial admission applied to block-cache scan fills."""
+
+from __future__ import annotations
+
+from repro.bench.harness import seed_database
+from repro.cache.admission import PartialScanAdmission
+from repro.cache.block_cache import BlockCache
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.core.engine import KVEngine
+from repro.lsm.options import LSMOptions
+from repro.workloads.keys import key_of
+
+OPTS = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+def block_engine(block_scan_admission=None):
+    tree = seed_database(2000, OPTS)
+    cache = BlockCache(512 * OPTS.block_size, OPTS.block_size, tree.disk.read_block)
+    return KVEngine(
+        tree, block_cache=cache, block_scan_admission=block_scan_admission
+    )
+
+
+class TestBlockScanAdmission:
+    def test_uncapped_scan_fills_many_blocks(self):
+        engine = block_engine()
+        engine.scan(key_of(100), 64)
+        assert len(engine.block_cache) > 10
+
+    def test_capped_scan_fills_bounded_blocks(self):
+        # a=4 blocks fully admitted; b=0 admits nothing beyond.
+        psa = PartialScanAdmission(a=4, b=0.0)
+        engine = block_engine(block_scan_admission=psa)
+        engine.scan(key_of(100), 64)  # expected 16 blocks > a
+        assert len(engine.block_cache) == 0
+        assert engine.block_cache.stats.rejections > 0
+
+    def test_short_scan_fully_admitted(self):
+        psa = PartialScanAdmission(a=8, b=0.0)
+        engine = block_engine(block_scan_admission=psa)
+        engine.scan(key_of(100), 16)  # 4 expected blocks <= a
+        assert len(engine.block_cache) >= 4
+
+    def test_scan_results_still_correct(self):
+        psa = PartialScanAdmission(a=1, b=0.0)
+        engine = block_engine(block_scan_admission=psa)
+        capped = engine.scan(key_of(100), 32)
+        uncapped = block_engine().scan(key_of(100), 32)
+        assert capped == uncapped
+
+    def test_point_lookups_unaffected(self):
+        psa = PartialScanAdmission(a=1, b=0.0)
+        engine = block_engine(block_scan_admission=psa)
+        engine.get(key_of(50))
+        assert len(engine.block_cache) >= 1  # points fill normally
+
+    def test_hook_restored_after_scan(self):
+        psa = PartialScanAdmission(a=1, b=0.0)
+        engine = block_engine(block_scan_admission=psa)
+        engine.scan(key_of(100), 32)
+        assert engine.block_cache.admission_hook is None
+
+    def test_adcache_wiring(self):
+        tree = seed_database(2000, OPTS)
+        config = AdCacheConfig(
+            total_cache_bytes=512 * 1024,
+            window_size=200,
+            hidden_dim=16,
+            enable_block_scan_admission=True,
+            seed=1,
+        )
+        engine = AdCacheEngine(tree, config)
+        assert engine.block_scan_admission is not None
+        # Controller keeps it in block units.
+        for i in range(250):
+            engine.get(key_of(i % 2000))
+        a_blocks = engine.block_scan_admission.a
+        a_entries = engine.scan_admission.a
+        assert a_blocks * OPTS.entries_per_block == a_entries or a_blocks <= a_entries

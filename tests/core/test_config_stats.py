@@ -1,0 +1,124 @@
+"""AdCacheConfig validation and the window stats collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdCacheConfig
+from repro.core.stats import StatsCollector, WindowStats
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = AdCacheConfig()
+        # Paper-faithful structural defaults.
+        assert cfg.window_size == 1000
+        assert cfg.hidden_dim == 256
+        assert cfg.sketch_saturation == 8
+        # Simulator-scale learning defaults (see config docstring).
+        assert cfg.alpha == 0.3
+        assert cfg.actor_lr == cfg.critic_lr == 1e-2
+        assert cfg.reward_mode == "level"
+        assert cfg.gamma == 0.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("total_cache_bytes", -1),
+            ("initial_range_ratio", 1.5),
+            ("window_size", 0),
+            ("alpha", -0.1),
+            ("actor_lr", 0.0),
+            ("gamma", -0.1),
+            ("a_max", 0),
+            ("point_threshold_max", 0.0),
+            ("num_shards", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigError):
+            AdCacheConfig(**{field: value})
+
+
+class TestWindowStats:
+    def test_derived_ratios(self):
+        w = WindowStats(ops=10, points=5, scans=3, writes=2, scan_length_sum=48)
+        assert w.point_ratio == 0.5
+        assert w.scan_ratio == 0.3
+        assert w.write_ratio == 0.2
+        assert w.avg_scan_length == 16.0
+        assert w.reads == 8
+
+    def test_empty_window_safe(self):
+        w = WindowStats()
+        assert w.point_ratio == 0.0
+        assert w.avg_scan_length == 0.0
+        assert w.range_hit_rate == 0.0
+        assert w.block_hit_rate == 0.0
+
+    def test_hit_rates(self):
+        w = WindowStats(
+            ops=4, points=2, scans=2, range_point_hits=1, range_scan_hits=1,
+            block_hits=3, block_misses=1,
+        )
+        assert w.range_hit_rate == 0.5
+        assert w.block_hit_rate == 0.75
+
+
+class TestCollector:
+    def seal(self, collector, **kw):
+        defaults = dict(
+            io_miss=0, block_hits=0, block_misses=0, num_levels=1,
+            level0_runs=0, range_occupancy=0.0, block_occupancy=0.0,
+            range_ratio=0.5,
+        )
+        defaults.update(kw)
+        return collector.end_window(**defaults)
+
+    def test_per_op_accounting(self):
+        c = StatsCollector()
+        c.note_point(range_hit=True)
+        c.note_scan(16, range_hit=False)
+        c.note_write()
+        c.note_delete()
+        assert c.ops_in_window == 4
+        w = self.seal(c, io_miss=7)
+        assert (w.points, w.scans, w.writes, w.deletes) == (1, 1, 1, 1)
+        assert w.range_point_hits == 1 and w.range_scan_hits == 0
+        assert w.io_miss == 7
+
+    def test_window_resets(self):
+        c = StatsCollector()
+        c.note_point(range_hit=False)
+        self.seal(c)
+        assert c.ops_in_window == 0
+        w2 = self.seal(c)
+        assert w2.ops == 0 and w2.window_index == 1
+
+    def test_compactions_attributed_to_window(self):
+        c = StatsCollector()
+        c.note_compaction(blocks_invalidated=10)
+        c.note_compaction(blocks_invalidated=5)
+        w = self.seal(c)
+        assert w.compactions == 2 and w.blocks_invalidated == 15
+        w2 = self.seal(c)
+        assert w2.compactions == 0
+
+    def test_lifetime_accumulates(self):
+        c = StatsCollector()
+        c.note_point(range_hit=True)
+        self.seal(c, io_miss=3)
+        c.note_scan(16, range_hit=True)
+        self.seal(c, io_miss=2)
+        assert c.lifetime.points == 1
+        assert c.lifetime.scans == 1
+        assert c.lifetime.io_miss == 5
+
+    def test_totals_include_partial_window(self):
+        c = StatsCollector()
+        c.note_point(range_hit=False)
+        self.seal(c)
+        c.note_write()  # in-progress window
+        totals = c.totals()
+        assert totals.points == 1 and totals.writes == 1

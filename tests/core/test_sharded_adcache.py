@@ -1,0 +1,108 @@
+"""AdCache with the key-range-sharded range cache (Section 4.4)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.bench.harness import apply_operation, seed_database
+from repro.cache.sharded_range import ShardedRangeCache
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.lsm.options import LSMOptions
+from repro.workloads.generator import WorkloadGenerator, balanced_workload
+from repro.workloads.keys import key_of, value_of
+
+OPTS = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+NUM_KEYS = 1000
+
+
+def sharded_engine(**cfg_kw):
+    tree = seed_database(NUM_KEYS, OPTS)
+    boundaries = tuple(key_of(i) for i in (250, 500, 750))
+    config = AdCacheConfig(
+        total_cache_bytes=256 * 1024,
+        window_size=200,
+        hidden_dim=16,
+        range_shard_boundaries=boundaries,
+        num_shards=4,
+        seed=1,
+        **cfg_kw,
+    )
+    return AdCacheEngine(tree, config)
+
+
+class TestShardedAdCache:
+    def test_range_cache_is_sharded(self):
+        engine = sharded_engine()
+        assert isinstance(engine.range_cache, ShardedRangeCache)
+        assert engine.range_cache.num_shards == 4
+
+    def test_serves_correctly(self):
+        engine = sharded_engine()
+        for i in range(0, NUM_KEYS, 97):
+            assert engine.get(key_of(i)) == value_of(i)
+        assert engine.scan(key_of(300), 8)[0][0] == key_of(300)
+        # Repeat scans hit the owning shard.
+        reads = engine.tree.disk.block_reads_total
+        engine.scan(key_of(300), 8)
+        assert engine.tree.disk.block_reads_total == reads
+
+    def test_controller_resizes_all_shards(self):
+        engine = sharded_engine()
+        gen = WorkloadGenerator(balanced_workload(NUM_KEYS), seed=3)
+        for op in gen.ops(800):
+            apply_operation(engine, op)
+        total = engine.config.total_cache_bytes
+        assert (
+            engine.block_cache.budget_bytes + engine.range_cache.budget_bytes
+            == total
+        )
+        for shard in engine.range_cache.shards():
+            assert shard.used_bytes <= shard.budget_bytes
+
+    def test_concurrent_clients(self):
+        engine = sharded_engine()
+        errors = []
+
+        def client(base):
+            try:
+                for i in range(200):
+                    key = key_of((base + i * 7) % NUM_KEYS)
+                    value = engine.get(key)
+                    if value is None:
+                        errors.append((base, key))
+            except Exception as exc:  # noqa: BLE001
+                errors.append((base, repr(exc)))
+
+        threads = [threading.Thread(target=client, args=(b,)) for b in (0, 250, 500, 750)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestUnsupervisedPretraining:
+    def test_pretrain_unsupervised_runs_and_learns(self):
+        from repro.core.adcache import ACTION_DIM
+        from repro.rl.actor_critic import ActorCriticAgent
+        from repro.rl.features import STATE_DIM
+        from repro.rl.pretrain import pretrain_unsupervised
+        from repro.workloads.generator import short_scan_workload
+
+        agent = ActorCriticAgent(STATE_DIM, ACTION_DIM, hidden_dim=16, seed=2)
+
+        def factory(shared_agent):
+            tree = seed_database(NUM_KEYS, OPTS)
+            config = AdCacheConfig(
+                total_cache_bytes=128 * 1024, window_size=200, hidden_dim=16, seed=2
+            )
+            return AdCacheEngine(tree, config, agent=shared_agent)
+
+        workloads = [
+            WorkloadGenerator(short_scan_workload(NUM_KEYS), seed=4).ops(1000),
+            WorkloadGenerator(balanced_workload(NUM_KEYS), seed=5).ops(1000),
+        ]
+        out = pretrain_unsupervised(agent, factory, workloads, ops_per_workload=1000)
+        assert out is agent
+        assert agent.updates_total > 0

@@ -1,0 +1,128 @@
+"""AdCache's adaptive behaviour: the boundary follows the workload.
+
+These are the paper's qualitative claims (Sections 5.2-5.4): short-scan
+traffic pushes memory toward the block cache, admission control bounds
+the footprint of long scans, and the controller reacts to workload
+shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import apply_operation, seed_database
+from repro.bench.strategies import build_engine
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.lsm.options import LSMOptions
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    long_scan_workload,
+    short_scan_workload,
+)
+
+OPTS = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+NUM_KEYS = 4000
+
+
+def adcache_engine(seed=3, **cfg_kw):
+    tree = seed_database(NUM_KEYS, OPTS)
+    defaults = dict(
+        total_cache_bytes=512 * 1024,
+        window_size=250,
+        hidden_dim=32,
+        seed=seed,
+    )
+    defaults.update(cfg_kw)
+    return AdCacheEngine(tree, AdCacheConfig(**defaults))
+
+
+def drive(engine, spec, num_ops, seed=11):
+    gen = WorkloadGenerator(spec, seed=seed)
+    for op in gen.ops(num_ops):
+        apply_operation(engine, op)
+
+
+class TestBoundaryAdaptation:
+    def test_short_scans_shift_memory_toward_block_cache(self):
+        """Under pure short scans the learned range ratio should drop
+        below its 0.5 start (the paper: AdCache 'converts the entire
+        range cache into a block cache')."""
+        ratios = []
+        for seed in (4, 5, 6):
+            engine = adcache_engine(seed=seed)
+            drive(engine, short_scan_workload(NUM_KEYS), 20000, seed=seed + 50)
+            tail = [r.range_ratio for r in engine.controller.history[-8:]]
+            ratios.append(float(np.mean(tail)))
+        assert min(ratios) < 0.2  # at least one seed clearly converted
+        assert float(np.mean(ratios)) < 0.4
+
+    def test_point_update_mix_shifts_memory_toward_range_cache(self):
+        """Point lookups plus heavy updates: compaction invalidation
+        makes the (compaction-proof) range cache the better home, so
+        the boundary should move up from 0.5."""
+        from repro.workloads.generator import WorkloadSpec
+
+        spec = WorkloadSpec(num_keys=NUM_KEYS, get_ratio=0.5, write_ratio=0.5)
+        ratios = []
+        for seed in (3, 7, 8):
+            engine = adcache_engine(seed=seed)
+            drive(engine, spec, 20000, seed=seed + 50)
+            tail = [r.range_ratio for r in engine.controller.history[-8:]]
+            ratios.append(float(np.mean(tail)))
+        assert max(ratios) > 0.8
+        assert float(np.mean(ratios)) > 0.5
+
+    def test_controller_explores_after_shift(self):
+        """A workload shift should produce a negative reward and push
+        the adaptive learning rate upward at the shift boundary."""
+        engine = adcache_engine(seed=7)
+        drive(engine, short_scan_workload(NUM_KEYS), 4000, seed=1)
+        lr_before = engine.agent.actor_lr
+        drive(engine, long_scan_workload(NUM_KEYS), 1000, seed=2)
+        shift_records = engine.controller.history[-5:]
+        assert any(r.reward < 0 for r in shift_records) or (
+            engine.agent.actor_lr >= lr_before
+        )
+
+
+class TestAdmissionBehaviour:
+    def test_partial_admission_bounds_long_scan_footprint(self):
+        """With admission control, an infrequent long scan admits only
+        b*(l-a) entries instead of all 64."""
+        engine = adcache_engine(seed=3)
+        engine.scan_admission.set_params(a=16.0, b=0.25)
+        engine.controller.config.online_learning = False  # hold params
+        used_before = engine.range_cache.used_bytes
+        engine.scan("key" + "0" * 21, 64)
+        admitted = (engine.range_cache.used_bytes - used_before) // 1024
+        assert admitted <= 16  # 0.25 * (64 - 16) = 12, plus slack
+
+    def test_frequency_gate_reduces_one_off_pollution(self):
+        """With a high threshold, a stream of one-off point lookups
+        leaves almost nothing in the range cache."""
+        gated = adcache_engine(seed=3)
+        gated.freq_admission.set_threshold(0.8)
+        gated.controller.config.enable_admission = False  # freeze threshold
+        for i in range(500):
+            gated.get(f"key{i:021d}")
+        assert len(gated.range_cache) <= 2
+
+
+class TestRewardSignalEndToEnd:
+    def test_h_estimate_tracks_actual_hit_improvement(self):
+        """As caches warm on a skewed workload, the smoothed estimated
+        hit rate should rise over windows."""
+        engine = adcache_engine(seed=3)
+        spec = short_scan_workload(NUM_KEYS, skew=0.99)
+        drive(engine, spec, 6000, seed=9)
+        records = engine.controller.history
+        early = np.mean([r.h_estimate for r in records[:5]])
+        late = np.mean([r.h_estimate for r in records[-5:]])
+        assert late >= early - 0.05
+
+    def test_windows_have_bounded_h_estimate(self):
+        engine = adcache_engine(seed=3)
+        drive(engine, short_scan_workload(NUM_KEYS), 3000, seed=9)
+        for record in engine.controller.history:
+            assert record.h_estimate <= 1.0 + 1e-9

@@ -1,0 +1,111 @@
+"""Model-based property tests: every cache strategy vs a dict model.
+
+The ultimate correctness bar: under arbitrary interleavings of reads,
+scans, writes, and deletes — with caches filling, evicting, admitting
+partially, and surviving compactions — every strategy must return
+exactly what a plain dict would.  A cache that serves stale or phantom
+data fails here no matter how good its hit rate is.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import seed_database
+from repro.bench.strategies import build_engine
+from repro.lsm.options import LSMOptions
+from repro.workloads.keys import key_of, value_of
+
+OPTS = LSMOptions(memtable_entries=16, entries_per_sstable=32)
+NUM_KEYS = 60
+
+op_strategy = st.one_of(
+    st.tuples(st.just("get"), st.integers(0, NUM_KEYS - 1), st.just(0)),
+    st.tuples(
+        st.just("scan"),
+        st.integers(0, NUM_KEYS - 1),
+        st.integers(1, 12),
+    ),
+    st.tuples(st.just("put"), st.integers(0, NUM_KEYS - 1), st.integers(1, 5)),
+    st.tuples(st.just("delete"), st.integers(0, NUM_KEYS - 1), st.just(0)),
+)
+
+
+def check_strategy(strategy: str, ops, seed: int = 1) -> None:
+    tree = seed_database(NUM_KEYS, OPTS)
+    engine = build_engine(strategy, tree, cache_bytes=16 * 1024, seed=seed)
+    model = {key_of(i): value_of(i) for i in range(NUM_KEYS)}
+    for kind, idx, arg in ops:
+        key = key_of(idx)
+        if kind == "get":
+            assert engine.get(key) == model.get(key), (strategy, "get", idx)
+        elif kind == "scan":
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:arg]
+            assert engine.scan(key, arg) == expected, (strategy, "scan", idx, arg)
+        elif kind == "put":
+            value = value_of(idx, arg)
+            engine.put(key, value)
+            model[key] = value
+        else:
+            engine.delete(key)
+            model.pop(key, None)
+    # Final sweep: every key agrees.
+    for i in range(NUM_KEYS):
+        assert engine.get(key_of(i)) == model.get(key_of(i)), (strategy, i)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(op_strategy, max_size=80))
+def test_block_cache_engine_matches_model(ops):
+    check_strategy("block", ops)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(op_strategy, max_size=80))
+def test_range_cache_engine_matches_model(ops):
+    check_strategy("range", ops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(op_strategy, max_size=80))
+def test_lecar_engine_matches_model(ops):
+    check_strategy("range-lecar", ops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(op_strategy, max_size=80))
+def test_cacheus_engine_matches_model(ops):
+    check_strategy("range-cacheus", ops)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(op_strategy, max_size=60))
+def test_adcache_engine_matches_model(ops):
+    """The full stack with a live controller at a tiny window size, so
+    boundary moves and admission changes happen mid-sequence."""
+    tree = seed_database(NUM_KEYS, OPTS)
+    from repro.core.adcache import AdCacheEngine
+    from repro.core.config import AdCacheConfig
+
+    engine = AdCacheEngine(
+        tree,
+        AdCacheConfig(
+            total_cache_bytes=16 * 1024, window_size=10, hidden_dim=16, seed=2
+        ),
+    )
+    model = {key_of(i): value_of(i) for i in range(NUM_KEYS)}
+    for kind, idx, arg in ops:
+        key = key_of(idx)
+        if kind == "get":
+            assert engine.get(key) == model.get(key)
+        elif kind == "scan":
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:arg]
+            assert engine.scan(key, arg) == expected
+        elif kind == "put":
+            value = value_of(idx, arg)
+            engine.put(key, value)
+            model[key] = value
+        else:
+            engine.delete(key)
+            model.pop(key, None)

@@ -1,0 +1,118 @@
+"""Failure injection and edge conditions across the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import apply_operation, seed_database
+from repro.bench.strategies import build_engine
+from repro.cache.sketch import CountMinSketch
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.errors import StorageError
+from repro.lsm.block import BlockHandle
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.generator import WorkloadGenerator, balanced_workload
+from repro.workloads.keys import key_of, value_of
+
+OPTS = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+class TestZeroBudgets:
+    def test_zero_cache_engine_still_correct(self):
+        tree = seed_database(500, OPTS)
+        engine = build_engine("adcache", tree, cache_bytes=0, seed=1)
+        assert engine.get(key_of(5)) == value_of(5)
+        assert engine.scan(key_of(10), 4)[0][0] == key_of(10)
+
+    def test_boundary_pinned_to_extremes(self):
+        tree = seed_database(500, OPTS)
+        config = AdCacheConfig(
+            total_cache_bytes=256 * 1024,
+            initial_range_ratio=0.0,
+            window_size=100,
+            hidden_dim=16,
+            seed=1,
+        )
+        engine = AdCacheEngine(tree, config)
+        assert engine.range_cache.budget_bytes == 0
+        for i in range(150):
+            engine.get(key_of(i % 500))
+        assert engine.get(key_of(3)) == value_of(3)
+
+    def test_cache_smaller_than_one_entry(self):
+        tree = seed_database(200, OPTS)
+        engine = build_engine("range", tree, cache_bytes=100, seed=1)  # < 1 KB entry
+        engine.get(key_of(5))
+        engine.get(key_of(5))
+        assert len(engine.range_cache) == 0
+        assert engine.range_cache.stats.rejections > 0
+
+
+class TestSketchSaturation:
+    def test_decay_storm_stays_consistent(self):
+        sketch = CountMinSketch(width=64, depth=2, saturation=4, seed=1)
+        for i in range(2000):
+            sketch.increment(f"k{i % 10}")
+        assert sketch.decays_total > 10
+        assert sketch.total >= 0
+        assert all(sketch.estimate(f"k{i}") >= 0 for i in range(10))
+
+
+class TestStorageFaults:
+    def test_read_of_compacted_block_raises(self):
+        tree = LSMTree(OPTS)
+        for i in range(200):
+            tree.put(key_of(i), value_of(i))
+        tree.flush()
+        # Find an sst id that was compacted away.
+        dead = None
+        all_ids = set(range(1, tree.disk.allocate_sst_id()))
+        live = set(tree.disk.live_sst_ids())
+        dead_ids = all_ids - live
+        assert dead_ids
+        dead = next(iter(dead_ids))
+        with pytest.raises(StorageError):
+            tree.disk.read_block(BlockHandle(dead, 0))
+
+    def test_engine_never_reads_dead_blocks(self):
+        """Under heavy churn the engine must never request a block of a
+        deleted SSTable (the cache is keyed by id, not re-resolved)."""
+        tree = seed_database(1000, OPTS)
+        engine = build_engine("adcache", tree, cache_bytes=256 * 1024, seed=1)
+        gen = WorkloadGenerator(balanced_workload(1000), seed=2)
+        for op in gen.ops(4000):
+            apply_operation(engine, op)  # would raise StorageError on a dead read
+
+
+class TestExtremeWorkloads:
+    def test_scan_length_of_one(self):
+        tree = seed_database(300, OPTS)
+        engine = build_engine("adcache", tree, cache_bytes=128 * 1024, seed=1)
+        assert engine.scan(key_of(7), 1) == [(key_of(7), value_of(7))]
+        assert engine.scan(key_of(7), 1) == [(key_of(7), value_of(7))]
+
+    def test_scan_at_keyspace_end(self):
+        tree = seed_database(300, OPTS)
+        engine = build_engine("range", tree, cache_bytes=128 * 1024, seed=1)
+        result = engine.scan(key_of(298), 16)
+        assert [k for k, _ in result] == [key_of(298), key_of(299)]
+
+    def test_all_deletes_then_reads(self):
+        tree = seed_database(100, OPTS)
+        engine = build_engine("adcache", tree, cache_bytes=128 * 1024, seed=1)
+        for i in range(100):
+            engine.delete(key_of(i))
+        assert all(engine.get(key_of(i)) is None for i in range(0, 100, 9))
+        assert engine.scan(key_of(0), 10) == []
+
+    def test_repeated_resize_thrash_is_safe(self):
+        tree = seed_database(500, OPTS)
+        engine = build_engine("adcache", tree, cache_bytes=512 * 1024, seed=1)
+        for step in range(30):
+            budget = (step % 5) * 128 * 1024
+            engine.range_cache.resize(budget)
+            engine.block_cache.resize(512 * 1024 - budget)
+            assert engine.get(key_of(step % 500)) == value_of(step % 500)
+            assert engine.range_cache.used_bytes <= engine.range_cache.budget_bytes

@@ -1,0 +1,76 @@
+"""Bloom filter: no false negatives, bounded false positives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import (
+    BloomFilter,
+    fnv1a,
+    optimal_num_hashes,
+    theoretical_fpr,
+)
+
+
+class TestConstruction:
+    def test_build_sizes_for_keys(self):
+        bloom = BloomFilter.build([f"k{i}" for i in range(100)], bits_per_key=10)
+        assert bloom.size_bytes >= 100 * 10 // 8
+
+    def test_zero_bits_disables_filter(self):
+        bloom = BloomFilter(100, bits_per_key=0)
+        assert bloom.may_contain("anything")
+        assert bloom.size_bytes == 0
+
+    def test_num_hashes_optimal(self):
+        assert optimal_num_hashes(10) == 7
+        assert optimal_num_hashes(0) == 0
+        assert optimal_num_hashes(1) == 1
+
+    def test_theoretical_fpr_10_bits_is_small(self):
+        assert theoretical_fpr(10) < 0.01
+        assert theoretical_fpr(0) == 1.0
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        keys = [f"key{i:05d}" for i in range(500)]
+        bloom = BloomFilter.build(keys, bits_per_key=10)
+        assert all(k in bloom for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        keys = [f"key{i:05d}" for i in range(2000)]
+        bloom = BloomFilter.build(keys, bits_per_key=10, seed=3)
+        absent = [f"absent{i:05d}" for i in range(5000)]
+        fp = sum(1 for k in absent if k in bloom)
+        measured = fp / len(absent)
+        assert measured < 3 * max(theoretical_fpr(10), 1e-3)
+
+    def test_different_seeds_differ(self):
+        keys = [f"k{i}" for i in range(200)]
+        b1 = BloomFilter.build(keys, bits_per_key=8, seed=1)
+        b2 = BloomFilter.build(keys, bits_per_key=8, seed=2)
+        probes = [f"q{i}" for i in range(2000)]
+        r1 = [p in b1 for p in probes]
+        r2 = [p in b2 for p in probes]
+        assert r1 != r2  # collision patterns must not be shared
+
+
+class TestHash:
+    def test_fnv1a_deterministic(self):
+        assert fnv1a(b"abc", 1) == fnv1a(b"abc", 1)
+
+    def test_fnv1a_salt_changes_hash(self):
+        assert fnv1a(b"abc", 1) != fnv1a(b"abc", 2)
+
+    def test_fnv1a_fits_64_bits(self):
+        assert 0 <= fnv1a(b"x" * 100, 7) < (1 << 64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=30), min_size=1, max_size=50, unique=True))
+def test_property_inserted_keys_always_found(keys):
+    bloom = BloomFilter.build(keys, bits_per_key=10)
+    assert all(bloom.may_contain(k) for k in keys)

@@ -1,0 +1,92 @@
+"""Compaction: triggers, merging semantics, invalidation events."""
+
+from __future__ import annotations
+
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.keys import key_of, value_of
+
+
+def small_tree(**kw):
+    opts = LSMOptions(memtable_entries=16, entries_per_sstable=32, **kw)
+    return LSMTree(opts)
+
+
+class TestTriggers:
+    def test_l0_compaction_trigger(self):
+        tree = small_tree()
+        # Enough writes to exceed the L0 trigger several times over.
+        for i in range(400):
+            tree.put(key_of(i), value_of(i))
+        assert tree.compactor.compactions_total > 0
+        assert (
+            tree.levels.level0_file_count
+            < tree.options.level0_file_num_compaction_trigger
+        )
+
+    def test_deeper_levels_respect_capacity(self):
+        tree = small_tree()
+        for i in range(2000):
+            tree.put(key_of(i % 500), value_of(i % 500, i))
+        for level in range(1, tree.options.max_levels - 1):
+            count = tree.levels.level_entry_count(level)
+            # May transiently exceed by one file's worth; not more.
+            assert count <= tree.options.level_capacity_entries(level) + \
+                tree.options.entries_per_sstable
+
+
+class TestMergeSemantics:
+    def test_newest_version_survives(self):
+        tree = small_tree()
+        for round_ in range(5):
+            for i in range(100):
+                tree.put(key_of(i), value_of(i, round_))
+        for i in range(0, 100, 11):
+            assert tree.get(key_of(i)) == value_of(i, 4)
+
+    def test_tombstones_removed_at_bottom(self):
+        tree = small_tree()
+        for i in range(100):
+            tree.put(key_of(i), value_of(i))
+        for i in range(50):
+            tree.delete(key_of(i))
+        # Churn enough to force full compaction cascades.
+        for i in range(100, 400):
+            tree.put(key_of(i), value_of(i))
+        for i in range(0, 50, 7):
+            assert tree.get(key_of(i)) is None
+        for i in range(50, 100, 7):
+            assert tree.get(key_of(i)) == value_of(i)
+
+    def test_obsolete_files_deleted_from_disk(self):
+        tree = small_tree()
+        for i in range(500):
+            tree.put(key_of(i), value_of(i))
+        live = set(tree.disk.live_sst_ids())
+        referenced = {t.sst_id for t in tree.levels.all_files()}
+        assert live == referenced
+
+
+class TestEvents:
+    def test_listener_reports_invalidated_blocks(self):
+        tree = small_tree()
+        events = []
+        tree.add_compaction_listener(events.append)
+        for i in range(300):
+            tree.put(key_of(i), value_of(i))
+        assert events
+        for event in events:
+            assert event.entries_in > 0
+            assert event.blocks_invalidated > 0
+            assert event.input_sst_ids
+            # Compaction preserves entries unless tombstones are dropped.
+            assert event.entries_out <= event.entries_in
+
+    def test_compaction_changes_sst_ids(self):
+        tree = small_tree()
+        events = []
+        tree.add_compaction_listener(events.append)
+        for i in range(300):
+            tree.put(key_of(i), value_of(i))
+        for event in events:
+            assert not set(event.input_sst_ids) & set(event.output_sst_ids)

@@ -1,0 +1,39 @@
+"""Write-ahead log: append ordering, truncation, replay."""
+
+from __future__ import annotations
+
+from repro.lsm.wal import WriteAheadLog
+
+
+class TestWAL:
+    def test_append_and_len(self):
+        wal = WriteAheadLog()
+        wal.append("a", "1")
+        wal.append("b", None)
+        assert len(wal) == 2
+        assert wal.appends_total == 2
+
+    def test_records_preserve_order(self):
+        wal = WriteAheadLog()
+        wal.append("b", "1")
+        wal.append("a", "2")
+        assert wal.records() == [("b", "1"), ("a", "2")]
+
+    def test_truncate_clears_and_counts(self):
+        wal = WriteAheadLog()
+        wal.append("a", "1")
+        dropped = wal.truncate()
+        assert dropped == 1
+        assert len(wal) == 0
+        assert wal.truncations_total == 1
+
+    def test_replay_matches_records(self):
+        wal = WriteAheadLog()
+        wal.append("k", "v")
+        wal.append("k", None)
+        assert wal.replay() == wal.records()
+
+    def test_tombstones_survive_roundtrip(self):
+        wal = WriteAheadLog()
+        wal.append("gone", None)
+        assert wal.replay() == [("gone", None)]

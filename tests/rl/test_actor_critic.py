@@ -1,0 +1,125 @@
+"""Actor-critic agent: action bounds, learning signal, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.actor_critic import ActorCriticAgent
+
+STATE, ACTIONS = 6, 3
+
+
+def agent(seed=0, **kw):
+    return ActorCriticAgent(STATE, ACTIONS, hidden_dim=32, seed=seed, **kw)
+
+
+class TestActing:
+    def test_mean_in_unit_box(self):
+        a = agent()
+        mean = a.action_mean(np.random.default_rng(0).random(STATE))
+        assert mean.shape == (ACTIONS,)
+        assert np.all((mean >= 0) & (mean <= 1))
+
+    def test_deterministic_without_exploration(self):
+        a = agent()
+        s = np.ones(STATE) * 0.3
+        assert np.allclose(a.act(s, explore=False), a.act(s, explore=False))
+
+    def test_exploration_adds_noise(self):
+        a = agent()
+        s = np.ones(STATE) * 0.3
+        assert not np.allclose(a.act(s), a.act(s))
+
+    def test_clip_action(self):
+        clipped = ActorCriticAgent.clip_action(np.array([-0.5, 0.5, 1.5]))
+        assert list(clipped) == [0.0, 0.5, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ActorCriticAgent(0, 3)
+
+
+class TestLearning:
+    def test_update_returns_td_error(self):
+        a = agent()
+        s = np.ones(STATE, dtype=np.float32) * 0.5
+        act = a.act(s)
+        delta = a.update(s, act, reward=1.0, next_state=s)
+        assert isinstance(delta, float)
+        assert a.updates_total == 1
+
+    def test_critic_tracks_constant_reward(self):
+        a = agent(gamma=0.0, critic_lr=5e-3)
+        s = np.ones(STATE, dtype=np.float32) * 0.5
+        for _ in range(400):
+            a.update(s, a.act(s), reward=1.0, next_state=s)
+        assert abs(a.value(s) - 1.0) < 0.3
+
+    def test_policy_moves_toward_rewarded_action(self):
+        a = agent(seed=4)
+        s = np.ones(STATE, dtype=np.float32) * 0.5
+        before = a.action_mean(s)[0]
+        for _ in range(300):
+            act = a.act(s)
+            a.update(s, act, reward=float(act[0]), next_state=s)
+        assert a.action_mean(s)[0] > before
+
+    def test_done_ignores_next_state_value(self):
+        a = agent(gamma=0.9)
+        s = np.zeros(STATE, dtype=np.float32)
+        delta = a.update(s, a.act(s), reward=0.0, next_state=s, done=True)
+        # delta = r + 0 - V(s): no bootstrap term
+        assert abs(delta - (0.0 - a.value(s))) < 1.0
+
+    def test_log_std_stays_clamped(self):
+        a = agent()
+        s = np.ones(STATE, dtype=np.float32)
+        for _ in range(100):
+            a.update(s, a.act(s), reward=1.0, next_state=s)
+        assert np.all(a.log_std >= -4.0) and np.all(a.log_std <= 0.0)
+
+
+class TestLearningRate:
+    def test_set_actor_lr_clamped(self):
+        a = agent()
+        a.set_actor_lr(1e9)
+        assert a.actor_lr == 1e-1
+        a.set_actor_lr(0.0)
+        assert a.actor_lr == 1e-6
+
+
+class TestIntrospection:
+    def test_memory_overhead_structure(self):
+        a = ActorCriticAgent(14, 4, hidden_dim=256, seed=0)
+        overhead = a.memory_overhead_bytes()
+        # Paper Table 2: ~550 KB weights, ~2 MB total with training state.
+        assert 400_000 < overhead["model_weights"] < 700_000
+        assert overhead["total"] == (
+            overhead["model_weights"]
+            + overhead["gradients"]
+            + overhead["optimizer_states"]
+        )
+        assert 1_500_000 < overhead["total"] < 3_000_000
+
+    def test_parameter_count_near_paper(self):
+        a = ActorCriticAgent(14, 4, hidden_dim=256, seed=0)
+        assert 130_000 < a.num_parameters < 160_000  # paper: ~140k
+
+    def test_state_dict_roundtrip(self):
+        a = agent(seed=1)
+        b = agent(seed=2)
+        b.load_state_dict(a.state_dict())
+        s = np.ones(STATE, dtype=np.float32) * 0.4
+        assert np.allclose(a.action_mean(s), b.action_mean(s))
+        assert abs(a.value(s) - b.value(s)) < 1e-6
+
+    def test_save_load_npz(self, tmp_path):
+        a = agent(seed=1)
+        path = str(tmp_path / "agent.npz")
+        a.save(path)
+        b = agent(seed=9)
+        b.load(path)
+        s = np.ones(STATE, dtype=np.float32)
+        assert np.allclose(a.action_mean(s), b.action_mean(s))

@@ -1,0 +1,118 @@
+"""State featurization and the pretraining pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.actor_critic import ActorCriticAgent
+from repro.rl.features import SCAN_LEN_SCALE, STATE_DIM, state_vector
+from repro.rl.pretrain import (
+    generate_supervised_dataset,
+    heuristic_target,
+    pretrain_actor_supervised,
+)
+
+
+def default_state(**overrides):
+    kwargs = dict(
+        point_ratio=0.5,
+        scan_ratio=0.3,
+        write_ratio=0.2,
+        avg_scan_length=16.0,
+        range_hit_rate=0.4,
+        block_hit_rate=0.6,
+        h_smoothed=0.5,
+        range_occupancy=0.9,
+        block_occupancy=0.8,
+        compactions=2,
+        current_range_ratio=0.5,
+        current_point_threshold_norm=0.1,
+        current_a_norm=0.125,
+        current_b=0.5,
+    )
+    kwargs.update(overrides)
+    return state_vector(**kwargs)
+
+
+class TestStateVector:
+    def test_dimension(self):
+        assert default_state().shape == (STATE_DIM,)
+
+    def test_all_features_bounded(self):
+        s = default_state(avg_scan_length=10_000.0, compactions=1000)
+        assert np.all(s >= -1.0) and np.all(s <= 1.0)
+
+    def test_scan_length_normalised(self):
+        s = default_state(avg_scan_length=SCAN_LEN_SCALE / 2)
+        assert s[3] == pytest.approx(0.5)
+
+    def test_out_of_range_inputs_clipped(self):
+        s = default_state(point_ratio=5.0, h_smoothed=-9.0)
+        assert s[0] == 1.0 and s[6] == -1.0
+
+    def test_dtype_float32(self):
+        assert default_state().dtype == np.float32
+
+
+class TestHeuristicTarget:
+    def test_shape_and_bounds(self):
+        t = heuristic_target(0.3, 0.3, 0.4, 16.0)
+        assert t.shape == (4,)
+        assert np.all((t >= 0) & (t <= 1))
+
+    def test_write_heavy_favours_range_cache(self):
+        write_heavy = heuristic_target(0.1, 0.15, 0.75, 16.0)
+        scan_heavy = heuristic_target(0.05, 0.9, 0.05, 16.0)
+        assert write_heavy[0] > scan_heavy[0]
+
+    def test_short_scans_favour_block_cache(self):
+        t = heuristic_target(0.0, 1.0, 0.0, 16.0)
+        assert t[0] < 0.3
+
+    def test_point_heavy_sets_frequency_bar(self):
+        assert heuristic_target(0.9, 0.05, 0.05, 0.0)[1] > 0.0
+        assert heuristic_target(0.2, 0.4, 0.4, 16.0)[1] == 0.0
+
+
+class TestPretraining:
+    def test_dataset_shapes(self):
+        ds = generate_supervised_dataset(32, seed=1)
+        assert len(ds) == 32
+        state, target = ds[0]
+        assert state.shape == (STATE_DIM,) and target.shape == (4,)
+
+    def test_dataset_deterministic(self):
+        a = generate_supervised_dataset(8, seed=5)
+        b = generate_supervised_dataset(8, seed=5)
+        assert all(np.array_equal(s1, s2) for (s1, _), (s2, _) in zip(a, b))
+
+    def test_loss_decreases(self):
+        agent = ActorCriticAgent(STATE_DIM, 4, hidden_dim=32, seed=1)
+        ds = generate_supervised_dataset(96, seed=2)
+        losses = pretrain_actor_supervised(agent, ds, epochs=15, lr=2e-3, seed=3)
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_pretrained_agent_matches_expert_direction(self):
+        agent = ActorCriticAgent(STATE_DIM, 4, hidden_dim=64, seed=1)
+        ds = generate_supervised_dataset(512, seed=2)
+        pretrain_actor_supervised(agent, ds, epochs=40, lr=2e-3, seed=3)
+        write_heavy = default_state(
+            point_ratio=0.05, scan_ratio=0.15, write_ratio=0.8, avg_scan_length=16.0
+        )
+        scan_heavy = default_state(
+            point_ratio=0.05, scan_ratio=0.9, write_ratio=0.05, avg_scan_length=16.0
+        )
+        ratio_write = agent.action_mean(write_heavy)[0]
+        ratio_scan = agent.action_mean(scan_heavy)[0]
+        assert ratio_write > ratio_scan  # more range cache under writes
+
+    def test_empty_dataset_rejected(self):
+        agent = ActorCriticAgent(STATE_DIM, 4, hidden_dim=16, seed=1)
+        with pytest.raises(ConfigError):
+            pretrain_actor_supervised(agent, [], epochs=1)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ConfigError):
+            generate_supervised_dataset(0)

@@ -1,0 +1,41 @@
+"""Initial-policy pinning (small-final-layer logit init)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.actor_critic import ActorCriticAgent
+
+
+class TestSetInitialPolicy:
+    def test_mean_pinned_across_states(self):
+        agent = ActorCriticAgent(6, 3, hidden_dim=32, seed=1)
+        targets = np.array([0.5, 0.05, 0.8], dtype=np.float32)
+        agent.set_initial_policy(targets)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            state = rng.random(6).astype(np.float32)
+            assert np.allclose(agent.action_mean(state), targets, atol=0.02)
+
+    def test_extreme_targets_clipped(self):
+        agent = ActorCriticAgent(4, 2, hidden_dim=16, seed=1)
+        agent.set_initial_policy(np.array([0.0, 1.0]))
+        mean = agent.action_mean(np.zeros(4, dtype=np.float32))
+        assert mean[0] < 0.01 and mean[1] > 0.99
+
+    def test_shape_validated(self):
+        agent = ActorCriticAgent(4, 2, hidden_dim=16, seed=1)
+        with pytest.raises(ConfigError):
+            agent.set_initial_policy(np.array([0.5]))
+
+    def test_pinned_policy_remains_trainable(self):
+        agent = ActorCriticAgent(4, 2, hidden_dim=16, seed=1)
+        agent.set_initial_policy(np.array([0.5, 0.5]))
+        state = np.full(4, 0.5, dtype=np.float32)
+        before = agent.action_mean(state)[0]
+        for _ in range(300):
+            action = agent.act(state)
+            agent.update(state, action, reward=float(action[0]), next_state=state)
+        assert agent.action_mean(state)[0] > before

@@ -1,0 +1,111 @@
+"""MLP: shapes, numerical gradients, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.nn import MLP, relu, sigmoid
+
+
+class TestActivations:
+    def test_relu(self):
+        out = relu(np.array([-1.0, 0.0, 2.0]))
+        assert list(out) == [0.0, 0.0, 2.0]
+
+    def test_sigmoid_bounds_and_symmetry(self):
+        x = np.array([-30.0, 0.0, 30.0])
+        out = sigmoid(x)
+        assert 0.0 <= out[0] < 1e-9
+        assert abs(out[1] - 0.5) < 1e-9
+        assert 1.0 - 1e-9 < out[2] <= 1.0
+
+    def test_sigmoid_stable_for_large_negatives(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0]))).all()
+
+
+class TestForward:
+    def test_single_and_batch_shapes(self):
+        net = MLP([3, 5, 2], seed=0)
+        assert net.forward(np.zeros(3)).shape == (2,)
+        assert net.forward(np.zeros((7, 3))).shape == (7, 2)
+
+    def test_deterministic_for_seed(self):
+        a = MLP([3, 4, 2], seed=9).forward(np.ones(3))
+        b = MLP([3, 4, 2], seed=9).forward(np.ones(3))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MLP([3])
+        with pytest.raises(ConfigError):
+            MLP([3, 0, 2])
+
+
+class TestBackward:
+    def test_numerical_gradient_check(self):
+        rng = np.random.default_rng(1)
+        net = MLP([4, 6, 6, 3], seed=2)
+        x = rng.standard_normal(4).astype(np.float32)
+        g = rng.standard_normal(3).astype(np.float32)
+        net.forward(x, remember=True)
+        grads = net.backward(g)
+        params = net.parameters()
+        eps = 1e-3
+        checked = 0
+        for p_idx in range(len(params)):
+            flat = params[p_idx].reshape(-1)
+            for j in range(0, flat.size, max(1, flat.size // 5)):
+                orig = flat[j]
+                flat[j] = orig + eps
+                up = float(net.forward(x) @ g)
+                flat[j] = orig - eps
+                dn = float(net.forward(x) @ g)
+                flat[j] = orig
+                numeric = (up - dn) / (2 * eps)
+                analytic = grads[p_idx].reshape(-1)[j]
+                assert abs(numeric - analytic) < 5e-2, (p_idx, j)
+                checked += 1
+        assert checked > 20
+
+    def test_backward_without_forward_raises(self):
+        with pytest.raises(ConfigError):
+            MLP([2, 2], seed=0).backward(np.zeros(2))
+
+    def test_batch_gradients_sum_over_samples(self):
+        net = MLP([2, 3], seed=0)
+        x = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        net.forward(x, remember=True)
+        grads = net.backward(np.ones((2, 3), dtype=np.float32))
+        assert grads[1].shape == (3,)
+        assert np.allclose(grads[1], 2.0)  # bias grad sums both rows
+
+
+class TestIntrospection:
+    def test_parameter_count_matches_paper_scale(self):
+        # The paper's two-256-hidden architecture: ~70k per network.
+        net = MLP([14, 256, 256, 4], seed=0)
+        expected = 14 * 256 + 256 + 256 * 256 + 256 + 256 * 4 + 4
+        assert net.num_parameters == expected
+        assert net.size_bytes == expected * 4  # float32
+
+    def test_state_dict_roundtrip(self):
+        net = MLP([3, 4, 2], seed=1)
+        state = net.state_dict()
+        other = MLP([3, 4, 2], seed=99)
+        other.load_state_dict(state)
+        x = np.ones(3, dtype=np.float32)
+        assert np.allclose(net.forward(x), other.forward(x))
+
+    def test_load_preserves_array_identity(self):
+        """Optimizers hold references; loading must copy in place."""
+        net = MLP([3, 4, 2], seed=1)
+        refs = [id(p) for p in net.parameters()]
+        net.load_state_dict(MLP([3, 4, 2], seed=2).state_dict())
+        assert [id(p) for p in net.parameters()] == refs
+
+    def test_load_shape_mismatch_raises(self):
+        net = MLP([3, 4, 2], seed=1)
+        with pytest.raises(ConfigError):
+            net.load_state_dict(MLP([3, 5, 2], seed=1).state_dict())

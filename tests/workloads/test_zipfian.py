@@ -1,0 +1,80 @@
+"""Zipfian generator: skew behaviour, determinism, bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.zipfian import ZipfianGenerator, zeta
+
+
+class TestZeta:
+    def test_known_values(self):
+        assert zeta(1, 0.9) == pytest.approx(1.0)
+        assert zeta(3, 0.0) == pytest.approx(3.0)
+
+    def test_cached(self):
+        assert zeta(1000, 0.9) is not None
+        assert zeta(1000, 0.9) == zeta(1000, 0.9)
+
+
+class TestSampling:
+    def test_ids_in_range(self):
+        gen = ZipfianGenerator(1000, 0.9, seed=1)
+        ids = gen.sample(5000)
+        assert ids.min() >= 0 and ids.max() < 1000
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(1000, 0.9, seed=7).sample(100)
+        b = ZipfianGenerator(1000, 0.9, seed=7).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_skew_concentrates_mass(self):
+        n = 10_000
+        skewed = ZipfianGenerator(n, 0.99, seed=1, scrambled=False).sample(20_000)
+        uniform = ZipfianGenerator(n, 0.0, seed=1).sample(20_000)
+        top_skewed = np.mean(skewed < n // 100)  # hottest 1% of ranks
+        top_uniform = np.mean(uniform < n // 100)
+        assert top_skewed > 10 * top_uniform
+
+    def test_higher_theta_more_skew(self):
+        n = 10_000
+        def unique_frac(theta):
+            ids = ZipfianGenerator(n, theta, seed=1).sample(10_000)
+            return len(np.unique(ids)) / len(ids)
+        assert unique_frac(0.99) < unique_frac(0.6) < unique_frac(0.0)
+
+    def test_unscrambled_rank0_hottest(self):
+        gen = ZipfianGenerator(1000, 0.99, seed=2, scrambled=False)
+        ids = gen.sample(10_000)
+        counts = np.bincount(ids, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_scramble_spreads_hot_keys(self):
+        gen = ZipfianGenerator(1000, 0.99, seed=2, scrambled=True)
+        ids = gen.sample(10_000)
+        counts = np.bincount(ids, minlength=1000)
+        assert counts.argmax() != 0  # overwhelmingly unlikely to stay at 0
+
+    def test_next_single(self):
+        gen = ZipfianGenerator(100, 0.9, seed=3)
+        value = gen.next()
+        assert 0 <= value < 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(0, 0.9)
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(10, -0.1)
+
+    def test_theta_at_and_above_one_supported(self):
+        """The paper's skewness experiment sweeps theta to 1.2."""
+        gen = ZipfianGenerator(1000, 1.2, seed=1, scrambled=False)
+        ids = gen.sample(20_000)
+        assert ids.min() >= 0 and ids.max() < 1000
+        counts = np.bincount(ids, minlength=1000)
+        assert counts[0] == counts.max()
+        # theta=1.2 is more skewed than theta=0.9.
+        mild = ZipfianGenerator(1000, 0.9, seed=1, scrambled=False).sample(20_000)
+        assert np.mean(ids < 10) > np.mean(mild < 10)
