@@ -13,6 +13,9 @@ for LSM-tree Key-Value Stores* (EDBT 2026) as a pure-Python system:
   controller, and the cached KV engine.
 * :mod:`repro.workloads` / :mod:`repro.bench` — workload generators and
   the benchmark harness regenerating every figure and table.
+* :mod:`repro.faults` — deterministic fault injection (transient read
+  errors, block corruption, torn WAL tails, stats blackouts) and the
+  chaos harness that proves the stack absorbs them.
 
 Quickstart::
 
@@ -31,6 +34,7 @@ from repro.core.adcache import AdCacheEngine
 from repro.core.config import AdCacheConfig
 from repro.core.engine import KVEngine
 from repro.errors import ReproError
+from repro.faults import FaultConfig, FaultInjector, run_chaos
 from repro.lsm.options import LSMOptions
 from repro.lsm.tree import LSMTree
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -46,6 +50,9 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadSpec",
     "ReproError",
+    "FaultConfig",
+    "FaultInjector",
+    "run_chaos",
     "STRATEGIES",
     "build_engine",
     "run_workload",

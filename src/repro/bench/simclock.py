@@ -14,7 +14,10 @@ Charged events (per run delta):
 * skip-list insertions into the range cache (the phase-D overhead the
   paper calls out),
 * block-cache insertions, WAL+MemTable write work, compaction entry
-  moves, and write-slowdown penalties.
+  moves, and write-slowdown penalties,
+* fault-path work: failed read attempts, exponential retry backoff
+  (pre-accumulated by the tree in microseconds), and corruption
+  repairs.
 """
 
 from __future__ import annotations
@@ -40,6 +43,8 @@ class CostModel:
     compaction_entry_us: float = 0.4  # background merge work per entry
     write_slowdown_penalty_us: float = 50.0
     seek_per_run_us: float = 1.5  # iterator setup per sorted run
+    failed_read_us: float = 100.0  # a faulted read attempt still costs the device
+    corruption_repair_us: float = 500.0  # replica fetch + checksum rebuild
 
 
 @dataclass
@@ -59,6 +64,9 @@ class ClockReading:
     compacted_entries: int = 0
     write_slowdowns: int = 0
     runs_seeked: int = 0
+    failed_reads: int = 0
+    corruption_repairs: int = 0
+    retry_latency_us: float = 0.0
 
     @classmethod
     def capture(cls, engine: KVEngine) -> "ClockReading":
@@ -98,6 +106,9 @@ class ClockReading:
             compacted_entries=tree.compactor.entries_compacted_total,
             write_slowdowns=tree.write_slowdowns_total,
             runs_seeked=runs_seeked,
+            failed_reads=tree.disk.failed_reads_total,
+            corruption_repairs=tree.disk.corruption_repairs_total,
+            retry_latency_us=tree.retry_latency_us_total,
         )
 
 
@@ -120,4 +131,7 @@ def elapsed_us(
         + d("compacted_entries") * c.compaction_entry_us
         + d("write_slowdowns") * c.write_slowdown_penalty_us
         + d("runs_seeked") * c.seek_per_run_us
+        + d("failed_reads") * c.failed_read_us
+        + d("corruption_repairs") * c.corruption_repair_us
+        + d("retry_latency_us")
     )

@@ -141,6 +141,12 @@ class BlockCache:
             with self._locks[i]:
                 shard.resize(remainder if i == 0 else per_shard)
 
+    def clear(self) -> None:
+        """Invalidate every cached block (e.g. after a crash/restart)."""
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                shard.clear()
+
     def purge_sst(self, sst_id: int) -> int:
         """Actively drop all cached blocks of one SSTable (optional mode).
 

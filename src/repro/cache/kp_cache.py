@@ -101,6 +101,10 @@ class KPCache:
         """Residency probe without stats side effects."""
         return key in self._cache
 
+    def clear(self) -> None:
+        """Invalidate every pointer (e.g. after a crash/restart)."""
+        self._cache.clear()
+
     def resize(self, budget_bytes: int) -> int:
         """Change capacity; returns evictions made."""
         return self._cache.resize(budget_bytes)

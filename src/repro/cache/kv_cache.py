@@ -60,6 +60,10 @@ class KVCache:
         """Residency probe without stats side effects."""
         return key in self._cache
 
+    def clear(self) -> None:
+        """Invalidate everything (e.g. after a crash/restart)."""
+        self._cache.clear()
+
     def resize(self, budget_bytes: int) -> int:
         """Change capacity; returns evictions made."""
         return self._cache.resize(budget_bytes)

@@ -146,6 +146,11 @@ class ShardedRangeCache:
         """Delete-coherence hook."""
         self._shard(key).on_delete(key)
 
+    def clear(self) -> None:
+        """Drop every shard's entries and intervals."""
+        for shard in self._shards:
+            shard.clear()
+
     # -- capacity ----------------------------------------------------------------
 
     @property

@@ -14,6 +14,11 @@ Compare every scheme on a workload::
 Replay the dynamic phase sequence::
 
     python -m repro phases --phases ABCDEF --ops-per-phase 5000
+
+Chaos-test resilience under injected storage faults::
+
+    python -m repro chaos --ops 20000 --transient-rate 0.01 \
+        --corruption-rate 0.001 --crash-every 5000 --blackout-window 20
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import List, Optional
 from repro.bench.harness import run_phases, run_workload, seed_database
 from repro.bench.report import format_table
 from repro.bench.strategies import DISPLAY_NAMES, STRATEGIES, build_engine
+from repro.faults.chaos import report_rows, run_chaos
 from repro.lsm.options import LSMOptions
 from repro.workloads.dynamic import dynamic_phase_specs
 from repro.workloads.generator import (
@@ -114,6 +120,40 @@ def cmd_phases(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos harness: injected faults must not change results."""
+    report = run_chaos(
+        ops=args.ops,
+        num_keys=args.num_keys,
+        cache_kb=args.cache_kb,
+        strategy=args.strategy,
+        spec=_spec(args),
+        options=_options(args),
+        transient_read_rate=args.transient_rate,
+        corruption_rate=args.corruption_rate,
+        torn_wal_rate=args.torn_rate,
+        crash_every=args.crash_every,
+        blackout_window=args.blackout_window,
+        window_size=args.window_size,
+        seed=args.seed,
+    )
+    print(format_table(
+        ["metric", "value"],
+        [[metric, value] for metric, value in report_rows(report)],
+    ))
+    if report.wrong_reads:
+        if not args.torn_rate:
+            print(f"FAIL: {report.wrong_reads} queries diverged from the clean run")
+            return 1
+        print(
+            f"OK: {report.wrong_reads} queries diverged, attributable to "
+            f"torn-WAL data loss (sanctioned at --torn-rate > 0)"
+        )
+        return 0
+    print("OK: fault-injected run matched the fault-free run")
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-keys", type=int, default=10_000, help="database size in keys")
     parser.add_argument("--cache-kb", type=int, default=1024, help="total cache budget (KiB)")
@@ -152,6 +192,39 @@ def build_parser() -> argparse.ArgumentParser:
     phases.add_argument("--phases", default="ABCDEF")
     phases.add_argument("--ops-per-phase", type=int, default=5_000)
     phases.set_defaults(func=cmd_phases)
+
+    chaos = sub.add_parser(
+        "chaos", help="verify resilience under injected storage faults"
+    )
+    _add_common(chaos)
+    chaos.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
+    chaos.add_argument("--workload", choices=sorted(WORKLOADS), default="balanced")
+    chaos.add_argument("--ops", type=int, default=20_000)
+    chaos.add_argument(
+        "--transient-rate", type=float, default=0.01,
+        help="probability a disk read attempt fails transiently",
+    )
+    chaos.add_argument(
+        "--corruption-rate", type=float, default=0.001,
+        help="probability a disk read permanently corrupts its block",
+    )
+    chaos.add_argument(
+        "--torn-rate", type=float, default=0.0,
+        help="probability a WAL append lands torn (lost at next crash)",
+    )
+    chaos.add_argument(
+        "--crash-every", type=int, default=0,
+        help="crash and recover the faulted engine every N ops (0 = never)",
+    )
+    chaos.add_argument(
+        "--blackout-window", type=int, default=None,
+        help="poison controller stats for a few windows starting here",
+    )
+    chaos.add_argument(
+        "--window-size", type=int, default=None,
+        help="override the controller window (ops) for both engines",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

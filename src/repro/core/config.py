@@ -81,6 +81,16 @@ class AdCacheConfig:
         scans too (the paper's "can also be applied to the block cache"
         note), with the learned (a, b) scaled to block counts.
         Single-client only.
+    enable_degraded_guard:
+        Validate every window's statistics before they reach the RL
+        update.  On degenerate stats (non-finite values, negative
+        counters — a stats blackout) the controller pins the applied
+        parameters to the safe static defaults (the paper's static
+        split, admission wide open) and skips training until the window
+        stream recovers.
+    degraded_recovery_windows:
+        Consecutive healthy windows required before a degraded
+        controller resumes RL control.
     sketch_width / sketch_depth / sketch_saturation:
         Count-Min sketch geometry for frequency admission (saturation 8
         per the paper's decay example).
@@ -118,6 +128,8 @@ class AdCacheConfig:
     reward_mode: str = "level"
     actor_warmup_windows: int = 10
     enable_block_scan_admission: bool = False
+    enable_degraded_guard: bool = True
+    degraded_recovery_windows: int = 2
     sketch_width: int = 4096
     sketch_depth: int = 4
     sketch_saturation: int = 8
@@ -145,3 +157,5 @@ class AdCacheConfig:
             raise ConfigError("point_threshold_max must be in (0, 1]")
         if self.num_shards <= 0:
             raise ConfigError("num_shards must be positive")
+        if self.degraded_recovery_windows <= 0:
+            raise ConfigError("degraded_recovery_windows must be positive")

@@ -17,6 +17,7 @@ Every step is recorded in :attr:`history` so the paper's Figure 10
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ class ControlRecord:
     point_threshold: float
     scan_a: float
     scan_b: float
+    degraded: bool = False
 
 
 class PolicyDecisionController:
@@ -105,6 +107,12 @@ class PolicyDecisionController:
         self._point_threshold = 0.0
         self._a = config.initial_a
         self._b = config.initial_b
+        # Degraded-mode guard state (see on_window).
+        self._degraded = False
+        self._healthy_streak = 0
+        self.degraded_windows_total = 0
+        self.degraded_activations_total = 0
+        self.degraded_recoveries_total = 0
 
     # -- current applied parameters ------------------------------------------------
 
@@ -123,10 +131,26 @@ class PolicyDecisionController:
         """Currently applied partial-admission ``(a, b)``."""
         return self._a, self._b
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the controller is currently pinned to safe defaults."""
+        return self._degraded
+
     # -- window entry point ------------------------------------------------
 
     def on_window(self, window: WindowStats) -> ControlRecord:
-        """Process one sealed window (the engine's ``on_window`` hook)."""
+        """Process one sealed window (the engine's ``on_window`` hook).
+
+        Degenerate windows (non-finite or impossible statistics — a
+        stats blackout) never reach the RL machinery: the controller
+        enters degraded mode, pins the applied parameters to the safe
+        static defaults, and only resumes learning after
+        ``config.degraded_recovery_windows`` consecutive healthy
+        windows.
+        """
+        guard = self.config.enable_degraded_guard
+        if guard and not window.is_healthy():
+            return self._degrade(window)
         reward_out = self.reward_calc.compute(
             points=window.points,
             scans=window.scans,
@@ -136,6 +160,22 @@ class PolicyDecisionController:
             level0_max_runs=self.level0_max_runs,
         )
         state = self._featurize(window, reward_out.h_smoothed)
+        if guard and not (
+            math.isfinite(reward_out.reward)
+            and math.isfinite(reward_out.trend)
+            and bool(np.all(np.isfinite(state)))
+        ):
+            # The smoothing state may have absorbed the bad value; clear
+            # it so recovery starts from fresh statistics.
+            self.reward_calc.reset()
+            return self._degrade(window)
+        if self._degraded:
+            self._healthy_streak += 1
+            if self._healthy_streak < self.config.degraded_recovery_windows:
+                self.degraded_windows_total += 1
+                return self._record_pinned(window, reward_out)
+            self._degraded = False
+            self.degraded_recoveries_total += 1
 
         if (
             self.config.online_learning
@@ -151,9 +191,12 @@ class PolicyDecisionController:
             for _ in range(max(0, self.config.updates_per_window - 1)):
                 s, a, r, s2 = self._replay_rng.choice(self._replay)
                 self.agent.update(s, a, r, s2, update_actor=train_actor)
-            self.agent.set_actor_lr(
-                adapt_learning_rate(self.agent.actor_lr, reward_out.trend)
-            )
+            # A non-finite trend must not poison the multiplicative lr
+            # update (lr * (1 - trend) would go NaN and stick).
+            if math.isfinite(reward_out.trend):
+                self.agent.set_actor_lr(
+                    adapt_learning_rate(self.agent.actor_lr, reward_out.trend)
+                )
 
         action = self.agent.act(state, explore=self.config.online_learning)
         applied = self._apply(self.agent.clip_action(action))
@@ -178,6 +221,74 @@ class PolicyDecisionController:
         )
         self.history.append(record)
         return record
+
+    # -- degraded mode ------------------------------------------------
+
+    def _degrade(self, window: WindowStats) -> ControlRecord:
+        """Handle one degenerate window: pin safe defaults, skip RL."""
+        if not self._degraded:
+            self._degraded = True
+            self.degraded_activations_total += 1
+        self._healthy_streak = 0
+        self.degraded_windows_total += 1
+        # Any pending transition may span the blackout; never train on it.
+        self._prev_state = None
+        self._prev_action = None
+        return self._record_pinned(window, None)
+
+    def _record_pinned(
+        self, window: WindowStats, reward_out
+    ) -> ControlRecord:
+        """Apply the safe static defaults and log a degraded record."""
+        self._apply_safe_defaults()
+        record = ControlRecord(
+            window_index=window.window_index,
+            reward=reward_out.reward if reward_out is not None else 0.0,
+            trend=reward_out.trend if reward_out is not None else 0.0,
+            h_estimate=reward_out.h_estimate if reward_out is not None else 0.0,
+            h_smoothed=reward_out.h_smoothed if reward_out is not None else 0.0,
+            actor_lr=self.agent.actor_lr,
+            range_ratio=self._range_ratio,
+            point_threshold=self._point_threshold,
+            scan_a=self._a,
+            scan_b=self._b,
+            degraded=True,
+        )
+        self.history.append(record)
+        return record
+
+    def _apply_safe_defaults(self) -> None:
+        """Walk the applied parameters to the paper's static defaults.
+
+        The boundary moves at most ``max_ratio_step`` per window (same
+        rate limit as RL actions, so degrading cannot flush a cache);
+        admission opens fully so no result is rejected while blind.
+        """
+        if self.config.enable_partitioning:
+            step = self.config.max_ratio_step
+            target = self.config.initial_range_ratio
+            ratio = min(
+                self._range_ratio + step, max(self._range_ratio - step, target)
+            )
+            self._range_ratio = ratio
+            total = self.config.total_cache_bytes
+            range_budget = int(total * ratio)
+            if self.range_cache is not None:
+                self.range_cache.resize(range_budget)
+            if self.block_cache is not None:
+                self.block_cache.resize(total - range_budget)
+        if self.config.enable_admission:
+            self._point_threshold = 0.0
+            self._a = self.config.initial_a
+            self._b = self.config.initial_b
+            if self.freq_admission is not None:
+                self.freq_admission.set_threshold(self._point_threshold)
+            if self.scan_admission is not None:
+                self.scan_admission.set_params(self._a, self._b)
+            if self.block_scan_admission is not None:
+                self.block_scan_admission.set_params(
+                    self._a / self.entries_per_block, self._b
+                )
 
     # -- internals ------------------------------------------------
 

@@ -92,6 +92,7 @@ class KVEngine:
         self._block_stats_snapshot = (
             block_cache.stats if block_cache is not None else None
         )
+        self.crashes_total = 0
 
     # -- reads ---------------------------------------------------------------
 
@@ -127,10 +128,13 @@ class KVEngine:
         return value
 
     def _block_fetch(self):
-        """The same block source the tree reads through."""
-        if self.block_cache is not None:
-            return self.block_cache.fetch_through
-        return self.tree.disk.read_block
+        """The same block source the tree reads through.
+
+        Routed through :meth:`LSMTree.fetch_block` so engine-initiated
+        reads (the KP-cache path) get the same transient-retry and
+        corruption-repair treatment as the tree's own lookups.
+        """
+        return self.tree.fetch_block
 
     def scan(self, start: str, length: int) -> List[Entry]:
         """Range scan via the query handling path."""
@@ -227,6 +231,33 @@ class KVEngine:
             self.kp_cache.on_delete(key)
         self.collector.note_delete()
         self._maybe_end_window()
+
+    # -- crash recovery ---------------------------------------------------------------
+
+    def crash_and_recover(self) -> int:
+        """Simulate a process crash and bring the engine back up.
+
+        The tree loses its MemTable and rebuilds it from the WAL
+        (torn-tail records are discarded); every cache is volatile, so
+        all of them are dropped — recovered reads repopulate them from
+        durable state, which keeps cache contents trivially consistent
+        with what survived the crash.  Returns the number of WAL records
+        replayed.
+        """
+        with self._write_lock:
+            replayed = self.tree.simulate_crash_and_recover()
+            for cache in (
+                self.block_cache,
+                self.range_cache,
+                self.kv_cache,
+                self.kp_cache,
+            ):
+                if cache is not None:
+                    cache.clear()
+            if self.block_cache is not None:
+                self._block_stats_snapshot = self.block_cache.stats
+            self.crashes_total += 1
+        return replayed
 
     # -- window machinery ---------------------------------------------------------------
 

@@ -8,6 +8,7 @@ the compaction listener to produce one :class:`WindowStats`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -76,6 +77,38 @@ class WindowStats:
         """Block-cache hit fraction among block accesses."""
         total = self.block_hits + self.block_misses
         return self.block_hits / total if total else 0.0
+
+    def is_healthy(self) -> bool:
+        """Whether the window is safe to feed into the RL controller.
+
+        A stats blackout (collector outage, counter wrap, poisoned
+        feed) shows up as non-finite or impossible values; the
+        controller's degraded-mode guard checks this before computing a
+        reward, so degenerate stats can never reach the actor-critic.
+        """
+        fields = (
+            self.ops,
+            self.points,
+            self.scans,
+            self.writes,
+            self.deletes,
+            self.scan_length_sum,
+            self.io_miss,
+            self.block_hits,
+            self.block_misses,
+            self.num_levels,
+            self.level0_runs,
+            self.range_occupancy,
+            self.block_occupancy,
+            self.range_ratio,
+        )
+        if any(not math.isfinite(float(v)) for v in fields):
+            return False
+        if self.ops <= 0 or self.io_miss < 0:
+            return False
+        if self.points < 0 or self.scans < 0 or self.scan_length_sum < 0:
+            return False
+        return True
 
 
 class StatsCollector:

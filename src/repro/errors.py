@@ -19,6 +19,32 @@ class StorageError(ReproError):
     """The simulated storage layer was asked to do something impossible."""
 
 
+class TransientIOError(StorageError):
+    """A block read failed transiently (injected device hiccup).
+
+    Retryable: the resilient read path backs off and re-issues the read;
+    callers only see this once the retry budget is exhausted.
+    """
+
+
+class CorruptionError(StorageError):
+    """A block's stored checksum no longer matches its payload.
+
+    Permanent until the block is repaired from a redundant clean copy
+    (:meth:`~repro.lsm.storage.SimulatedDisk.repair_block`); the read
+    path never serves data that failed verification.
+    """
+
+
+class TornWriteError(StorageError):
+    """A WAL record failed its checksum during recovery replay.
+
+    Replay treats the first torn record as the end of the durable log
+    (torn-tail semantics); this error surfaces only when a caller asks
+    for strict replay.
+    """
+
+
 class CacheError(ReproError):
     """A cache component was misused (bad budget, unknown key class...)."""
 

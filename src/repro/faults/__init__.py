@@ -1,0 +1,21 @@
+"""Deterministic fault injection and chaos testing for the LSM + cache stack.
+
+* :mod:`repro.faults.injector` — a seedable :class:`FaultInjector` that
+  hooks into the simulated disk's read path and the WAL's append path to
+  produce transient read errors, permanent block corruption, and torn
+  log tails, plus controller stats blackouts.
+* :mod:`repro.faults.chaos` — the chaos harness: run the same seeded
+  workload against a fault-free and a fault-injected engine and verify
+  the results are byte-identical while faults are absorbed.
+"""
+
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.injector import FaultConfig, FaultInjector, FaultStats
+
+__all__ = [
+    "ChaosReport",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "run_chaos",
+]

@@ -12,6 +12,7 @@ invalidation behaviour the paper's motivation hinges on.
 from __future__ import annotations
 
 import bisect
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -33,15 +34,33 @@ class DataBlock:
     tombstone.  Keys within a block are strictly increasing.
     """
 
-    __slots__ = ("handle", "_keys", "_values")
+    __slots__ = ("handle", "_keys", "_values", "_checksum")
 
     def __init__(self, handle: BlockHandle, entries: Sequence[Entry]) -> None:
         self.handle = handle
         self._keys: List[str] = [key for key, _ in entries]
         self._values: List[Optional[str]] = [value for _, value in entries]
+        self._checksum: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._keys)
+
+    @property
+    def checksum(self) -> int:
+        """CRC32 over the block payload (computed once, then cached).
+
+        The SSTable records this at build time; the disk re-checks it on
+        every metered read so corrupted blocks are *detected* and raise
+        instead of being silently served.
+        """
+        if self._checksum is None:
+            # The \x00/\x01 tag keeps tombstones distinct from empty values.
+            payload = "\x1f".join(
+                key + "\x1e" + ("\x00" if value is None else "\x01" + value)
+                for key, value in zip(self._keys, self._values)
+            )
+            self._checksum = zlib.crc32(payload.encode("utf-8"))
+        return self._checksum
 
     @property
     def first_key(self) -> str:

@@ -57,6 +57,17 @@ class LSMOptions:
     auto_compact:
         When True (default) compactions run synchronously as soon as a
         trigger fires.  Tests can disable this to exercise stall errors.
+    max_read_retries:
+        How many times a transiently failed block read is re-issued
+        before the error escalates to the caller.
+    retry_backoff_us:
+        Simulated latency charged for the first retry; each further
+        retry doubles it (exponential backoff).  Charged to the bench
+        clock, not host time.
+    max_corruption_repairs:
+        How many corrupted-block repairs one logical read may attempt
+        before escalating (guards against a fault storm re-corrupting
+        the block as fast as it is repaired).
     seed:
         Seed for the bloom-filter hash salt; fixed for reproducibility.
     """
@@ -74,6 +85,9 @@ class LSMOptions:
     value_size: int = VALUE_SIZE
     block_size: int = BLOCK_SIZE
     auto_compact: bool = True
+    max_read_retries: int = 4
+    retry_backoff_us: float = 50.0
+    max_corruption_repairs: int = 3
     seed: int = field(default=0x5EED)
 
     def __post_init__(self) -> None:
@@ -96,6 +110,12 @@ class LSMOptions:
                 raise ConfigError(f"{name} must be a positive integer, got {value!r}")
         if self.bloom_bits_per_key < 0:
             raise ConfigError("bloom_bits_per_key must be >= 0")
+        if self.max_read_retries < 0:
+            raise ConfigError("max_read_retries must be >= 0")
+        if self.retry_backoff_us < 0:
+            raise ConfigError("retry_backoff_us must be >= 0")
+        if self.max_corruption_repairs < 0:
+            raise ConfigError("max_corruption_repairs must be >= 0")
         if self.entries_per_sstable % self.entries_per_block:
             raise ConfigError(
                 "entries_per_sstable must be a multiple of entries_per_block"

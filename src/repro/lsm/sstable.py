@@ -43,6 +43,10 @@ class SSTable:
         self.sst_id = sst_id
         self._blocks: List[DataBlock] = list(blocks)
         self._index: List[str] = [b.first_key for b in self._blocks]
+        # Expected per-block checksums, recorded at build time exactly like
+        # the footer checksums RocksDB writes; fault injection tampers with
+        # the stored copy to model on-disk bit rot.
+        self._checksums: List[int] = [b.checksum for b in self._blocks]
         self.bloom = bloom
         self.block_size = block_size
         self.num_entries = sum(len(b) for b in self._blocks)
@@ -138,6 +142,29 @@ class SSTable:
                 f"({len(self._blocks)} blocks)"
             )
         return self._blocks[block_no]
+
+    # -- checksums / corruption ----------------------------------------------
+
+    def verify_block(self, block_no: int) -> bool:
+        """Whether the block's payload still matches its stored checksum."""
+        return self._checksums[block_no] == self.block_at(block_no).checksum
+
+    def is_block_corrupt(self, block_no: int) -> bool:
+        """Inverse of :meth:`verify_block` (fault-injection bookkeeping)."""
+        return not self.verify_block(block_no)
+
+    def corrupt_block(self, block_no: int) -> None:
+        """Tamper with one block's stored checksum (models bit rot).
+
+        The payload object itself is left untouched so clean copies held
+        by caches stay clean — exactly the redundancy a repair draws on.
+        """
+        self.block_at(block_no)  # range check
+        self._checksums[block_no] ^= 0xFFFFFFFF
+
+    def repair_block(self, block_no: int) -> None:
+        """Restore the stored checksum from the payload (replica restore)."""
+        self._checksums[block_no] = self.block_at(block_no).checksum
 
     def all_entries(self) -> List[Entry]:
         """Every entry in the file in key order (compaction input path)."""

@@ -23,7 +23,13 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ClosedError, StorageError, WriteStallError
+from repro.errors import (
+    ClosedError,
+    CorruptionError,
+    StorageError,
+    TransientIOError,
+    WriteStallError,
+)
 from repro.lsm.block import BlockHandle, DataBlock, Entry
 from repro.lsm.compaction import CompactionListener, Compactor
 from repro.lsm.iterator import (
@@ -75,12 +81,61 @@ class LSMTree:
         self.bloom_false_positive_total = 0
         self.flushes_total = 0
         self.write_slowdowns_total = 0
+        # resilience counters (see fetch_block)
+        self.read_retries_total = 0
+        self.corruption_recoveries_total = 0
+        self.retry_latency_us_total = 0.0
+        self.crash_recoveries_total = 0
+        self.wal_records_lost_total = 0
 
     # -- wiring -----------------------------------------------------------------
 
     def set_block_fetch(self, fetch: BlockFetch) -> None:
         """Route all data-block reads through ``fetch`` (e.g. a block cache)."""
         self._block_fetch = fetch
+
+    def attach_fault_injector(self, injector) -> None:
+        """Wire a :class:`~repro.faults.injector.FaultInjector` into the
+        disk read path and the WAL append path (None detaches)."""
+        self.disk.set_fault_injector(injector)
+        self.wal.set_fault_injector(injector)
+
+    # -- resilient block reads ---------------------------------------------
+
+    def fetch_block(self, handle: BlockHandle) -> DataBlock:
+        """Fetch one data block through the configured ``block_fetch``,
+        absorbing storage faults.
+
+        * :class:`TransientIOError` — retried up to
+          ``options.max_read_retries`` times with exponential backoff;
+          the backoff is charged to :attr:`retry_latency_us_total` so the
+          bench clock sees the stall without the host sleeping.
+        * :class:`CorruptionError` — the block failed checksum
+          verification; the disk repairs it from its redundant clean
+          copy and the read is re-issued (never serving bad payloads).
+
+        Exhausting either budget re-raises, so genuinely unrecoverable
+        faults still surface as :class:`StorageError` subclasses.
+        """
+        transient_attempts = 0
+        repair_attempts = 0
+        while True:
+            try:
+                return self._block_fetch(handle)
+            except TransientIOError:
+                if transient_attempts >= self.options.max_read_retries:
+                    raise
+                self.retry_latency_us_total += self.options.retry_backoff_us * (
+                    2.0 ** transient_attempts
+                )
+                transient_attempts += 1
+                self.read_retries_total += 1
+            except CorruptionError:
+                if repair_attempts >= self.options.max_corruption_repairs:
+                    raise
+                self.disk.repair_block(handle)
+                repair_attempts += 1
+                self.corruption_recoveries_total += 1
 
     def add_compaction_listener(self, listener: CompactionListener) -> None:
         """Observe every compaction (used by the stats collector)."""
@@ -211,7 +266,7 @@ class LSMTree:
         if block_no is None:
             return False, None, None
         handle = BlockHandle(table.sst_id, block_no)
-        block = self._block_fetch(handle)
+        block = self.fetch_block(handle)
         found, value = block.get(key)
         if not found:
             self.bloom_false_positive_total += 1
@@ -236,12 +291,12 @@ class LSMTree:
         ]
         priority = 1
         for table in self.levels.level_files(0):  # newest first
-            sources.append(sstable_source(table, start, priority, self._block_fetch))
+            sources.append(sstable_source(table, start, priority, self.fetch_block))
             priority += 1
         for level in range(1, self.options.max_levels):
             files = self.levels.level_files(level)
             if files:
-                sources.append(level_source(files, start, priority, self._block_fetch))
+                sources.append(level_source(files, start, priority, self.fetch_block))
                 priority += 1
         return merge_scan([iter(s) for s in sources])
 
@@ -252,8 +307,9 @@ class LSMTree:
 
         Models a process crash: the MemTable (volatile) is lost, the
         WAL and SSTables (durable) survive.  Replaying the log restores
-        every acknowledged write.  Returns the number of records
-        replayed.
+        every intact record; a torn tail (records whose checksum fails)
+        is discarded and counted in :attr:`wal_records_lost_total`.
+        Returns the number of records replayed.
         """
         self._check_open()
         records = self.wal.replay()
@@ -263,6 +319,8 @@ class LSMTree:
                 self.memtable.delete(key)
             else:
                 self.memtable.put(key, value)
+        self.crash_recoveries_total += 1
+        self.wal_records_lost_total += self.wal.last_replay_dropped
         return len(records)
 
     # -- bulk loading -----------------------------------------------------------------

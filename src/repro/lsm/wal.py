@@ -1,32 +1,74 @@
-"""Write-ahead log (simulated).
+"""Write-ahead log (simulated) with checksummed, torn-tail-aware records.
 
 The WAL exists so the engine's write path matches the paper's Figure 2:
 every mutation is appended to the log before touching the MemTable, and
 the log segment is truncated when its MemTable is flushed to an SSTable.
-Since the simulator has no crash-recovery story to exercise for the
-cache experiments, the log is an in-memory record — but it tracks the
-append count and logical byte volume so write-path costs can be modelled
-and tests can assert the protocol ordering.
+The log is an in-memory record, but each entry carries a sequence number
+and a CRC32 the way RocksDB frames log records, so recovery can detect a
+*torn tail*: a crash mid-append leaves a record whose checksum does not
+match, and replay must treat the first such record as the end of the
+durable log.  The fault injector marks appends torn; fault-free
+operation is byte-for-byte the old behaviour.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 LogRecord = Tuple[str, Optional[str]]  # (key, value-or-tombstone)
+
+
+def _record_crc(seq: int, key: str, value: Optional[str]) -> int:
+    payload = f"{seq}\x1f{key}\x1f{'' if value is None else value}"
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+@dataclass
+class _FramedRecord:
+    """One framed log record: sequence number, payload, stored CRC."""
+
+    seq: int
+    key: str
+    value: Optional[str]
+    crc: int
+
+    def intact(self) -> bool:
+        return self.crc == _record_crc(self.seq, self.key, self.value)
 
 
 class WriteAheadLog:
     """In-memory stand-in for the on-disk write-ahead log."""
 
     def __init__(self) -> None:
-        self._records: List[LogRecord] = []
+        self._records: List[_FramedRecord] = []
+        self._next_seq = 0
         self.appends_total = 0
         self.truncations_total = 0
+        self.torn_appends_total = 0
+        self.replay_dropped_total = 0
+        self.last_replay_dropped = 0
+        self._fault_injector: Optional["FaultInjector"] = None
+
+    def set_fault_injector(self, injector: Optional["FaultInjector"]) -> None:
+        """Let ``injector`` decide which appends land torn (None disables)."""
+        self._fault_injector = injector
 
     def append(self, key: str, value: Optional[str]) -> None:
         """Durably record a mutation (tombstone when ``value`` is None)."""
-        self._records.append((key, value))
+        seq = self._next_seq
+        self._next_seq += 1
+        crc = _record_crc(seq, key, value)
+        if self._fault_injector is not None and self._fault_injector.on_wal_append():
+            # Torn write: the record made it only partially to the device,
+            # so its stored checksum no longer matches the payload.
+            crc ^= 0xFFFFFFFF
+            self.torn_appends_total += 1
+        self._records.append(_FramedRecord(seq, key, value, crc))
         self.appends_total += 1
 
     def truncate(self) -> int:
@@ -37,12 +79,26 @@ class WriteAheadLog:
         return dropped
 
     def records(self) -> List[LogRecord]:
-        """Pending records (newest last), e.g. for recovery replay."""
-        return list(self._records)
+        """Pending records as appended (newest last), torn ones included."""
+        return [(r.key, r.value) for r in self._records]
 
     def replay(self) -> List[LogRecord]:
-        """Records in apply order for rebuilding a MemTable after a crash."""
-        return list(self._records)
+        """Records in apply order for rebuilding a MemTable after a crash.
+
+        Verifies each record's checksum and stops at the first mismatch
+        (torn-tail semantics): everything from the torn record onward is
+        discarded and counted in :attr:`last_replay_dropped`.
+        """
+        out: List[LogRecord] = []
+        dropped = 0
+        for i, record in enumerate(self._records):
+            if not record.intact():
+                dropped = len(self._records) - i
+                break
+            out.append((record.key, record.value))
+        self.last_replay_dropped = dropped
+        self.replay_dropped_total += dropped
+        return out
 
     def __len__(self) -> int:
         return len(self._records)

@@ -17,6 +17,7 @@ exploration while stability anneals it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -162,5 +163,10 @@ def adapt_learning_rate(
 
     Negative rewards (hit-rate drops, i.e. workload shifts) raise the
     rate to explore; positive rewards anneal it toward convergence.
+    A non-finite reward (degenerate window statistics) leaves the rate
+    unchanged — a NaN would otherwise propagate through the
+    multiplicative update and stick forever.
     """
+    if not math.isfinite(reward):
+        return float(min(lr_max, max(lr_min, lr)))
     return float(min(lr_max, max(lr_min, lr * (1.0 - reward))))

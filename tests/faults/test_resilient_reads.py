@@ -1,0 +1,128 @@
+"""The resilient read path: retries, backoff, repair, and escalation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KVEngine
+from repro.cache.block_cache import BlockCache
+from repro.errors import CorruptionError, TransientIOError
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.lsm.block import BlockHandle
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+
+
+def make_tree(**opt_kw) -> LSMTree:
+    options = LSMOptions(memtable_entries=8, entries_per_sstable=16, **opt_kw)
+    tree = LSMTree(options)
+    for i in range(32):
+        tree.put(f"k{i:04d}", f"v{i}")
+    tree.flush()
+    return tree
+
+
+class FlakyFetch:
+    """A block source that fails ``failures`` times, then succeeds."""
+
+    def __init__(self, tree: LSMTree, failures: int, exc=TransientIOError):
+        self.tree = tree
+        self.remaining = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, handle: BlockHandle):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc(f"injected ({self.remaining} left)")
+        return self.tree.disk.read_block(handle)
+
+
+class TestTransientRetry:
+    def test_retries_until_success(self):
+        tree = make_tree(max_read_retries=4)
+        flaky = FlakyFetch(tree, failures=3)
+        tree.set_block_fetch(flaky)
+        assert tree.get("k0000") == "v0"
+        assert tree.read_retries_total == 3
+        assert flaky.calls == 4
+
+    def test_backoff_latency_charged_exponentially(self):
+        tree = make_tree(max_read_retries=4, retry_backoff_us=50.0)
+        tree.set_block_fetch(FlakyFetch(tree, failures=3))
+        tree.get("k0000")
+        # 50 + 100 + 200 microseconds for attempts 0, 1, 2.
+        assert tree.retry_latency_us_total == pytest.approx(350.0)
+
+    def test_budget_exhaustion_reraises(self):
+        tree = make_tree(max_read_retries=2)
+        tree.set_block_fetch(FlakyFetch(tree, failures=10))
+        with pytest.raises(TransientIOError):
+            tree.get("k0000")
+        assert tree.read_retries_total == 2
+
+    def test_zero_retries_fails_immediately(self):
+        tree = make_tree(max_read_retries=0)
+        flaky = FlakyFetch(tree, failures=1)
+        tree.set_block_fetch(flaky)
+        with pytest.raises(TransientIOError):
+            tree.get("k0000")
+        assert flaky.calls == 1
+        assert tree.retry_latency_us_total == 0.0
+
+
+class TestCorruptionRepair:
+    def _corrupt_every_block(self, tree: LSMTree) -> int:
+        count = 0
+        for sst_id in tree.disk.live_sst_ids():
+            table = tree.disk.table(sst_id)
+            for block_no in range(table.num_blocks):
+                table.corrupt_block(block_no)
+                count += 1
+        return count
+
+    def test_point_read_repairs_and_succeeds(self):
+        tree = make_tree()
+        self._corrupt_every_block(tree)
+        assert tree.get("k0007") == "v7"
+        assert tree.corruption_recoveries_total >= 1
+        assert tree.disk.corruption_repairs_total >= 1
+
+    def test_scan_repairs_and_succeeds(self):
+        tree = make_tree()
+        self._corrupt_every_block(tree)
+        result = tree.scan("k0000", 8)
+        assert [k for k, _ in result] == [f"k{i:04d}" for i in range(8)]
+
+    def test_repair_budget_exhaustion_reraises(self):
+        tree = make_tree(max_corruption_repairs=0)
+        self._corrupt_every_block(tree)
+        with pytest.raises(CorruptionError):
+            tree.get("k0000")
+
+
+class TestEngineReadPath:
+    def test_resilience_applies_through_block_cache(self):
+        """With a block cache wired in, faults surface through the cache's
+        fetch-through and must still be absorbed by the tree's retry loop."""
+        tree = make_tree()
+        injector = FaultInjector(
+            FaultConfig(transient_read_rate=0.3, corruption_rate=0.1, seed=5)
+        )
+        tree.attach_fault_injector(injector)
+        cache = BlockCache(64 * 4096, 4096, tree.disk.read_block)
+        engine = KVEngine(tree, block_cache=cache)
+        for i in range(32):
+            assert engine.get(f"k{i:04d}") == f"v{i}", f"wrong value for key {i}"
+        assert injector.stats.transient_injected > 0
+        assert tree.read_retries_total >= injector.stats.transient_injected > 0
+
+    def test_fault_free_reads_charge_no_retry_latency(self):
+        tree = make_tree()
+        engine = KVEngine(tree)
+        for i in range(32):
+            engine.get(f"k{i:04d}")
+        assert tree.read_retries_total == 0
+        assert tree.retry_latency_us_total == 0.0
+        assert tree.disk.failed_reads_total == 0

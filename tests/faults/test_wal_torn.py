@@ -1,0 +1,78 @@
+"""Torn WAL tails: framing, replay semantics, and recovery accounting."""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.lsm.wal import WriteAheadLog
+
+
+class TornEverything(FaultInjector):
+    """Injector whose every WAL append lands torn."""
+
+    def __init__(self):
+        super().__init__(FaultConfig(torn_wal_rate=1.0))
+
+
+class TestTornReplay:
+    def test_intact_log_replays_fully(self):
+        wal = WriteAheadLog()
+        wal.append("a", "1")
+        wal.append("b", None)
+        assert wal.replay() == [("a", "1"), ("b", None)]
+        assert wal.last_replay_dropped == 0
+
+    def test_replay_stops_at_first_torn_record(self):
+        wal = WriteAheadLog()
+        injector = FaultInjector(FaultConfig())
+        wal.append("a", "1")
+        wal.set_fault_injector(TornEverything())
+        wal.append("b", "2")  # torn
+        wal.set_fault_injector(injector)  # healthy again
+        wal.append("c", "3")  # intact but after the tear
+        assert wal.torn_appends_total == 1
+        # Torn-tail semantics: the first bad checksum ends the durable log,
+        # even though a later record happens to be intact.
+        assert wal.replay() == [("a", "1")]
+        assert wal.last_replay_dropped == 2
+        assert wal.replay_dropped_total == 2
+
+    def test_records_still_exposes_everything(self):
+        """records() keeps its historical contract (all pending records);
+        only replay() applies checksum verification."""
+        wal = WriteAheadLog()
+        wal.set_fault_injector(TornEverything())
+        wal.append("a", "1")
+        assert wal.records() == [("a", "1")]
+        assert wal.replay() == []
+
+
+class TestCrashWithTornTail:
+    def test_crash_loses_only_the_torn_tail(self):
+        tree = LSMTree(LSMOptions(memtable_entries=64, entries_per_sstable=64))
+        tree.put("k1", "v1")
+        tree.put("k2", "v2")
+        tree.attach_fault_injector(TornEverything())
+        tree.put("k3", "v3")  # torn append
+        tree.attach_fault_injector(None)
+
+        replayed = tree.simulate_crash_and_recover()
+        assert replayed == 2
+        assert tree.get("k1") == "v1"
+        assert tree.get("k2") == "v2"
+        assert tree.get("k3") is None  # acknowledged but lost to the tear
+        assert tree.wal_records_lost_total == 1
+        assert tree.crash_recoveries_total == 1
+
+    def test_flush_truncates_torn_records_too(self):
+        tree = LSMTree(LSMOptions(memtable_entries=64, entries_per_sstable=64))
+        tree.attach_fault_injector(TornEverything())
+        tree.put("k1", "v1")
+        tree.attach_fault_injector(None)
+        tree.flush()
+        # The flush made k1 durable in an SSTable; the torn WAL record is
+        # gone and can no longer shadow anything.
+        assert len(tree.wal) == 0
+        assert tree.simulate_crash_and_recover() == 0
+        assert tree.get("k1") == "v1"

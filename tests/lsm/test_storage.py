@@ -42,6 +42,44 @@ class TestLifecycle:
             SimulatedDisk().delete(42)
 
 
+class TestIdempotenceObservability:
+    """Lifecycle violations must name the offender and the disk state."""
+
+    def test_double_install_message_names_id_and_live_count(self):
+        disk = SimulatedDisk()
+        installed_table(disk)
+        table = installed_table(disk)
+        with pytest.raises(StorageError) as exc:
+            disk.install(table)
+        message = str(exc.value)
+        assert f"sst id {table.sst_id}" in message
+        assert "2 tables live" in message
+
+    def test_double_delete_message_names_id_and_live_count(self):
+        disk = SimulatedDisk()
+        table = installed_table(disk)
+        keeper = installed_table(disk)
+        disk.delete(table.sst_id)
+        with pytest.raises(StorageError) as exc:
+            disk.delete(table.sst_id)
+        message = str(exc.value)
+        assert f"sst id {table.sst_id}" in message
+        assert "1 tables live" in message
+        assert disk.has(keeper.sst_id)
+        assert disk.sstables_deleted_total == 1  # failed delete not counted
+
+    def test_read_of_deleted_sst_names_handle_and_live_count(self):
+        disk = SimulatedDisk()
+        table = installed_table(disk)
+        disk.delete(table.sst_id)
+        with pytest.raises(StorageError) as exc:
+            disk.read_block(BlockHandle(table.sst_id, 0))
+        message = str(exc.value)
+        assert str(table.sst_id) in message
+        assert "0 tables live" in message
+        assert disk.block_reads_total == 0
+
+
 class TestMeteredReads:
     def test_read_counts(self):
         disk = SimulatedDisk()
