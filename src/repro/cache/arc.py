@@ -19,7 +19,7 @@ from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
 from repro.cache.base import EvictionPolicy
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
 
@@ -102,6 +102,32 @@ class ARCPolicy(EvictionPolicy[K], Generic[K]):
             self._b1.popitem(last=False)
         while len(self._b2) > self._c:
             self._b2.popitem(last=False)
+
+    def check_invariants(self) -> None:
+        """T1/T2/B1/B2 pairwise disjointness, ghost bounds, and p's range."""
+        lists = {
+            "T1": self._t1,
+            "T2": self._t2,
+            "B1": self._b1,
+            "B2": self._b2,
+        }
+        names = list(lists)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                overlap = lists[a].keys() & lists[b].keys()
+                if overlap:
+                    raise InvariantError(
+                        f"ARCPolicy: {a} and {b} share keys {sorted(map(repr, overlap))[:3]}"
+                    )
+        if len(self._b1) > self._c or len(self._b2) > self._c:
+            raise InvariantError(
+                f"ARCPolicy ghost lists exceed capacity {self._c}: "
+                f"|B1|={len(self._b1)}, |B2|={len(self._b2)}"
+            )
+        if not 0.0 <= self._p <= float(self._c):
+            raise InvariantError(
+                f"ARCPolicy adaptive target p={self._p} outside [0, {self._c}]"
+            )
 
     def __len__(self) -> int:
         return len(self._t1) + len(self._t2)

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
-from repro.errors import CacheError
+from repro import sanitize
+from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -65,6 +66,58 @@ class CacheStats:
         )
 
 
+class CacheBase(ABC):
+    """Uniform surface every cache container exposes.
+
+    Concrete caches (block, range, kv, kp, sharded-range, and the
+    generic :class:`BudgetedCache`) all present the same capacity pair —
+    :attr:`budget_bytes` / :attr:`used_bytes` — so the sanitizer, the
+    controller, and metrics read one interface regardless of which
+    composition is running.  Every subclass must also implement the
+    ``check_invariants()`` protocol (lint rule CACHE001 enforces this
+    statically; :mod:`repro.sanitize` invokes it at runtime).
+    """
+
+    #: Sampled invariant-check gate; None when sanitizing is disabled.
+    _sanitizer: Optional[sanitize.Sanitizer] = None
+
+    @property
+    @abstractmethod
+    def budget_bytes(self) -> int:
+        """Current capacity in (logical) bytes."""
+
+    @property
+    @abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.InvariantError` on corrupt state."""
+
+    @property
+    def occupancy(self) -> float:
+        """used/budget in [0, 1]; 0 when the budget is zero."""
+        budget = self.budget_bytes
+        return self.used_bytes / budget if budget else 0.0
+
+    def enable_sanitizer(
+        self, period: int = sanitize.DEFAULT_PERIOD, seed: int = 0
+    ) -> None:
+        """Turn on sampled invariant checking for this cache instance."""
+        self._sanitizer = sanitize.Sanitizer(period, seed)
+
+    @property
+    def sanitizing(self) -> bool:
+        """Whether sampled invariant checking is enabled on this cache."""
+        return self._sanitizer is not None
+
+    def _after_mutation(self) -> None:
+        """Hot-path hook: run a sampled invariant check when enabled."""
+        if self._sanitizer is not None:
+            self._sanitizer.after_mutation(self)
+
+
 class EvictionPolicy(ABC, Generic[K]):
     """Decides which resident key a cache should evict.
 
@@ -96,8 +149,23 @@ class EvictionPolicy(ABC, Generic[K]):
     def record_remove(self, key: K) -> None:
         """A key left for a non-capacity reason (e.g. invalidation)."""
 
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys the policy tracks."""
 
-class BudgetedCache(Generic[K, V]):
+    @abstractmethod
+    def __contains__(self, key: K) -> bool:
+        """Whether the policy tracks ``key`` as resident."""
+
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.InvariantError` on corrupt state.
+
+        Policies override this with structure-specific checks; the
+        default accepts anything so simple policies stay simple.
+        """
+
+
+class BudgetedCache(CacheBase, Generic[K, V]):
     """Byte-budgeted key-value cache with a pluggable eviction policy.
 
     Parameters
@@ -114,7 +182,7 @@ class BudgetedCache(Generic[K, V]):
         self,
         budget_bytes: int,
         policy: EvictionPolicy[K],
-        charge_of,
+        charge_of: Callable[[K, V], int],
     ) -> None:
         if budget_bytes < 0:
             raise CacheError("budget_bytes must be >= 0")
@@ -124,6 +192,7 @@ class BudgetedCache(Generic[K, V]):
         self._data: Dict[K, Tuple[V, int]] = {}
         self._used = 0
         self.stats = CacheStats()
+        self._sanitizer = sanitize.from_env()
 
     # -- capacity ---------------------------------------------------------------
 
@@ -137,17 +206,14 @@ class BudgetedCache(Generic[K, V]):
         """Bytes currently charged."""
         return self._used
 
-    @property
-    def occupancy(self) -> float:
-        """used/budget in [0, 1]; 0 when the budget is zero."""
-        return self._used / self._budget if self._budget else 0.0
-
     def resize(self, budget_bytes: int) -> int:
         """Change capacity, evicting as needed; returns evictions made."""
         if budget_bytes < 0:
             raise CacheError("budget_bytes must be >= 0")
         self._budget = budget_bytes
-        return self._evict_to_fit()
+        evicted = self._evict_to_fit()
+        self._after_mutation()
+        return evicted
 
     # -- lookups ---------------------------------------------------------------
 
@@ -196,6 +262,7 @@ class BudgetedCache(Generic[K, V]):
             self._policy.record_insert(key)
             self.stats.insertions += 1
         self._evict_to_fit()
+        self._after_mutation()
         return True
 
     def remove(self, key: K) -> bool:
@@ -206,6 +273,7 @@ class BudgetedCache(Generic[K, V]):
         self._used -= entry[1]
         self._policy.record_remove(key)
         self.stats.invalidations += 1
+        self._after_mutation()
         return True
 
     def clear(self) -> None:
@@ -225,3 +293,37 @@ class BudgetedCache(Generic[K, V]):
             self.stats.evictions += 1
             evicted += 1
         return evicted
+
+    # -- sanitizer protocol ------------------------------------------------------
+
+    def entry_charges(self) -> Iterator[Tuple[K, int]]:
+        """``(key, charge)`` of every resident entry (sanitizer/diagnostics)."""
+        return ((key, charge) for key, (_, charge) in self._data.items())
+
+    def check_invariants(self) -> None:
+        """Byte-accounting conservation and policy/dict cross-consistency."""
+        total = sum(charge for _, charge in self._data.values())
+        if total != self._used:
+            raise InvariantError(
+                f"BudgetedCache byte accounting drift: sum of entry charges "
+                f"{total} != used_bytes {self._used} ({len(self._data)} entries)"
+            )
+        if self._used > self._budget:
+            raise InvariantError(
+                f"BudgetedCache over budget at rest: used_bytes {self._used} "
+                f"> budget_bytes {self._budget}"
+            )
+        policy_len = len(self._policy)
+        if policy_len != len(self._data):
+            raise InvariantError(
+                f"BudgetedCache policy/dict divergence: policy tracks "
+                f"{policy_len} keys, cache holds {len(self._data)} "
+                f"(a ghost entry leaked or a resident key went untracked)"
+            )
+        for key in self._data:
+            if key not in self._policy:
+                raise InvariantError(
+                    f"BudgetedCache resident key {key!r} is unknown to the "
+                    f"eviction policy"
+                )
+        self._policy.check_invariants()

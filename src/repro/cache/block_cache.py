@@ -18,9 +18,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, List, Optional
 
-from repro.cache.base import BudgetedCache, CacheStats, EvictionPolicy
+from repro.cache.base import BudgetedCache, CacheBase, CacheStats, EvictionPolicy
 from repro.cache.lru import LRUPolicy
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 from repro.lsm.block import BlockHandle, DataBlock
 
 BlockFetch = Callable[[BlockHandle], DataBlock]
@@ -29,7 +29,7 @@ AdmissionHook = Callable[[BlockHandle], bool]
 PolicyFactory = Callable[[], EvictionPolicy[BlockHandle]]
 
 
-class BlockCache:
+class BlockCache(CacheBase):
     """Sharded, byte-budgeted cache of data blocks.
 
     Parameters
@@ -92,6 +92,7 @@ class BlockCache:
         if self.admission_hook is None or self.admission_hook(handle):
             with self._locks[idx]:
                 shard.put(handle, block)
+            self._after_mutation()
         else:
             shard.stats.rejections += 1
         return block
@@ -106,7 +107,9 @@ class BlockCache:
         """Directly insert a block (prefetch-style fill)."""
         idx = self._shard_of(handle)
         with self._locks[idx]:
-            return self._shards[idx].put(handle, block)
+            admitted = self._shards[idx].put(handle, block)
+        self._after_mutation()
+        return admitted
 
     def __contains__(self, handle: BlockHandle) -> bool:
         idx = self._shard_of(handle)
@@ -124,12 +127,6 @@ class BlockCache:
         """Total bytes charged across shards."""
         return sum(s.used_bytes for s in self._shards)
 
-    @property
-    def occupancy(self) -> float:
-        """used/budget in [0, 1]."""
-        budget = self.budget_bytes
-        return self.used_bytes / budget if budget else 0.0
-
     def __len__(self) -> int:
         return sum(len(s) for s in self._shards)
 
@@ -140,6 +137,7 @@ class BlockCache:
         for i, shard in enumerate(self._shards):
             with self._locks[i]:
                 shard.resize(remainder if i == 0 else per_shard)
+        self._after_mutation()
 
     def clear(self) -> None:
         """Invalidate every cached block (e.g. after a crash/restart)."""
@@ -175,3 +173,24 @@ class BlockCache:
             total.rejections += s.rejections
             total.invalidations += s.invalidations
         return total
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Per-shard accounting plus handle-to-shard routing consistency."""
+        if len(self._shards) != self._num_shards or len(self._locks) != self._num_shards:
+            raise InvariantError(
+                f"BlockCache shard bookkeeping drift: {len(self._shards)} "
+                f"shards / {len(self._locks)} locks for num_shards "
+                f"{self._num_shards}"
+            )
+        for idx, shard in enumerate(self._shards):
+            with self._locks[idx]:
+                shard.check_invariants()
+                for handle in shard.keys():
+                    owner = self._shard_of(handle)
+                    if owner != idx:
+                        raise InvariantError(
+                            f"BlockCache misrouted entry: handle {handle!r} "
+                            f"lives in shard {idx} but hashes to shard {owner}"
+                        )

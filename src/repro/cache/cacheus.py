@@ -24,12 +24,13 @@ a restart value, which we omit.
 from __future__ import annotations
 
 import math
-import random
 from collections import OrderedDict
+from random import Random
 from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
 
 from repro.cache.base import EvictionPolicy
-from repro.errors import CacheError
+from repro.cache.lfu import check_freq_buckets
+from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
 
@@ -79,6 +80,19 @@ class SRLRUPolicy(EvictionPolicy[K], Generic[K]):
     def record_remove(self, key: K) -> None:
         self._r.pop(key, None)
         self._s.pop(key, None)
+
+    def check_invariants(self) -> None:
+        """Probationary and safe lists must stay disjoint.
+
+        (The rebalance bound on |S| is deliberately not asserted: an
+        eviction from R shrinks the total without re-running the
+        rebalance, so |S| may legitimately exceed it between inserts.)
+        """
+        overlap = self._r.keys() & self._s.keys()
+        if overlap:
+            raise InvariantError(
+                f"SRLRUPolicy: keys in both R and S: {sorted(map(repr, overlap))[:3]}"
+            )
 
     def __len__(self) -> int:
         return len(self._r) + len(self._s)
@@ -149,6 +163,10 @@ class CRLFUPolicy(EvictionPolicy[K], Generic[K]):
     def record_remove(self, key: K) -> None:
         self._drop(key)
 
+    def check_invariants(self) -> None:
+        """Frequency-map/bucket cross-consistency (shared with LFU)."""
+        check_freq_buckets("CRLFUPolicy", self._freq, self._buckets, self._min_freq)
+
     def __len__(self) -> int:
         return len(self._freq)
 
@@ -186,7 +204,7 @@ class CacheusPolicy(EvictionPolicy[K], Generic[K]):
         self._lr = initial_learning_rate
         self._lr_direction = 1.0
         self._discount = discount_base ** (1.0 / history_size)
-        self._rng = random.Random(seed)
+        self._rng = Random(seed)
         self._weights = [0.5, 0.5]
         self._time = 0
         self._history: "OrderedDict[K, Tuple[int, int]]" = OrderedDict()
@@ -246,6 +264,31 @@ class CacheusPolicy(EvictionPolicy[K], Generic[K]):
         self._pending_expert = None
         self._srlru.record_remove(key)
         self._crlfu.record_remove(key)
+
+    def check_invariants(self) -> None:
+        """Expert sync, normalized weights, bounded history and rate."""
+        if len(self._srlru) != len(self._crlfu):
+            raise InvariantError(
+                f"CacheusPolicy experts diverged: SR-LRU tracks "
+                f"{len(self._srlru)} keys, CR-LFU tracks {len(self._crlfu)}"
+            )
+        total = self._weights[0] + self._weights[1]
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise InvariantError(
+                f"CacheusPolicy weights not normalized: sum is {total!r}"
+            )
+        if len(self._history) > self._history_size:
+            raise InvariantError(
+                f"CacheusPolicy ghost history holds {len(self._history)} "
+                f"entries, capacity is {self._history_size}"
+            )
+        if not 0.001 <= self._lr <= 1.0:
+            raise InvariantError(
+                f"CacheusPolicy learning rate {self._lr} left its "
+                f"hill-climbing clamp [0.001, 1.0]"
+            )
+        self._srlru.check_invariants()
+        self._crlfu.check_invariants()
 
     def _note_op(self, miss: bool) -> None:
         self._ops_in_window += 1

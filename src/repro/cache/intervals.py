@@ -13,6 +13,8 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Tuple
 
+from repro.errors import InvariantError
+
 Interval = Tuple[str, str]  # inclusive (start, end), start <= end
 
 
@@ -103,3 +105,21 @@ class IntervalSet:
     def total_span_count(self) -> int:
         """Number of tracked intervals (diagnostics)."""
         return len(self._starts)
+
+    def check_invariants(self) -> None:
+        """Intervals must be well-formed, sorted, and disjoint."""
+        if len(self._starts) != len(self._ends):
+            raise InvariantError(
+                f"IntervalSet: {len(self._starts)} starts but "
+                f"{len(self._ends)} ends"
+            )
+        for i, (start, end) in enumerate(zip(self._starts, self._ends)):
+            if start > end:
+                raise InvariantError(
+                    f"IntervalSet: interval {i} inverted: [{start!r}, {end!r}]"
+                )
+            if i > 0 and self._ends[i - 1] >= start:
+                raise InvariantError(
+                    f"IntervalSet: intervals {i - 1} and {i} overlap or touch "
+                    f"out of order: end {self._ends[i - 1]!r} >= start {start!r}"
+                )

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
-from repro.cache.base import BudgetedCache, CacheStats, EvictionPolicy
+from repro.cache.base import BudgetedCache, CacheBase, CacheStats, EvictionPolicy
 from repro.cache.lru import LRUPolicy
+from repro.errors import InvariantError
 from repro.lsm.block import BlockHandle, DataBlock
 
 BlockFetch = Callable[[BlockHandle], DataBlock]
@@ -30,7 +31,7 @@ IsLive = Callable[[int], bool]
 DEFAULT_POINTER_CHARGE = 40
 
 
-class KPCache:
+class KPCache(CacheBase):
     """Byte-budgeted ``key -> BlockHandle`` cache with lazy invalidation.
 
     Parameters
@@ -126,3 +127,13 @@ class KPCache:
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def check_invariants(self) -> None:
+        """Inner cache health plus the uniform per-pointer charge."""
+        self._cache.check_invariants()
+        for key, charge in self._cache.entry_charges():
+            if charge != self.entry_charge:
+                raise InvariantError(
+                    f"KPCache pointer {key!r} charged {charge} bytes, "
+                    f"expected uniform charge {self.entry_charge}"
+                )

@@ -9,11 +9,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cache.base import BudgetedCache, CacheStats, EvictionPolicy
+from repro.cache.base import BudgetedCache, CacheBase, CacheStats, EvictionPolicy
 from repro.cache.lru import LRUPolicy
+from repro.errors import InvariantError
 
 
-class KVCache:
+class KVCache(CacheBase):
     """Byte-budgeted key-value result cache.
 
     Parameters
@@ -79,14 +80,19 @@ class KVCache:
         return self._cache.used_bytes
 
     @property
-    def occupancy(self) -> float:
-        """used/budget in [0, 1]."""
-        return self._cache.occupancy
-
-    @property
     def stats(self) -> CacheStats:
         """Hit/miss counters."""
         return self._cache.stats
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def check_invariants(self) -> None:
+        """Inner cache health plus the uniform per-entry charge."""
+        self._cache.check_invariants()
+        for key, charge in self._cache.entry_charges():
+            if charge != self.entry_charge:
+                raise InvariantError(
+                    f"KVCache entry {key!r} charged {charge} bytes, expected "
+                    f"uniform charge {self.entry_charge}"
+                )

@@ -17,14 +17,14 @@ miss (the baselines admit all misses, so this observes every miss).
 from __future__ import annotations
 
 import math
-import random
 from collections import OrderedDict
+from random import Random
 from typing import Generic, Hashable, Optional, Tuple, TypeVar
 
 from repro.cache.base import EvictionPolicy
 from repro.cache.lfu import LFUPolicy
 from repro.cache.lru import LRUPolicy
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
 
@@ -62,7 +62,7 @@ class LeCaRPolicy(EvictionPolicy[K], Generic[K]):
         self._history_size = history_size
         self._lr = learning_rate
         self._discount = discount_base ** (1.0 / history_size)
-        self._rng = random.Random(seed)
+        self._rng = Random(seed)
         self._weights = [0.5, 0.5]
         self._time = 0
         # ghost: key -> (expert, eviction time)
@@ -111,6 +111,30 @@ class LeCaRPolicy(EvictionPolicy[K], Generic[K]):
         self._pending_expert = None
         self._lru.record_remove(key)
         self._lfu.record_remove(key)
+
+    def check_invariants(self) -> None:
+        """Expert sync, normalized weights, and bounded ghost history."""
+        if len(self._lru) != len(self._lfu):
+            raise InvariantError(
+                f"LeCaRPolicy experts diverged: LRU tracks {len(self._lru)} "
+                f"keys, LFU tracks {len(self._lfu)}"
+            )
+        total = self._weights[0] + self._weights[1]
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise InvariantError(
+                f"LeCaRPolicy weights not normalized: sum is {total!r}"
+            )
+        if min(self._weights) < 0.0:
+            raise InvariantError(
+                f"LeCaRPolicy negative expert weight: {self._weights!r}"
+            )
+        if len(self._history) > self._history_size:
+            raise InvariantError(
+                f"LeCaRPolicy ghost history holds {len(self._history)} entries, "
+                f"capacity is {self._history_size}"
+            )
+        self._lru.check_invariants()
+        self._lfu.check_invariants()
 
     def __len__(self) -> int:
         return len(self._lru)

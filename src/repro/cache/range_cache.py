@@ -22,18 +22,21 @@ from __future__ import annotations
 
 import functools
 import threading
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, TypeVar
 
-from repro.cache.base import CacheStats, EvictionPolicy
+from repro import sanitize
+from repro.cache.base import CacheBase, CacheStats, EvictionPolicy
 from repro.cache.intervals import IntervalSet
 from repro.cache.lru import LRUPolicy
 from repro.cache.skiplist import SkipList
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 
 Entry = Tuple[str, str]
 
+F = TypeVar("F", bound=Callable[..., Any])
 
-def _locked(method):
+
+def _locked(method: F) -> F:
     """Guard a RangeCache method with the instance lock.
 
     The paper shards the range cache for multi-client deployments; at
@@ -42,14 +45,14 @@ def _locked(method):
     """
 
     @functools.wraps(method)
-    def wrapper(self, *args, **kwargs):
+    def wrapper(self: "RangeCache", *args: Any, **kwargs: Any) -> Any:
         with self._lock:
             return method(self, *args, **kwargs)
 
-    return wrapper
+    return wrapper  # type: ignore[return-value]
 
 
-class RangeCache:
+class RangeCache(CacheBase):
     """Sorted result cache with complete-interval tracking.
 
     Parameters
@@ -85,6 +88,7 @@ class RangeCache:
         self.stats = CacheStats()
         self.point_hits = 0
         self.range_hits = 0
+        self._sanitizer = sanitize.from_env(seed)
 
     # -- capacity -------------------------------------------------------------
 
@@ -98,11 +102,6 @@ class RangeCache:
         """Bytes currently charged."""
         return self._used
 
-    @property
-    def occupancy(self) -> float:
-        """used/budget in [0, 1]."""
-        return self._used / self._budget if self._budget else 0.0
-
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -112,7 +111,9 @@ class RangeCache:
         if budget_bytes < 0:
             raise CacheError("budget_bytes must be >= 0")
         self._budget = budget_bytes
-        return self._evict_to_fit()
+        evicted = self._evict_to_fit()
+        self._after_mutation()
+        return evicted
 
     # -- point lookups -----------------------------------------------------------
 
@@ -136,7 +137,9 @@ class RangeCache:
     @_locked
     def insert_point(self, key: str, value: str) -> bool:
         """Admit one point-lookup result."""
-        return self._insert_entry(key, value)
+        admitted = self._insert_entry(key, value)
+        self._after_mutation()
+        return admitted
 
     # -- range scans -----------------------------------------------------------
 
@@ -193,6 +196,7 @@ class RangeCache:
             self._insert_entry(key, value, defer_eviction=True)
         self._intervals.add(start, admitted[-1][0])
         self._evict_to_fit()
+        self._after_mutation()
         return admit_count
 
     # -- write-path hooks -----------------------------------------------------------
@@ -209,6 +213,7 @@ class RangeCache:
             self._policy.record_access(key)
         elif self._intervals.covering(key) is not None:
             self._insert_entry(key, value)
+        self._after_mutation()
 
     @_locked
     def on_delete(self, key: str) -> None:
@@ -220,6 +225,7 @@ class RangeCache:
         if key in self._entries:
             self._drop_entry(key, split_interval=False)
             self.stats.invalidations += 1
+        self._after_mutation()
 
     # -- internals -----------------------------------------------------------
 
@@ -275,8 +281,47 @@ class RangeCache:
         return self._intervals.intervals()
 
     @_locked
+    def resident_keys(self) -> List[str]:
+        """All cached keys in order (diagnostics/sanitizer)."""
+        return [key for key, _ in self._entries.items()]
+
+    @_locked
     def clear(self) -> None:
         """Drop all entries and intervals."""
         for key, _ in list(self._entries.items()):
             self._drop_entry(key, split_interval=False)
         self._intervals.clear()
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    @_locked
+    def check_invariants(self) -> None:
+        """Byte conservation, skip-list health, policy sync, intervals."""
+        expected = len(self._entries) * self.entry_charge
+        if expected != self._used:
+            raise InvariantError(
+                f"RangeCache byte accounting drift: {len(self._entries)} "
+                f"entries x charge {self.entry_charge} = {expected} != "
+                f"used_bytes {self._used}"
+            )
+        if self._used > self._budget:
+            raise InvariantError(
+                f"RangeCache over budget at rest: used_bytes {self._used} "
+                f"> budget_bytes {self._budget}"
+            )
+        policy_len = len(self._policy)
+        if policy_len != len(self._entries):
+            raise InvariantError(
+                f"RangeCache policy/skip-list divergence: policy tracks "
+                f"{policy_len} keys, skip list holds {len(self._entries)} "
+                f"(a ghost entry leaked or a resident key went untracked)"
+            )
+        for key, _ in self._entries.items():
+            if key not in self._policy:
+                raise InvariantError(
+                    f"RangeCache resident key {key!r} is unknown to the "
+                    f"eviction policy"
+                )
+        self._entries.check_invariants()
+        self._intervals.check_invariants()
+        self._policy.check_invariants()

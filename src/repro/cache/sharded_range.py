@@ -18,14 +18,15 @@ from __future__ import annotations
 import bisect
 from typing import Callable, List, Optional, Sequence
 
-from repro.cache.base import CacheStats, EvictionPolicy
+from repro import sanitize
+from repro.cache.base import CacheBase, CacheStats, EvictionPolicy
 from repro.cache.range_cache import Entry, RangeCache
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 
 PolicyFactory = Callable[[], Optional[EvictionPolicy[str]]]
 
 
-class ShardedRangeCache:
+class ShardedRangeCache(CacheBase):
     """Key-range-partitioned Range Cache with per-shard budgets.
 
     Parameters
@@ -163,12 +164,6 @@ class ShardedRangeCache:
         """Total charged bytes across shards."""
         return sum(s.used_bytes for s in self._shards)
 
-    @property
-    def occupancy(self) -> float:
-        """used/budget in [0, 1]."""
-        budget = self.budget_bytes
-        return self.used_bytes / budget if budget else 0.0
-
     def __len__(self) -> int:
         return sum(len(s) for s in self._shards)
 
@@ -195,6 +190,38 @@ class ShardedRangeCache:
             total.rejections += s.rejections
             total.invalidations += s.invalidations
         return total
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def enable_sanitizer(
+        self, period: int = sanitize.DEFAULT_PERIOD, seed: int = 0
+    ) -> None:
+        """Enable per-shard sanitizers (mutations bypass this facade)."""
+        super().enable_sanitizer(period=period, seed=seed)
+        for i, shard in enumerate(self._shards):
+            shard.enable_sanitizer(period=period, seed=seed + i)
+
+    def check_invariants(self) -> None:
+        """Per-shard health plus every resident key inside its shard's range."""
+        if len(self._shards) != len(self._boundaries) + 1:
+            raise InvariantError(
+                f"ShardedRangeCache shard bookkeeping drift: "
+                f"{len(self._shards)} shards for {len(self._boundaries)} "
+                f"boundaries"
+            )
+        for idx, shard in enumerate(self._shards):
+            shard.check_invariants()
+            lower = self._boundaries[idx - 1] if idx > 0 else None
+            upper = self._upper_bound(idx)
+            for key in shard.resident_keys():
+                if (lower is not None and key < lower) or (
+                    upper is not None and key >= upper
+                ):
+                    raise InvariantError(
+                        f"ShardedRangeCache misrouted entry: key {key!r} "
+                        f"lives in shard {idx} but its range is "
+                        f"[{lower!r}, {upper!r})"
+                    )
 
 
 def even_boundaries(num_keys: int, num_shards: int, key_of) -> List[str]:

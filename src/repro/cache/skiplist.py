@@ -10,8 +10,10 @@ evicted.
 
 from __future__ import annotations
 
-import random
-from typing import Iterator, List, Optional, Tuple
+from random import Random
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.errors import InvariantError
 
 
 class _Node:
@@ -39,7 +41,7 @@ class SkipList:
     def __init__(self, p: float = 0.5, max_level: int = 24, seed: int = 0) -> None:
         self._p = p
         self._max_level = max_level
-        self._rng = random.Random(seed)
+        self._rng = Random(seed)
         self._head = _Node(None, None, max_level)
         self._level = 1
         self._size = 0
@@ -153,3 +155,69 @@ class SkipList:
         """Smallest stored key, or None when empty."""
         node = self._head.forward[0]
         return node.key if node is not None else None
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify ordering, size accounting, and level monotonicity.
+
+        Raises :class:`~repro.errors.InvariantError` when the level-0
+        chain is out of order or mis-sized (an unlinked or cycled node),
+        when a node linked at level ``k`` is missing from level ``k-1``
+        (towers must be contiguous from the ground up), or when the
+        tracked height disagrees with the head pointers.
+        """
+        # Level 0: strictly increasing keys, exactly _size reachable nodes.
+        reachable: Set[int] = set()
+        prev_key: Optional[str] = None
+        count = 0
+        node = self._head.forward[0]
+        while node is not None:
+            count += 1
+            if count > self._size:
+                raise InvariantError(
+                    f"SkipList level-0 chain has more than size={self._size} "
+                    f"nodes (unaccounted node or cycle)"
+                )
+            if node.key is None:
+                raise InvariantError("SkipList data node carries the sentinel key")
+            if prev_key is not None and prev_key >= node.key:
+                raise InvariantError(
+                    f"SkipList level-0 ordering broken: {prev_key!r} >= {node.key!r}"
+                )
+            prev_key = node.key
+            reachable.add(id(node))
+            node = node.forward[0]
+        if count != self._size:
+            raise InvariantError(
+                f"SkipList size drift: {count} nodes reachable at level 0, "
+                f"size says {self._size} (node unlinked without accounting?)"
+            )
+        # Levels 1+: each chain ordered and a subset of the level below.
+        below = reachable
+        for lv in range(1, self._level):
+            ids_here: Set[int] = set()
+            prev_key = None
+            node = self._head.forward[lv]
+            while node is not None:
+                if id(node) not in below:
+                    raise InvariantError(
+                        f"SkipList level monotonicity broken: node {node.key!r} "
+                        f"is linked at level {lv} but not at level {lv - 1}"
+                    )
+                if prev_key is not None and prev_key >= node.key:  # type: ignore[operator]
+                    raise InvariantError(
+                        f"SkipList level-{lv} ordering broken: "
+                        f"{prev_key!r} >= {node.key!r}"
+                    )
+                prev_key = node.key
+                ids_here.add(id(node))
+                node = node.forward[lv]
+            below = ids_here
+        # Nothing may be linked at or above the tracked height.
+        for lv in range(self._level, self._max_level):
+            if self._head.forward[lv] is not None:
+                raise InvariantError(
+                    f"SkipList head links a node at level {lv} but tracked "
+                    f"height is {self._level}"
+                )

@@ -25,7 +25,7 @@ from typing import Generic, Hashable, Optional, TypeVar
 
 from repro.cache.base import EvictionPolicy
 from repro.cache.sketch import CountMinSketch
-from repro.errors import CacheError
+from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
 
@@ -108,6 +108,14 @@ class TinyLFUPolicy(EvictionPolicy[K], Generic[K]):
     def sketch(self) -> CountMinSketch:
         """The frequency sketch (for introspection and tests)."""
         return self._sketch
+
+    def check_invariants(self) -> None:
+        """The duel candidate must be resident (or already cleared)."""
+        if self._candidate is not None and self._candidate not in self._order:
+            raise InvariantError(
+                f"TinyLFUPolicy duel candidate {self._candidate!r} is not "
+                f"resident (stale candidate survived an eviction)"
+            )
 
     def __len__(self) -> int:
         return len(self._order)

@@ -19,6 +19,10 @@ Chaos-test resilience under injected storage faults::
 
     python -m repro chaos --ops 20000 --transient-rate 0.01 \
         --corruption-rate 0.001 --crash-every 5000 --blackout-window 20
+
+Run the repo's static-analysis pass::
+
+    python -m repro lint src/repro
 """
 
 from __future__ import annotations
@@ -154,6 +158,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's AST lint pass (delegates to :mod:`repro.lint`)."""
+    from repro.lint.runner import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-keys", type=int, default=10_000, help="database size in keys")
     parser.add_argument("--cache-kb", type=int, default=1024, help="total cache budget (KiB)")
@@ -225,6 +241,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the controller window (ops) for both engines",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific AST lint pass (see docs/static_analysis.md)"
+    )
+    lint.add_argument("paths", nargs="*", help="files/dirs (default: the repro package)")
+    lint.add_argument("--select", help="comma-separated rule ids to run")
+    lint.add_argument("--list-rules", action="store_true", help="describe every rule")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

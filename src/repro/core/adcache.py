@@ -84,6 +84,9 @@ class AdCacheEngine(KVEngine):
             range_cache = RangeCache(
                 range_budget, entry_charge=entry_charge, seed=config.seed
             )
+        if config.sanitize:
+            block_cache.enable_sanitizer(seed=config.seed)
+            range_cache.enable_sanitizer(seed=config.seed + 1)
 
         sketch = CountMinSketch(
             width=config.sketch_width,

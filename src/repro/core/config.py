@@ -105,6 +105,12 @@ class AdCacheConfig:
         Initial Gaussian exploration (log scale).
     seed:
         Master seed for the agent, sketch, and skip lists.
+    sanitize:
+        Run runtime invariant checks (:mod:`repro.sanitize`) on the
+        block and range caches after a deterministic random sample of
+        mutations, and a full sweep at every window boundary.  The
+        ``REPRO_SANITIZE`` environment variable enables the same checks
+        without touching configs.
     """
 
     total_cache_bytes: int = 4 << 20
@@ -137,6 +143,7 @@ class AdCacheConfig:
     range_shard_boundaries: Optional[Tuple[str, ...]] = None
     exploration_log_std: float = -1.2
     seed: int = 0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.total_cache_bytes < 0:

@@ -18,7 +18,7 @@ Every step is recorded in :attr:`history` so the paper's Figure 10
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
@@ -101,7 +101,7 @@ class PolicyDecisionController:
         self._replay: Deque[Tuple[np.ndarray, np.ndarray, float, np.ndarray]] = deque(
             maxlen=max(1, config.replay_capacity)
         )
-        self._replay_rng = random.Random(config.seed + 17)
+        self._replay_rng = Random(config.seed + 17)
         # Currently applied parameters (actions are normalized to [0,1]).
         self._range_ratio = config.initial_range_ratio
         self._point_threshold = 0.0

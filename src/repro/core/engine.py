@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, List, Optional, Tuple
 
+from repro import sanitize
 from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
 from repro.cache.block_cache import BlockCache
 from repro.cache.kp_cache import KPCache
@@ -296,8 +297,29 @@ class KVEngine:
             range_ratio=self.current_range_ratio,
         )
         self.windows.append(window)
+        if self._sanitize_sweep_due():
+            self.check_invariants()
         if self.on_window is not None:
             self.on_window(window)
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def _caches(self):
+        return (self.block_cache, self.range_cache, self.kv_cache, self.kp_cache)
+
+    def _sanitize_sweep_due(self) -> bool:
+        """Full sweeps run at window boundaries when sanitizing is on —
+        via ``REPRO_SANITIZE`` or any cache's enabled sanitizer."""
+        if sanitize.env_enabled():
+            return True
+        return any(c is not None and c.sanitizing for c in self._caches())
+
+    def check_invariants(self) -> None:
+        """Sweep every attached cache and the LSM manifest."""
+        for cache in self._caches():
+            if cache is not None:
+                cache.check_invariants()
+        self.tree.check_invariants()
 
     # -- introspection ---------------------------------------------------------------
 

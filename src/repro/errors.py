@@ -49,6 +49,17 @@ class CacheError(ReproError):
     """A cache component was misused (bad budget, unknown key class...)."""
 
 
+class InvariantError(ReproError):
+    """A runtime invariant check found corrupted internal state.
+
+    Raised by the ``check_invariants()`` protocol (the sanitizer layer,
+    see :mod:`repro.sanitize`): byte-accounting drift, structure
+    cross-inconsistency, broken skip-list ordering, or a version/
+    manifest that disagrees with the disk.  This is never a user error —
+    it means a bug mutated internal state, and the message names the
+    structure and the exact discrepancy."""
+
+
 class WriteStallError(ReproError):
     """A write was rejected because Level-0 reached its stop trigger.
 

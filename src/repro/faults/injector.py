@@ -26,7 +26,7 @@ Fault types:
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -91,7 +91,7 @@ class FaultInjector:
     def __init__(self, config: Optional[FaultConfig] = None) -> None:
         self.config = config or FaultConfig()
         self.stats = FaultStats()
-        self._rng = random.Random(self.config.seed ^ 0xFA17)
+        self._rng = Random(self.config.seed ^ 0xFA17)
 
     # -- disk hook -----------------------------------------------------------
 

@@ -1,0 +1,24 @@
+"""repro-lint: repo-specific static analysis for the simulator.
+
+A small AST lint pass (stdlib :mod:`ast` only — no third-party
+dependency) that enforces the repository's simulation discipline on top
+of what generic linters check:
+
+* determinism — randomness must flow through injected seeded
+  ``random.Random`` instances and time through the sim clock (SIM001);
+* metering — every simulated-disk read path must charge the I/O
+  counters the sim clock's cost model consumes (SIM002);
+* sanitizer coverage — every cache container must implement the
+  runtime invariant protocol (CACHE001);
+
+plus a few generic hygiene rules (MUT001, EXC001, SLOT001).
+
+Run it with ``python -m repro.lint [paths]`` or ``repro lint``; suppress
+a single finding with a ``# lint: disable=RULE`` comment on the
+offending line.
+"""
+
+from repro.lint.rules import ALL_RULES, Violation
+from repro.lint.runner import lint_paths, main
+
+__all__ = ["ALL_RULES", "Violation", "lint_paths", "main"]

@@ -1,0 +1,293 @@
+"""Lint rules: repo-specific simulation discipline plus generic hygiene.
+
+Each rule is a function from a parsed module to an iterator of
+:class:`Violation` s, registered under a stable rule id via the
+:func:`rule` decorator.  Rule docstrings are the user-facing
+documentation (``python -m repro.lint --list-rules`` prints them).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+#: Modules whose ambient state would break run-to-run determinism.
+_NONDETERMINISTIC_MODULES = ("random", "time", "datetime")
+
+#: Class-name pattern for hot-path linked-structure nodes (SLOT001).
+_NODE_CLASS_RE = re.compile(r"^_?[A-Za-z0-9_]*Node$")
+
+#: Counters a metered disk read path must charge (SIM002).
+_METER_COUNTERS = ("block_reads_total", "bytes_read_total")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+RuleFunc = Callable[[ast.Module, str], Iterator[Violation]]
+
+#: Registry of ``rule_id -> checker`` in registration order.
+ALL_RULES: Dict[str, RuleFunc] = {}
+
+
+def rule(rule_id: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a checker under ``rule_id``."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        ALL_RULES[rule_id] = func
+        return func
+
+    return register
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    """Textual names of a class's bases (``Name`` or dotted ``Attribute``)."""
+    names: List[str] = []
+    for base in cls.bases:
+        node = base
+        # Unwrap subscripts like EvictionPolicy[K].
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _own_methods(cls: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [n for n in cls.body if isinstance(n, ast.FunctionDef)]
+
+
+@rule("SIM001")
+def check_nondeterministic_imports(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """Ban ambient nondeterminism: no ``random``/``time``/``datetime``.
+
+    Determinism is the simulator's core property: the same seed must
+    reproduce a run byte-for-byte.  Randomness therefore flows through
+    per-instance seeded ``random.Random`` objects (``from random import
+    Random`` is the one sanctioned form) or ``numpy`` generators, and
+    simulated time through the sim clock's cost model — never through
+    the wall clock.  Importing these modules wholesale makes the easy
+    path (``random.random()``, ``time.time()``) the wrong one.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _NONDETERMINISTIC_MODULES:
+                    yield Violation(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "SIM001",
+                        f"import of {alias.name!r} invites ambient "
+                        f"nondeterminism; inject a seeded Random (from "
+                        f"random import Random) or use the sim clock",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports never target stdlib
+                continue
+            root = (node.module or "").split(".")[0]
+            if root == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield Violation(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "SIM001",
+                            f"from random import {alias.name} bypasses "
+                            f"seeded-instance discipline; import only "
+                            f"Random and seed it explicitly",
+                        )
+            elif root in ("time", "datetime"):
+                yield Violation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "SIM001",
+                    f"import from {root!r} reads the wall clock; "
+                    f"simulated time must come from the sim clock",
+                )
+
+
+@rule("SIM002")
+def check_metered_disk_reads(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """Every simulated-disk read path must charge the I/O meters.
+
+    The sim clock derives latency from ``block_reads_total`` and
+    ``bytes_read_total``; a ``read_*`` method on a ``*Disk`` class that
+    returns data without bumping both counters produces I/O the clock
+    never sees, silently skewing every latency figure downstream.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and "Disk" in node.name):
+            continue
+        for method in _own_methods(node):
+            if not method.name.startswith("read_"):
+                continue
+            charged = set()
+            for sub in ast.walk(method):
+                targets: Tuple[ast.expr, ...] = ()
+                if isinstance(sub, ast.AugAssign):
+                    targets = (sub.target,)
+                elif isinstance(sub, ast.Assign):
+                    targets = tuple(sub.targets)
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in _METER_COUNTERS
+                    ):
+                        charged.add(target.attr)
+            missing = [c for c in _METER_COUNTERS if c not in charged]
+            if missing:
+                yield Violation(
+                    path,
+                    method.lineno,
+                    method.col_offset,
+                    "SIM002",
+                    f"{node.name}.{method.name} never charges "
+                    f"{'/'.join('self.' + m for m in missing)}; unmetered "
+                    f"reads are invisible to the sim clock",
+                )
+
+
+@rule("CACHE001")
+def check_cache_invariant_protocol(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """Every ``CacheBase`` subclass must implement ``check_invariants``.
+
+    The runtime sanitizer (:mod:`repro.sanitize`) sweeps caches through
+    ``check_invariants()``; a container inheriting a parent's check
+    silently skips its own bookkeeping (shard routing, interval
+    tracking, uniform charges), so each direct subclass must define the
+    method in its own body.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "CacheBase" not in _base_names(node):
+            continue
+        if node.name == "CacheBase":
+            continue
+        if not any(m.name == "check_invariants" for m in _own_methods(node)):
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "CACHE001",
+                f"cache container {node.name} does not define "
+                f"check_invariants(); the runtime sanitizer cannot "
+                f"verify its bookkeeping",
+            )
+
+
+@rule("MUT001")
+def check_mutable_default_args(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """No mutable default arguments.
+
+    A ``list``/``dict``/``set`` default is evaluated once at definition
+    time and shared across calls — classic state leakage between
+    supposedly independent simulator components.  Use ``None`` and
+    construct inside the function.
+    """
+    mutable_calls = {"list", "dict", "set"}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            is_mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in mutable_calls
+            )
+            if is_mutable:
+                yield Violation(
+                    path,
+                    default.lineno,
+                    default.col_offset,
+                    "MUT001",
+                    f"mutable default argument in {node.name}(); use None "
+                    f"and construct inside the body",
+                )
+
+
+@rule("EXC001")
+def check_bare_except(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """No bare ``except:`` clauses.
+
+    A bare except swallows ``KeyboardInterrupt``/``SystemExit`` and —
+    worse here — :class:`~repro.errors.InvariantError`, turning a
+    sanitizer-detected corruption into a silently absorbed event.
+    Catch a concrete exception type.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "EXC001",
+                "bare except swallows InvariantError and interrupts; "
+                "catch a concrete exception type",
+            )
+
+
+@rule("SLOT001")
+def check_node_slots(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """Hot-path ``*Node`` classes must declare ``__slots__``.
+
+    Linked-structure node classes (skip-list towers and friends) are
+    allocated per cached entry; without ``__slots__`` each instance
+    carries a dict, roughly tripling memory per node and slowing every
+    attribute access on the hottest paths in the simulator.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _NODE_CLASS_RE.match(node.name):
+            continue
+        has_slots = any(
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            )
+            or (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            )
+            for stmt in node.body
+        )
+        if not has_slots:
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "SLOT001",
+                f"hot-path node class {node.name} lacks __slots__; "
+                f"per-instance dicts bloat every cached entry",
+            )

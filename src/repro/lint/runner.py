@@ -1,0 +1,147 @@
+"""Lint runner: file discovery, disable comments, reporting, exit code.
+
+``python -m repro.lint [paths]`` walks the given files/directories
+(default: the ``repro`` package itself), runs every registered rule,
+filters findings suppressed by ``# lint: disable=RULE`` comments on the
+offending line, prints the rest, and exits nonzero when any remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.rules import ALL_RULES, Violation
+
+_DISABLE_MARKER = "# lint: disable="
+
+
+def _disabled_rules_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    disabled: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        marker = line.find(_DISABLE_MARKER)
+        if marker < 0:
+            continue
+        spec = line[marker + len(_DISABLE_MARKER) :].split("#")[0]
+        ids = {part.strip() for part in spec.split(",") if part.strip()}
+        if ids:
+            disabled[lineno] = ids
+    return disabled
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return files
+
+
+def lint_file(path: str, rule_ids: Optional[Sequence[str]] = None) -> List[Violation]:
+    """Run the (selected) rules over one file, honoring disable comments."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path,
+                exc.lineno or 0,
+                exc.offset or 0,
+                "PARSE",
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    disabled = _disabled_rules_by_line(source)
+    selected = rule_ids if rule_ids is not None else list(ALL_RULES)
+    findings: List[Violation] = []
+    for rule_id in selected:
+        for violation in ALL_RULES[rule_id](tree, path):
+            if rule_id in disabled.get(violation.line, ()):
+                continue
+            findings.append(violation)
+    findings.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str], rule_ids: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run the (selected) rules over files/directories; all findings."""
+    findings: List[Violation] = []
+    for path in _iter_python_files(paths):
+        findings.extend(lint_file(path, rule_ids))
+    return findings
+
+
+def _default_target() -> str:
+    """The installed ``repro`` package directory."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific AST lint for the AdCache simulator.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its documentation and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, func in ALL_RULES.items():
+            doc = (func.__doc__ or "").strip()
+            print(f"{rule_id}: {doc}\n")
+        return 0
+
+    rule_ids: Optional[List[str]] = None
+    if args.select:
+        rule_ids = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in ALL_RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or [_default_target()]
+    try:
+        findings = lint_paths(paths, rule_ids)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for violation in findings:
+        print(violation.render())
+    if findings:
+        print(f"\n{len(findings)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import (
     ClosedError,
     CorruptionError,
@@ -74,6 +75,7 @@ class LSMTree:
         self.compactor = Compactor(self.options, self.disk, self.levels)
         self._block_fetch: BlockFetch = block_fetch or self.disk.read_block
         self._closed = False
+        self._sanitizer = sanitize.from_env(self.options.seed)
         # read-path counters
         self.gets_total = 0
         self.scans_total = 0
@@ -213,6 +215,8 @@ class LSMTree:
         self.flushes_total += 1
         if self.options.auto_compact:
             self.compactor.maybe_compact()
+        if self._sanitizer is not None:
+            self._sanitizer.after_mutation(self)
         return table
 
     # -- point lookups -----------------------------------------------------------------
@@ -399,3 +403,15 @@ class LSMTree:
     def sst_reads_total(self) -> int:
         """Data-block reads that reached the simulated disk."""
         return self.disk.block_reads_total
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Manifest health cross-checked against the simulated disk.
+
+        Delegates to :meth:`LevelState.check_invariants` with the disk's
+        liveness predicate, so a manifest entry whose SSTable was
+        dropped (or a compaction that forgot to unlink an input) trips
+        here.
+        """
+        self.levels.check_invariants(is_live=self.disk.has)

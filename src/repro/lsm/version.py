@@ -14,9 +14,9 @@ The counts exposed here (``num_levels`` ``L`` and sorted-run totals
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import InvariantError, StorageError
 from repro.lsm.sstable import SSTable
 
 
@@ -128,3 +128,51 @@ class LevelState:
         for files in self._levels:
             out.extend(files)
         return out
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self, is_live: Optional[Callable[[int], bool]] = None) -> None:
+        """Manifest health: sorted non-overlapping runs, unique live ids.
+
+        * every file's ``first_key <= last_key``;
+        * levels 1+ are sorted by first key with strictly disjoint key
+          ranges (``prev.last_key < next.first_key``);
+        * no SSTable id appears twice in the manifest;
+        * with ``is_live`` (normally ``disk.has``), every manifest file
+          must still exist on the simulated disk.
+        """
+        seen_ids: dict = {}
+        for level, files in enumerate(self._levels):
+            for table in files:
+                if table.first_key > table.last_key:
+                    raise InvariantError(
+                        f"LevelState: sst {table.sst_id} at level {level} has "
+                        f"inverted key range [{table.first_key!r}.."
+                        f"{table.last_key!r}]"
+                    )
+                if table.sst_id in seen_ids:
+                    raise InvariantError(
+                        f"LevelState: sst id {table.sst_id} appears at both "
+                        f"level {seen_ids[table.sst_id]} and level {level}"
+                    )
+                seen_ids[table.sst_id] = level
+                if is_live is not None and not is_live(table.sst_id):
+                    raise InvariantError(
+                        f"LevelState: manifest lists sst {table.sst_id} at "
+                        f"level {level} but it is gone from disk"
+                    )
+            if level == 0:
+                continue  # L0 runs may overlap by design
+            for prev, cur in zip(files, files[1:]):
+                if prev.first_key > cur.first_key:
+                    raise InvariantError(
+                        f"LevelState: level {level} out of order: sst "
+                        f"{prev.sst_id} first key {prev.first_key!r} > sst "
+                        f"{cur.sst_id} first key {cur.first_key!r}"
+                    )
+                if prev.last_key >= cur.first_key:
+                    raise InvariantError(
+                        f"LevelState: level {level} overlap: sst "
+                        f"{prev.sst_id} ends at {prev.last_key!r} but sst "
+                        f"{cur.sst_id} starts at {cur.first_key!r}"
+                    )

@@ -1,0 +1,340 @@
+"""Runtime invariant sanitizer: seeded corruption must be caught.
+
+Each test corrupts one structure's internals the way a real bug would
+(byte over-charge, unlinked skip-list node, ghost policy entry, manifest
+drift) and asserts ``check_invariants()`` raises an
+:class:`~repro.errors.InvariantError` naming the broken invariant.
+"""
+
+import pytest
+
+from repro import sanitize
+from repro.cache.base import BudgetedCache
+from repro.cache.block_cache import BlockCache
+from repro.cache.intervals import IntervalSet
+from repro.cache.kp_cache import KPCache
+from repro.cache.kv_cache import KVCache
+from repro.cache.lru import LRUPolicy
+from repro.cache.range_cache import RangeCache
+from repro.cache.sharded_range import ShardedRangeCache
+from repro.cache.skiplist import SkipList
+from repro.core.adcache import AdCacheEngine
+from repro.core.config import AdCacheConfig
+from repro.errors import InvariantError
+from repro.lsm.block import BlockHandle
+from repro.lsm.options import LSMOptions
+from repro.lsm.sstable import SSTable
+from repro.lsm.tree import LSMTree
+from repro.lsm.version import LevelState
+
+
+def _budgeted(budget=1024, charge=64):
+    return BudgetedCache(budget, LRUPolicy(), lambda _k, _v: charge)
+
+
+def _filled_range_cache(n=20):
+    cache = RangeCache(budget_bytes=64 * n, entry_charge=64, seed=3)
+    for i in range(n):
+        cache.insert_point(f"k{i:04d}", f"v{i}")
+    return cache
+
+
+# -- sampling gate -----------------------------------------------------------
+
+
+def test_env_period_parsing(monkeypatch):
+    cases = {
+        "": 0,
+        "0": 0,
+        "false": 0,
+        "off": 0,
+        "1": sanitize.DEFAULT_PERIOD,
+        "17": 17,
+        "yes-please": sanitize.DEFAULT_PERIOD,
+        "-3": 0,
+    }
+    for raw, expected in cases.items():
+        monkeypatch.setenv("REPRO_SANITIZE", raw)
+        assert sanitize.env_period() == expected, raw
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert sanitize.env_period() == 0
+    assert sanitize.from_env() is None
+
+
+class _CountingTarget:
+    def __init__(self):
+        self.checks = 0
+
+    def check_invariants(self):
+        self.checks += 1
+
+
+def test_sanitizer_schedule_is_deterministic():
+    a, b = sanitize.Sanitizer(period=7, seed=42), sanitize.Sanitizer(period=7, seed=42)
+    ta, tb = _CountingTarget(), _CountingTarget()
+    schedule_a, schedule_b = [], []
+    for i in range(500):
+        a.after_mutation(ta)
+        b.after_mutation(tb)
+        schedule_a.append(ta.checks)
+        schedule_b.append(tb.checks)
+    assert schedule_a == schedule_b
+    assert a.checks_run == ta.checks > 0
+
+
+def test_sanitizer_period_one_checks_every_mutation():
+    gate = sanitize.Sanitizer(period=1, seed=0)
+    target = _CountingTarget()
+    for _ in range(10):
+        gate.after_mutation(target)
+    assert target.checks == 10
+
+
+def test_sanitizer_mean_gap_tracks_period():
+    gate = sanitize.Sanitizer(period=10, seed=1)
+    target = _CountingTarget()
+    for _ in range(10_000):
+        gate.after_mutation(target)
+    # Gaps are uniform on [1, 19]: mean 10, so ~1000 checks +- noise.
+    assert 800 <= target.checks <= 1200
+
+
+# -- BudgetedCache corruptions -----------------------------------------------
+
+
+def test_budgeted_cache_clean_state_passes():
+    cache = _budgeted()
+    for i in range(10):
+        cache.put(f"k{i}", "v")
+    cache.check_invariants()
+
+
+def test_budgeted_cache_detects_overcharged_entry():
+    cache = _budgeted()
+    cache.put("a", "v")
+    cache._used += 64  # simulate a lost decrement on eviction
+    with pytest.raises(InvariantError, match="byte accounting drift"):
+        cache.check_invariants()
+
+
+def test_budgeted_cache_detects_resting_over_budget():
+    cache = _budgeted(budget=1024)
+    cache.put("a", "v")
+    cache._budget = 32  # resize that forgot to evict
+    with pytest.raises(InvariantError, match="over budget at rest"):
+        cache.check_invariants()
+
+
+def test_budgeted_cache_detects_ghost_policy_entry():
+    cache = _budgeted()
+    cache.put("a", "v")
+    cache._policy.record_insert("ghost")  # policy knows a key the dict lost
+    with pytest.raises(InvariantError, match="policy/dict divergence"):
+        cache.check_invariants()
+
+
+def test_budgeted_cache_detects_untracked_resident_key():
+    cache = _budgeted()
+    cache.put("a", "v")
+    cache.put("b", "v")
+    cache._policy.record_remove("a")  # resident key vanished from policy
+    with pytest.raises(InvariantError, match="divergence|unknown to the"):
+        cache.check_invariants()
+
+
+def test_enabled_sanitizer_trips_on_next_mutation():
+    cache = _budgeted()
+    cache.enable_sanitizer(period=1, seed=0)
+    cache.put("a", "v")  # clean mutation passes
+    cache._used += 7
+    with pytest.raises(InvariantError, match="byte accounting drift"):
+        cache.put("b", "v")
+
+
+# -- skip list corruptions ---------------------------------------------------
+
+
+def test_skiplist_clean_state_passes():
+    sl = SkipList(seed=5)
+    for i in range(200):
+        sl.insert(f"k{i:05d}", str(i))
+    for i in range(0, 200, 3):
+        sl.remove(f"k{i:05d}")
+    sl.check_invariants()
+
+
+def test_skiplist_detects_unlinked_node():
+    sl = SkipList(seed=5)
+    for i in range(50):
+        sl.insert(f"k{i:02d}", str(i))
+    # Unlink the first data node at level 0 only, without accounting —
+    # either the size drifts or a taller tower loses its ground level.
+    node = sl._head.forward[0]
+    sl._head.forward[0] = node.forward[0]
+    with pytest.raises(InvariantError, match="SkipList"):
+        sl.check_invariants()
+
+
+def test_skiplist_detects_size_drift():
+    sl = SkipList(seed=5)
+    sl.insert("a", "1")
+    sl._size += 1
+    with pytest.raises(InvariantError, match="size drift"):
+        sl.check_invariants()
+
+
+def test_skiplist_detects_broken_ordering():
+    sl = SkipList(seed=5)
+    sl.insert("a", "1")
+    sl.insert("b", "2")
+    sl._head.forward[0].key = "z"  # out-of-order overwrite
+    with pytest.raises(InvariantError, match="ordering broken"):
+        sl.check_invariants()
+
+
+# -- interval set corruptions ------------------------------------------------
+
+
+def test_intervalset_detects_inverted_and_overlapping():
+    ivs = IntervalSet()
+    ivs.add("a", "f")
+    ivs._starts.append("z")
+    ivs._ends.append("m")
+    with pytest.raises(InvariantError, match="inverted"):
+        ivs.check_invariants()
+    ivs2 = IntervalSet()
+    ivs2._starts.extend(["a", "c"])
+    ivs2._ends.extend(["d", "f"])
+    with pytest.raises(InvariantError, match="overlap"):
+        ivs2.check_invariants()
+
+
+# -- range cache corruptions -------------------------------------------------
+
+
+def test_range_cache_clean_state_passes():
+    cache = _filled_range_cache()
+    cache.insert_range("k0000", [(f"k{i:04d}", "v") for i in range(5)])
+    cache.check_invariants()
+
+
+def test_range_cache_detects_leaked_ghost_entry():
+    cache = _filled_range_cache()
+    cache._policy.record_insert("ghost-key")
+    with pytest.raises(InvariantError, match="policy/skip-list divergence"):
+        cache.check_invariants()
+
+
+def test_range_cache_detects_byte_drift():
+    cache = _filled_range_cache()
+    cache._used -= 64
+    with pytest.raises(InvariantError, match="byte accounting drift"):
+        cache.check_invariants()
+
+
+# -- facade caches -----------------------------------------------------------
+
+
+def test_kv_cache_detects_inner_corruption():
+    cache = KVCache(budget_bytes=4096, entry_charge=64)
+    cache.put("a", "v")
+    cache._cache._used += 1
+    with pytest.raises(InvariantError, match="byte accounting drift"):
+        cache.check_invariants()
+
+
+def test_kp_cache_detects_nonuniform_charge():
+    cache = KPCache(budget_bytes=4096, is_live=lambda _sst: True)
+    cache.remember("a", BlockHandle(1, 0))
+    key, (value, _charge) = next(iter(cache._cache._data.items()))
+    cache._cache._data[key] = (value, 99)
+    cache._cache._used += 99 - cache.entry_charge
+    with pytest.raises(InvariantError, match="uniform charge"):
+        cache.check_invariants()
+
+
+def test_block_cache_detects_misrouted_entry():
+    cache = BlockCache(
+        budget_bytes=16 * 4096,
+        block_size=4096,
+        backing_fetch=lambda handle: None,
+        num_shards=4,
+    )
+    handle = BlockHandle(1, 0)
+    wrong = (cache._shard_of(handle) + 1) % 4
+    cache._shards[wrong].put(handle, object())
+    with pytest.raises(InvariantError, match="misrouted entry"):
+        cache.check_invariants()
+
+
+def test_sharded_range_cache_detects_misrouted_key():
+    cache = ShardedRangeCache(
+        budget_bytes=64 * 64, boundaries=["m"], entry_charge=64, seed=1
+    )
+    cache.insert_point("apple", "v")
+    cache.insert_point("zebra", "v")
+    cache.check_invariants()
+    # Plant a key beyond the first shard's upper bound directly.
+    cache._shards[0]._insert_entry("zzz", "v")
+    with pytest.raises(InvariantError, match="misrouted entry"):
+        cache.check_invariants()
+
+
+# -- LSM manifest corruptions ------------------------------------------------
+
+
+def _table(sst_id, keys):
+    return SSTable.from_entries(sst_id, [(k, "v") for k in keys], entries_per_block=4)
+
+
+def test_level_state_detects_duplicate_sst_id():
+    levels = LevelState(max_levels=4)
+    levels.add_to_level(1, _table(1, ["a", "b"]))
+    levels.add_to_level(2, _table(1, ["c", "d"]))
+    with pytest.raises(InvariantError, match="appears at both"):
+        levels.check_invariants()
+
+
+def test_level_state_detects_overlap():
+    levels = LevelState(max_levels=4)
+    levels.add_to_level(1, _table(1, ["a", "m"]))
+    levels._levels[1].append(_table(2, ["f", "z"]))  # bypass the guarded insert
+    with pytest.raises(InvariantError, match="overlap"):
+        levels.check_invariants()
+
+
+def test_level_state_detects_dead_manifest_file():
+    levels = LevelState(max_levels=4)
+    levels.add_to_level(1, _table(9, ["a", "b"]))
+    with pytest.raises(InvariantError, match="gone from disk"):
+        levels.check_invariants(is_live=lambda sst_id: False)
+
+
+def test_lsm_tree_invariants_pass_after_real_traffic():
+    tree = LSMTree(LSMOptions(memtable_entries=16, entries_per_sstable=32))
+    for i in range(400):
+        tree.put(f"k{i:05d}", f"v{i}")
+    tree.check_invariants()
+    tree.levels.check_invariants(is_live=tree.disk.has)
+
+
+# -- config wiring -----------------------------------------------------------
+
+
+def test_config_sanitize_flag_enables_cache_sanitizers(monkeypatch):
+    # The config flag must work (and the default must stay off) no
+    # matter what the ambient REPRO_SANITIZE is set to.
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    tree = LSMTree(LSMOptions(memtable_entries=16, entries_per_sstable=32))
+    engine = AdCacheEngine(
+        tree, AdCacheConfig(total_cache_bytes=64 * 1024, sanitize=True)
+    )
+    assert engine.block_cache.sanitizing
+    assert engine.range_cache.sanitizing
+    assert engine._sanitize_sweep_due()
+    plain = AdCacheEngine(
+        LSMTree(LSMOptions(memtable_entries=16, entries_per_sstable=32)),
+        AdCacheConfig(total_cache_bytes=64 * 1024),
+    )
+    assert not plain.block_cache.sanitizing
+    assert not plain._sanitize_sweep_due()

@@ -61,9 +61,9 @@ class TestCorrectnessAcrossCompaction:
         engine = build_engine("adcache", tree, cache_bytes=256 * 1024, seed=1)
         for i in range(2000):
             ground_truth[key_of(i)] = value_of(i)
-        import random
+        from random import Random
 
-        rng = random.Random(9)
+        rng = Random(9)
         for step in range(3000):
             i = rng.randrange(2000)
             key = key_of(i)

@@ -1,0 +1,125 @@
+"""Determinism regression: the same seed reproduces a run exactly.
+
+The whole simulator is built on injected seeded RNGs (``Random`` /
+``numpy`` generators) and metered sim time; nothing may read ambient
+randomness or the wall clock (lint rule SIM001 enforces the import
+side).  This harness runs the full AdCache stack twice with identical
+seeds and asserts the runs match operation-for-operation — results,
+counters, controller windows, and final cache contents — and that
+enabling the sanitizer does not perturb the simulation.
+"""
+
+import pytest
+
+from repro.bench.harness import seed_database
+from repro.bench.strategies import build_engine
+from repro.core.engine import KVEngine
+from repro.faults.chaos import _apply_compared
+from repro.lsm.options import LSMOptions
+from repro.workloads.generator import WorkloadGenerator, balanced_workload
+
+NUM_KEYS = 2_000
+OPS = 5_000
+CACHE_BYTES = 256 * 1024
+
+
+def _run_once(strategy: str = "adcache", seed: int = 11, ops: int = OPS):
+    options = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+    tree = seed_database(NUM_KEYS, options, seed=7)
+    engine = build_engine(strategy, tree, CACHE_BYTES, seed=seed)
+    generator = WorkloadGenerator(balanced_workload(NUM_KEYS), seed=seed + 1)
+    results = [_apply_compared(engine, op) for op in generator.ops(ops)]
+    return engine, results
+
+
+def _fingerprint(engine: KVEngine):
+    tree = engine.tree
+    fp = {
+        "tree": (
+            tree.gets_total,
+            tree.scans_total,
+            tree.flushes_total,
+            tree.bloom_negative_total,
+            tree.bloom_false_positive_total,
+            tree.disk.block_reads_total,
+            tree.disk.bytes_read_total,
+            tree.num_levels,
+            tree.num_sorted_runs,
+            sorted(tree.disk.live_sst_ids()),
+        ),
+        "windows": [
+            (
+                w.ops,
+                w.range_point_hits,
+                w.range_scan_hits,
+                w.block_hits,
+                w.block_misses,
+                w.io_miss,
+                w.range_occupancy,
+                w.block_occupancy,
+                w.range_ratio,
+            )
+            for w in engine.windows
+        ],
+    }
+    if engine.block_cache is not None:
+        stats = engine.block_cache.stats
+        fp["block"] = (
+            len(engine.block_cache),
+            engine.block_cache.used_bytes,
+            engine.block_cache.budget_bytes,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+        )
+    if engine.range_cache is not None:
+        stats = engine.range_cache.stats
+        fp["range"] = (
+            engine.range_cache.resident_keys(),
+            engine.range_cache.complete_intervals(),
+            engine.range_cache.used_bytes,
+            engine.range_cache.budget_bytes,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.rejections,
+        )
+    return fp
+
+
+def test_double_run_is_byte_identical():
+    engine_a, results_a = _run_once(seed=11)
+    engine_b, results_b = _run_once(seed=11)
+    assert results_a == results_b
+    assert _fingerprint(engine_a) == _fingerprint(engine_b)
+    # Sanity: the workload actually exercised the stack.
+    assert engine_a.tree.flushes_total > 0
+    assert len(engine_a.windows) >= 4
+
+
+def test_different_seeds_diverge():
+    _, results_a = _run_once(seed=11, ops=1_500)
+    _, results_b = _run_once(seed=12, ops=1_500)
+    assert results_a != results_b
+
+
+@pytest.mark.parametrize("strategy", ["range-lecar", "range-cacheus"])
+def test_learned_policies_are_deterministic_too(strategy):
+    engine_a, results_a = _run_once(strategy=strategy, seed=5, ops=2_000)
+    engine_b, results_b = _run_once(strategy=strategy, seed=5, ops=2_000)
+    assert results_a == results_b
+    assert _fingerprint(engine_a) == _fingerprint(engine_b)
+
+
+def test_sanitized_run_matches_unsanitized_run(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    engine_plain, results_plain = _run_once(seed=11, ops=2_000)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    engine_sane, results_sane = _run_once(seed=11, ops=2_000)
+    assert results_plain == results_sane
+    assert _fingerprint(engine_plain) == _fingerprint(engine_sane)
+    # The sanitizer must actually have run checks, not just been armed.
+    shards = engine_sane.block_cache._shards
+    assert sum(s._sanitizer.checks_run for s in shards if s._sanitizer) > 0
+    assert engine_sane.range_cache._sanitizer is not None
+    assert engine_sane.range_cache._sanitizer.checks_run > 0

@@ -1,0 +1,231 @@
+"""repro-lint: every rule fires on a violating fixture, stays quiet on
+suppressed/clean code, and the real source tree is violation-free."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.lint.rules import ALL_RULES
+from repro.lint.runner import lint_file, lint_paths, main
+
+REPRO_PKG = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _lint_source(tmp_path, source, select=None):
+    path = tmp_path / "fixture.py"
+    path.write_text(source)
+    return lint_file(str(path), select)
+
+
+def _rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# -- SIM001 ------------------------------------------------------------------
+
+
+def test_sim001_flags_import_random(tmp_path):
+    findings = _lint_source(tmp_path, "import random\n", ["SIM001"])
+    assert _rule_ids(findings) == ["SIM001"]
+    assert "seeded Random" in findings[0].message
+
+
+def test_sim001_flags_time_and_datetime(tmp_path):
+    source = "import time\nimport datetime\nfrom time import sleep\n"
+    findings = _lint_source(tmp_path, source, ["SIM001"])
+    assert _rule_ids(findings) == ["SIM001"] * 3
+    assert [f.line for f in findings] == [1, 2, 3]
+
+
+def test_sim001_allows_from_random_import_Random(tmp_path):
+    source = "from random import Random\nrng = Random(7)\n"
+    assert _lint_source(tmp_path, source, ["SIM001"]) == []
+
+
+def test_sim001_flags_other_from_random_names(tmp_path):
+    findings = _lint_source(tmp_path, "from random import randint\n", ["SIM001"])
+    assert _rule_ids(findings) == ["SIM001"]
+
+
+def test_sim001_ignores_relative_and_lookalike_imports(tmp_path):
+    source = "from .random import helper\nimport numpy.random\n"
+    # Relative imports never hit stdlib; numpy.random is seeded-generator
+    # territory, not the ambient stdlib module.
+    findings = _lint_source(tmp_path, source, ["SIM001"])
+    assert findings == []
+
+
+# -- SIM002 ------------------------------------------------------------------
+
+
+def test_sim002_flags_unmetered_disk_read(tmp_path):
+    source = (
+        "class FlakyDisk:\n"
+        "    def read_block(self, handle):\n"
+        "        return self._tables[handle]\n"
+    )
+    findings = _lint_source(tmp_path, source, ["SIM002"])
+    assert _rule_ids(findings) == ["SIM002"]
+    assert "block_reads_total" in findings[0].message
+
+
+def test_sim002_flags_partially_metered_read(tmp_path):
+    source = (
+        "class HalfDisk:\n"
+        "    def read_block(self, handle):\n"
+        "        self.block_reads_total += 1\n"
+        "        return self._tables[handle]\n"
+    )
+    findings = _lint_source(tmp_path, source, ["SIM002"])
+    assert _rule_ids(findings) == ["SIM002"]
+    assert "self.bytes_read_total" in findings[0].message
+    assert "self.block_reads_total" not in findings[0].message
+
+
+def test_sim002_accepts_fully_metered_read(tmp_path):
+    source = (
+        "class GoodDisk:\n"
+        "    def read_block(self, handle):\n"
+        "        self.block_reads_total += 1\n"
+        "        self.bytes_read_total += 4096\n"
+        "        return self._tables[handle]\n"
+    )
+    assert _lint_source(tmp_path, source, ["SIM002"]) == []
+
+
+def test_sim002_ignores_non_disk_classes_and_non_read_methods(tmp_path):
+    source = (
+        "class Cache:\n"
+        "    def read_block(self, handle):\n"
+        "        return None\n"
+        "class RealDisk:\n"
+        "    def install(self, table):\n"
+        "        pass\n"
+    )
+    assert _lint_source(tmp_path, source, ["SIM002"]) == []
+
+
+# -- CACHE001 ----------------------------------------------------------------
+
+
+def test_cache001_flags_cache_without_invariants(tmp_path):
+    source = (
+        "class LeakyCache(CacheBase):\n"
+        "    def put(self, key, value):\n"
+        "        pass\n"
+    )
+    findings = _lint_source(tmp_path, source, ["CACHE001"])
+    assert _rule_ids(findings) == ["CACHE001"]
+    assert "LeakyCache" in findings[0].message
+
+
+def test_cache001_accepts_cache_with_invariants(tmp_path):
+    source = (
+        "class SafeCache(CacheBase):\n"
+        "    def check_invariants(self):\n"
+        "        pass\n"
+    )
+    assert _lint_source(tmp_path, source, ["CACHE001"]) == []
+
+
+# -- MUT001 / EXC001 / SLOT001 ----------------------------------------------
+
+
+def test_mut001_flags_mutable_defaults(tmp_path):
+    source = (
+        "def f(out=[]):\n    pass\n"
+        "def g(*, acc=dict()):\n    pass\n"
+        "def h(x=None):\n    pass\n"
+    )
+    findings = _lint_source(tmp_path, source, ["MUT001"])
+    assert _rule_ids(findings) == ["MUT001", "MUT001"]
+
+
+def test_exc001_flags_bare_except(tmp_path):
+    source = (
+        "try:\n    pass\nexcept:\n    pass\n"
+        "try:\n    pass\nexcept ValueError:\n    pass\n"
+    )
+    findings = _lint_source(tmp_path, source, ["EXC001"])
+    assert _rule_ids(findings) == ["EXC001"]
+
+
+def test_slot001_flags_node_class_without_slots(tmp_path):
+    source = "class _TowerNode:\n    pass\n"
+    findings = _lint_source(tmp_path, source, ["SLOT001"])
+    assert _rule_ids(findings) == ["SLOT001"]
+
+
+def test_slot001_accepts_slotted_node(tmp_path):
+    source = "class _TowerNode:\n    __slots__ = ('key',)\n"
+    assert _lint_source(tmp_path, source, ["SLOT001"]) == []
+
+
+# -- disable comments and runner behaviour -----------------------------------
+
+
+def test_disable_comment_suppresses_one_line(tmp_path):
+    source = "import random  # lint: disable=SIM001\nimport time\n"
+    findings = _lint_source(tmp_path, source, ["SIM001"])
+    assert [f.line for f in findings] == [2]
+
+
+def test_disable_comment_is_rule_specific(tmp_path):
+    source = "import random  # lint: disable=SIM002\n"
+    findings = _lint_source(tmp_path, source, ["SIM001"])
+    assert _rule_ids(findings) == ["SIM001"]
+
+
+def test_disable_comment_takes_multiple_rules(tmp_path):
+    source = "def f(out=[]):  # lint: disable=MUT001,SLOT001\n    pass\n"
+    assert _lint_source(tmp_path, source, ["MUT001"]) == []
+
+
+def test_syntax_error_reported_as_parse_finding(tmp_path):
+    findings = _lint_source(tmp_path, "def broken(:\n")
+    assert _rule_ids(findings) == ["PARSE"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(bad)]) == 1
+    assert "SIM001" in capsys.readouterr().out
+    assert main([str(clean)]) == 0
+    assert main(["--select", "NOPE", str(clean)]) == 2
+    assert main([str(tmp_path / "missing_dir")]) == 2
+
+
+def test_list_rules_documents_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM002", "CACHE001", "MUT001", "EXC001", "SLOT001"):
+        assert rule_id in out
+        assert ALL_RULES[rule_id].__doc__  # every rule is documented
+
+
+def test_source_tree_is_lint_clean():
+    findings = lint_paths([REPRO_PKG])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+@pytest.mark.parametrize("runner", ["module", "cli"])
+def test_command_line_entrypoints(tmp_path, runner):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    env = dict(os.environ)
+    src_dir = os.path.dirname(REPRO_PKG)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    argv = (
+        [sys.executable, "-m", "repro.lint", str(bad)]
+        if runner == "module"
+        else [sys.executable, "-m", "repro", "lint", str(bad)]
+    )
+    proc = subprocess.run(argv, capture_output=True, text=True, env=env)
+    assert proc.returncode == 1
+    assert "SIM001" in proc.stdout

@@ -1,0 +1,49 @@
+"""Typing/style gate: runs ruff and mypy when the dev extra is present.
+
+The CI ``lint`` job always runs both; locally these tests skip unless
+``pip install -e ".[dev]"`` put the tools on the path, so the core test
+suite needs nothing beyond numpy+pytest.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed (dev extra)")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", os.path.join(SRC_DIR, "repro")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed (dev extra)")
+def test_mypy_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
