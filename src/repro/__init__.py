@@ -16,6 +16,10 @@ for LSM-tree Key-Value Stores* (EDBT 2026) as a pure-Python system:
 * :mod:`repro.faults` — deterministic fault injection (transient read
   errors, block corruption, torn WAL tails, stats blackouts) and the
   chaos harness that proves the stack absorbs them.
+* :mod:`repro.serve` — the deterministic multi-tenant serving layer:
+  shard router, event-driven open/closed-loop client sessions, bounded
+  queues with load shedding, tail-latency histograms, and the global
+  cache-budget arbiter.
 
 Quickstart::
 
@@ -37,6 +41,7 @@ from repro.errors import ReproError
 from repro.faults import FaultConfig, FaultInjector, run_chaos
 from repro.lsm.options import LSMOptions
 from repro.lsm.tree import LSMTree
+from repro.serve import ServeConfig, ServeResult, run_serve
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
 __version__ = "1.0.0"
@@ -54,7 +59,10 @@ __all__ = [
     "FaultInjector",
     "run_chaos",
     "STRATEGIES",
+    "ServeConfig",
+    "ServeResult",
     "build_engine",
+    "run_serve",
     "run_workload",
     "seed_database",
     "__version__",

@@ -112,6 +112,38 @@ class ClockReading:
         )
 
 
+class SimClock:
+    """Stateful delta charger over one engine's metered counters.
+
+    The bench harness charges a whole run at once; the serving
+    simulator needs the *incremental* cost of each request as it is
+    serviced.  A ``SimClock`` snapshots the engine's counters at
+    construction and on every :meth:`charge`, returning the simulated
+    microseconds accrued since the previous call — so per-request
+    service times sum exactly to the whole-run ``elapsed_us``.
+    """
+
+    __slots__ = ("_engine", "_costs", "_last", "charged_us_total")
+
+    def __init__(self, engine: KVEngine, costs: Optional[CostModel] = None) -> None:
+        self._engine = engine
+        self._costs = costs or CostModel()
+        self._last = ClockReading.capture(engine)
+        self.charged_us_total = 0.0
+
+    def charge(self) -> float:
+        """Simulated us of engine work since the previous charge."""
+        now = ClockReading.capture(self._engine)
+        delta = elapsed_us(self._last, now, self._costs)
+        self._last = now
+        self.charged_us_total += delta
+        return delta
+
+    def rebase(self) -> None:
+        """Discard unaccounted activity (e.g. out-of-band warmup)."""
+        self._last = ClockReading.capture(self._engine)
+
+
 def elapsed_us(
     before: ClockReading, after: ClockReading, costs: Optional[CostModel] = None
 ) -> float:

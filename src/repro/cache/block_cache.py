@@ -130,14 +130,17 @@ class BlockCache(CacheBase):
     def __len__(self) -> int:
         return sum(len(s) for s in self._shards)
 
-    def resize(self, budget_bytes: int) -> None:
-        """Repartition a new total budget across shards, evicting to fit."""
+    def resize(self, budget_bytes: int) -> int:
+        """Repartition a new total budget across shards, evicting to fit;
+        returns the evictions the resize forced."""
         per_shard = budget_bytes // self._num_shards
         remainder = budget_bytes - per_shard * (self._num_shards - 1)
+        evicted = 0
         for i, shard in enumerate(self._shards):
             with self._locks[i]:
-                shard.resize(remainder if i == 0 else per_shard)
+                evicted += shard.resize(remainder if i == 0 else per_shard)
         self._after_mutation()
+        return evicted
 
     def clear(self) -> None:
         """Invalidate every cached block (e.g. after a crash/restart)."""

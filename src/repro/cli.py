@@ -20,6 +20,10 @@ Chaos-test resilience under injected storage faults::
     python -m repro chaos --ops 20000 --transient-rate 0.01 \
         --corruption-rate 0.001 --crash-every 5000 --blackout-window 20
 
+Simulate a multi-tenant serving fleet (shard router + client sessions)::
+
+    python -m repro serve --clients 8 --shards 4 --ops 20000 --seed 0
+
 Run the repo's static-analysis pass::
 
     python -m repro lint src/repro
@@ -158,6 +162,35 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the deterministic multi-tenant serving simulation."""
+    from repro.serve import ServeConfig, run_serve
+
+    config = ServeConfig(
+        num_clients=args.clients,
+        num_shards=args.shards,
+        total_ops=args.ops,
+        seed=args.seed,
+        strategy=args.strategy,
+        workload=_spec(args),
+        num_keys=args.num_keys,
+        cache_bytes=args.cache_kb * 1024,
+        partition=args.partition,
+        queue_depth=args.queue_depth,
+        arrival_rate_ops_s=args.arrival_rate,
+        closed_clients=args.closed_clients,
+        think_time_us=args.think_us,
+        rebalance_every=args.rebalance_every,
+        window_size=args.window_size,
+        memtable_entries=args.memtable_entries,
+        entries_per_sstable=args.sstable_entries,
+        keep_trace=False,
+    )
+    result = run_serve(config)
+    print(result.format_report())
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo's AST lint pass (delegates to :mod:`repro.lint`)."""
     from repro.lint.runner import main as lint_main
@@ -241,6 +274,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the controller window (ops) for both engines",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="simulate a deterministic multi-tenant serving fleet"
+    )
+    _add_common(serve)
+    serve.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
+    serve.add_argument("--workload", choices=sorted(WORKLOADS), default="balanced")
+    serve.add_argument("--clients", type=int, default=8, help="client sessions")
+    serve.add_argument("--shards", type=int, default=4, help="engine shards")
+    serve.add_argument("--ops", type=int, default=20_000, help="total client ops")
+    serve.add_argument(
+        "--partition", choices=["hash", "range"], default="hash",
+        help="keyspace partitioning across shards",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded per-shard queue capacity (admission budget)",
+    )
+    serve.add_argument(
+        "--arrival-rate", type=float, default=1200.0,
+        help="open-loop offered load per client (ops/s)",
+    )
+    serve.add_argument(
+        "--closed-clients", type=int, default=0,
+        help="how many clients run closed-loop (think time) instead",
+    )
+    serve.add_argument(
+        "--think-us", type=float, default=1000.0,
+        help="closed-loop mean think time (us)",
+    )
+    serve.add_argument(
+        "--rebalance-every", type=int, default=2000,
+        help="completed requests between budget-arbiter rounds (0 = off)",
+    )
+    serve.add_argument(
+        "--window-size", type=int, default=250,
+        help="per-shard controller window (ops)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific AST lint pass (see docs/static_analysis.md)"

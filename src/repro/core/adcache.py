@@ -165,6 +165,28 @@ class AdCacheEngine(KVEngine):
         """Logical bytes charged per cached key-value entry."""
         return self.tree.options.key_size + self.tree.options.value_size
 
+    def set_cache_budget(self, total_bytes: int) -> int:
+        """Adopt a new total budget, split at the learned boundary.
+
+        The serving layer's global arbiter moves budget between shards;
+        an AdCache shard re-splits its new total at the controller's
+        *current* range ratio (not the raw cache shares, which drift
+        with rounding) and updates ``config.total_cache_bytes`` so every
+        subsequent controller decision scales from the new total.
+        Returns the evictions the resize forced.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be >= 0")
+        self.config.total_cache_bytes = total_bytes
+        ratio = self.controller.range_ratio
+        range_budget = int(total_bytes * ratio)
+        evicted = 0
+        if self.range_cache is not None:
+            evicted += self.range_cache.resize(range_budget)
+        if self.block_cache is not None:
+            evicted += self.block_cache.resize(total_bytes - range_budget)
+        return evicted
+
 
 def default_entry_charge() -> int:
     """The paper's logical entry footprint (24 B key + 1000 B value)."""

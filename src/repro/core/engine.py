@@ -321,6 +321,46 @@ class KVEngine:
                 cache.check_invariants()
         self.tree.check_invariants()
 
+    # -- serving-layer surface ---------------------------------------------------
+
+    @property
+    def cache_budget_total(self) -> int:
+        """Combined byte budget across every attached cache."""
+        return sum(c.budget_bytes for c in self._caches() if c is not None)
+
+    def set_cache_budget(self, total_bytes: int) -> int:
+        """Re-split a new total budget across the attached caches.
+
+        The serving layer's global arbiter moves budget *between* engine
+        shards; each shard then re-splits its new total proportionally
+        to the shares its caches currently hold (an AdCache engine
+        instead re-splits at its controller's learned boundary — see
+        :meth:`AdCacheEngine.set_cache_budget`).  Returns the evictions
+        the resize forced.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be >= 0")
+        caches = [c for c in self._caches() if c is not None]
+        if not caches:
+            return 0
+        old_total = sum(c.budget_bytes for c in caches)
+        evicted = 0
+        if old_total <= 0:
+            # Nothing to be proportional to: give everything to the
+            # first cache (composition order: block first).
+            shares = [total_bytes if i == 0 else 0 for i in range(len(caches))]
+        else:
+            shares = [c.budget_bytes * total_bytes // old_total for c in caches]
+            shares[0] += total_bytes - sum(shares)  # rounding remainder
+        for cache, share in zip(caches, shares):
+            evicted += cache.resize(share)
+        return evicted
+
+    @property
+    def last_window(self) -> Optional[WindowStats]:
+        """The most recently sealed control window, if any."""
+        return self.windows[-1] if self.windows else None
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -111,6 +111,49 @@ class WindowStats:
         return True
 
 
+def merge_windows(windows: list[WindowStats]) -> WindowStats:
+    """Aggregate several windows into one (cross-shard reporting).
+
+    Counters sum; end-of-window snapshots (levels, occupancies, ratio)
+    take the op-weighted mean so the merged view reflects where the
+    traffic actually went.  The serving layer uses this to expose a
+    fleet-wide window built from each shard's export.
+    """
+    out = WindowStats()
+    if not windows:
+        return out
+    total_ops = 0
+    occ_range = occ_block = ratio = 0.0
+    for w in windows:
+        out.ops += w.ops
+        out.points += w.points
+        out.scans += w.scans
+        out.writes += w.writes
+        out.deletes += w.deletes
+        out.scan_length_sum += w.scan_length_sum
+        out.range_point_hits += w.range_point_hits
+        out.range_scan_hits += w.range_scan_hits
+        out.kv_hits += w.kv_hits
+        out.block_hits += w.block_hits
+        out.block_misses += w.block_misses
+        out.io_miss += w.io_miss
+        out.compactions += w.compactions
+        out.blocks_invalidated += w.blocks_invalidated
+        out.num_levels = max(out.num_levels, w.num_levels)
+        out.level0_runs = max(out.level0_runs, w.level0_runs)
+        weight = max(0, w.ops)
+        total_ops += weight
+        occ_range += w.range_occupancy * weight
+        occ_block += w.block_occupancy * weight
+        ratio += w.range_ratio * weight
+    if total_ops:
+        out.range_occupancy = occ_range / total_ops
+        out.block_occupancy = occ_block / total_ops
+        out.range_ratio = ratio / total_ops
+    out.window_index = max(w.window_index for w in windows)
+    return out
+
+
 class StatsCollector:
     """Accumulates one window at a time; engine feeds it per-op events."""
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.bench.harness import estimated_hit_rate, seed_database
+from repro.bench.report import percentile
 from repro.bench.strategies import build_engine
 from repro.core.engine import KVEngine
 from repro.faults.injector import FaultConfig, FaultInjector, FaultStats
@@ -46,6 +47,8 @@ class ChaosReport:
     clean_sst_reads: int = 0
     faulty_sst_reads: int = 0
     retry_latency_us: float = 0.0
+    retry_stall_p50_us: float = 0.0
+    retry_stall_p99_us: float = 0.0
 
     @property
     def hit_rate_regression(self) -> float:
@@ -142,6 +145,8 @@ def run_chaos(
     report.read_retries = faulty_tree.read_retries_total
     report.corruption_recoveries = faulty_tree.corruption_recoveries_total
     report.retry_latency_us = faulty_tree.retry_latency_us_total
+    report.retry_stall_p50_us = percentile(faulty_tree.retry_stalls_us, 0.50)
+    report.retry_stall_p99_us = percentile(faulty_tree.retry_stalls_us, 0.99)
     report.wal_records_lost = faulty_tree.wal_records_lost_total
     report.clean_hit_rate = estimated_hit_rate(clean_engine)[0]
     report.faulty_hit_rate = estimated_hit_rate(faulty_engine)[0]
@@ -165,7 +170,8 @@ def report_rows(report: ChaosReport) -> List[Tuple[str, str]]:
         ("torn WAL appends", f"{report.faults.torn_injected:,}"),
         ("read retries", f"{report.read_retries:,}"),
         ("corruption recoveries", f"{report.corruption_recoveries:,}"),
-        ("retry latency (us)", f"{report.retry_latency_us:,.0f}"),
+        ("retry stall p50 (us)", f"{report.retry_stall_p50_us:,.0f}"),
+        ("retry stall p99 (us)", f"{report.retry_stall_p99_us:,.0f}"),
         ("crashes", f"{report.crashes}"),
         ("WAL records replayed", f"{report.wal_records_replayed:,}"),
         ("WAL records lost (torn)", f"{report.wal_records_lost:,}"),

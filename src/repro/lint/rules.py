@@ -171,32 +171,45 @@ def check_metered_disk_reads(tree: ast.Module, path: str) -> Iterator[Violation]
                 )
 
 
+#: Bases whose direct subclasses must own a ``check_invariants`` body
+#: (CACHE001): cache containers and budget-holding serving components.
+_INVARIANT_BASES = ("CacheBase", "ServeComponent")
+
+
 @rule("CACHE001")
 def check_cache_invariant_protocol(
     tree: ast.Module, path: str
 ) -> Iterator[Violation]:
-    """Every ``CacheBase`` subclass must implement ``check_invariants``.
+    """``CacheBase``/``ServeComponent`` subclasses must implement
+    ``check_invariants``.
 
-    The runtime sanitizer (:mod:`repro.sanitize`) sweeps caches through
-    ``check_invariants()``; a container inheriting a parent's check
-    silently skips its own bookkeeping (shard routing, interval
-    tracking, uniform charges), so each direct subclass must define the
-    method in its own body.
+    The runtime sanitizer (:mod:`repro.sanitize`) sweeps caches — and
+    the serving layer's budget holders (bounded request queues, the
+    global budget arbiter) — through ``check_invariants()``; a subclass
+    inheriting a parent's check silently skips its own bookkeeping
+    (shard routing, interval tracking, flow conservation, share
+    accounting), so each direct subclass must define the method in its
+    own body.
     """
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
-        if "CacheBase" not in _base_names(node):
-            continue
-        if node.name == "CacheBase":
+        bases = _base_names(node)
+        matched = [b for b in _INVARIANT_BASES if b in bases]
+        if not matched or node.name in _INVARIANT_BASES:
             continue
         if not any(m.name == "check_invariants" for m in _own_methods(node)):
+            kind = (
+                "cache container"
+                if "CacheBase" in matched
+                else "serving component"
+            )
             yield Violation(
                 path,
                 node.lineno,
                 node.col_offset,
                 "CACHE001",
-                f"cache container {node.name} does not define "
+                f"{kind} {node.name} does not define "
                 f"check_invariants(); the runtime sanitizer cannot "
                 f"verify its bookkeeping",
             )

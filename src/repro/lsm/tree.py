@@ -87,6 +87,8 @@ class LSMTree:
         self.read_retries_total = 0
         self.corruption_recoveries_total = 0
         self.retry_latency_us_total = 0.0
+        #: Individual backoff stalls (us), for percentile reporting.
+        self.retry_stalls_us: List[float] = []
         self.crash_recoveries_total = 0
         self.wal_records_lost_total = 0
 
@@ -127,9 +129,9 @@ class LSMTree:
             except TransientIOError:
                 if transient_attempts >= self.options.max_read_retries:
                     raise
-                self.retry_latency_us_total += self.options.retry_backoff_us * (
-                    2.0 ** transient_attempts
-                )
+                stall = self.options.retry_backoff_us * (2.0**transient_attempts)
+                self.retry_latency_us_total += stall
+                self.retry_stalls_us.append(stall)
                 transient_attempts += 1
                 self.read_retries_total += 1
             except CorruptionError:

@@ -1,0 +1,42 @@
+"""Deterministic multi-tenant serving layer over the cache + LSM stack.
+
+Event-driven simulation of a sharded key-value service: a shard router
+partitions the keyspace across independent engines, open- and
+closed-loop client sessions offer load, bounded per-shard queues apply
+backpressure and shed excess (with full accounting), a global budget
+arbiter re-splits the fleet cache budget from per-shard window exports,
+and every request's latency — queue wait plus cost-model service time —
+lands in mergeable log-bucketed histograms with per-tenant breakdowns.
+"""
+
+from repro.serve.arbiter import BudgetArbiter
+from repro.serve.base import ServeComponent
+from repro.serve.events import EventLoop
+from repro.serve.queueing import Request, RequestQueue, SubRequest
+from repro.serve.router import ShardRouter, fnv1a_64
+from repro.serve.session import ClientSession, TenantConfig
+from repro.serve.simulator import (
+    ServeConfig,
+    ServeResult,
+    ShardResult,
+    TenantResult,
+    run_serve,
+)
+
+__all__ = [
+    "BudgetArbiter",
+    "ClientSession",
+    "EventLoop",
+    "Request",
+    "RequestQueue",
+    "ServeComponent",
+    "ServeConfig",
+    "ServeResult",
+    "ShardResult",
+    "ShardRouter",
+    "SubRequest",
+    "TenantConfig",
+    "TenantResult",
+    "fnv1a_64",
+    "run_serve",
+]

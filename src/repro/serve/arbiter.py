@@ -1,0 +1,156 @@
+"""Global cache-budget arbiter across serving shards.
+
+Each shard runs its own engine (its own block/range caches, its own
+controller when the strategy is AdCache); the arbiter owns the *fleet*
+budget and re-splits it at window-scale boundaries using the shards'
+exported :class:`~repro.core.stats.WindowStats`.
+
+The split follows a marginal-utility heuristic: the shards paying the
+most disk reads since the last rebalance are the ones whose next byte
+of cache is worth the most, so target shares are proportional to each
+shard's recent ``io_miss`` mass (plus one, so idle shards never zero
+out).  Two stabilisers keep the arbiter from thrashing the caches:
+
+* a **min-share floor** guarantees every shard a working set, and
+* a **max-step** limit rate-limits per-rebalance share movement, since
+  every downsize forcibly evicts hot entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.engine import KVEngine
+from repro.errors import ConfigError, InvariantError
+from repro.serve.base import ServeComponent
+
+
+class BudgetArbiter(ServeComponent):
+    """Re-splits one total cache budget across shard engines."""
+
+    __slots__ = (
+        "_sanitizer",
+        "_engines",
+        "total_budget_bytes",
+        "min_share",
+        "max_step",
+        "shares",
+        "_miss_marks",
+        "rebalances",
+        "evictions_forced",
+        "history",
+    )
+
+    def __init__(
+        self,
+        engines: Sequence[KVEngine],
+        total_budget_bytes: int,
+        min_share: float = 0.05,
+        max_step: float = 0.25,
+    ) -> None:
+        super().__init__()
+        n = len(engines)
+        if n == 0:
+            raise ConfigError("arbiter needs at least one engine")
+        if total_budget_bytes < 0:
+            raise ConfigError("total budget must be >= 0")
+        if not 0.0 <= min_share <= 1.0 / n:
+            raise ConfigError(
+                f"min_share must lie in [0, 1/num_shards], got {min_share}"
+            )
+        if not 0.0 < max_step <= 1.0:
+            raise ConfigError(f"max_step must lie in (0, 1], got {max_step}")
+        self._engines = list(engines)
+        self.total_budget_bytes = total_budget_bytes
+        self.min_share = min_share
+        self.max_step = max_step
+        #: Current per-shard budget fractions (sum to 1).
+        self.shares: List[float] = [1.0 / n] * n
+        # Window-sourced miss totals at the last rebalance: the
+        # collector's lifetime WindowStats accumulates io_miss from every
+        # sealed window, which is exactly the shards' window export.
+        self._miss_marks = [e.collector.lifetime.io_miss for e in self._engines]
+        self.rebalances = 0
+        self.evictions_forced = 0
+        #: ``(time_us, shares)`` after each rebalance, for reporting.
+        self.history: List[Tuple[float, Tuple[float, ...]]] = []
+        self._apply_shares()
+
+    @property
+    def num_shards(self) -> int:
+        """Engines under arbitration."""
+        return len(self._engines)
+
+    def budgets(self) -> List[int]:
+        """Integer per-shard budgets for the current shares."""
+        budgets = [int(self.total_budget_bytes * s) for s in self.shares]
+        budgets[0] += self.total_budget_bytes - sum(budgets)
+        return budgets
+
+    def _apply_shares(self) -> int:
+        evicted = 0
+        for engine, budget in zip(self._engines, self.budgets()):
+            evicted += engine.set_cache_budget(budget)
+        return evicted
+
+    def rebalance(self, now_us: float = 0.0) -> int:
+        """One arbitration round; returns evictions the moves forced."""
+        marks = [e.collector.lifetime.io_miss for e in self._engines]
+        deltas = [max(0, m - old) for m, old in zip(marks, self._miss_marks)]
+        self._miss_marks = marks
+        # Marginal utility ~ recent miss mass; +1 keeps idle shards alive.
+        weights = [float(d) + 1.0 for d in deltas]
+        total_weight = sum(weights)
+        targets = [w / total_weight for w in weights]
+        stepped = [
+            share + max(-self.max_step, min(self.max_step, target - share))
+            for share, target in zip(self.shares, targets)
+        ]
+        # Guarantee the floor exactly: every shard keeps min_share, and
+        # only the mass above the floors is redistributed proportionally.
+        n = len(stepped)
+        free = 1.0 - self.min_share * n
+        excess = [max(0.0, s - self.min_share) for s in stepped]
+        total_excess = sum(excess)
+        if free <= 0.0 or total_excess <= 0.0:
+            self.shares = [1.0 / n] * n
+        else:
+            self.shares = [
+                self.min_share + e / total_excess * free for e in excess
+            ]
+        evicted = self._apply_shares()
+        self.rebalances += 1
+        self.evictions_forced += evicted
+        self.history.append((now_us, tuple(self.shares)))
+        self._after_mutation()
+        return evicted
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Shares form a distribution; engine budgets realise it exactly."""
+        n = len(self._engines)
+        if len(self.shares) != n or len(self._miss_marks) != n:
+            raise InvariantError(
+                f"BudgetArbiter bookkeeping drift: {len(self.shares)} shares "
+                f"/ {len(self._miss_marks)} marks for {n} engines"
+            )
+        if any(s < 0.0 or s > 1.0 for s in self.shares):
+            raise InvariantError(
+                f"BudgetArbiter share out of [0, 1]: {self.shares}"
+            )
+        if abs(sum(self.shares) - 1.0) > 1e-9:
+            raise InvariantError(
+                f"BudgetArbiter shares sum to {sum(self.shares)!r}, not 1"
+            )
+        fleet = sum(e.cache_budget_total for e in self._engines)
+        if fleet != self.total_budget_bytes:
+            raise InvariantError(
+                f"BudgetArbiter budget leak: engines hold {fleet} bytes "
+                f"of a {self.total_budget_bytes}-byte fleet budget"
+            )
+        if self.rebalances != len(self.history):
+            raise InvariantError(
+                f"BudgetArbiter history drift: {len(self.history)} entries "
+                f"for {self.rebalances} rebalances"
+            )

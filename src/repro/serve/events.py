@@ -1,0 +1,75 @@
+"""Deterministic discrete-event scheduler for the serving simulator.
+
+A binary heap of ``(time_us, seq, action)`` entries over *simulated*
+microseconds — the same currency the sim clock's cost model charges.
+There is no wall clock anywhere: time only advances when an event is
+dispatched, and ties are broken by a monotonically increasing sequence
+number, so two runs that schedule the same events in the same order
+dispatch them in the same order, byte for byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+Action = Callable[[], None]
+
+
+class EventLoop:
+    """Minimal deterministic event loop over simulated microseconds."""
+
+    __slots__ = ("_heap", "_seq", "_now", "events_dispatched")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._seq = 0
+        self._now = 0.0
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet dispatched."""
+        return len(self._heap)
+
+    def at(self, time_us: float, action: Action) -> None:
+        """Schedule ``action`` at absolute simulated time ``time_us``."""
+        if time_us < self._now:
+            raise ConfigError(
+                f"cannot schedule into the past: {time_us} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time_us, self._seq, action))
+        self._seq += 1
+
+    def after(self, delay_us: float, action: Action) -> None:
+        """Schedule ``action`` ``delay_us`` simulated microseconds from now."""
+        if delay_us < 0:
+            raise ConfigError(f"delay must be >= 0, got {delay_us}")
+        self.at(self._now + delay_us, action)
+
+    def step(self) -> bool:
+        """Dispatch the earliest event; False when the heap is empty."""
+        if not self._heap:
+            return False
+        time_us, _seq, action = heapq.heappop(self._heap)
+        self._now = time_us
+        self.events_dispatched += 1
+        action()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Dispatch until empty (or ``max_events``); returns count run."""
+        ran = 0
+        while self._heap:
+            if max_events is not None and ran >= max_events:
+                break
+            self.step()
+            ran += 1
+        return ran

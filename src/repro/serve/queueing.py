@@ -1,0 +1,152 @@
+"""Requests, per-shard sub-requests, and bounded admission queues.
+
+A client request targets one shard (points, writes) or fans out to
+several (scatter-gather scans); each shard-level unit of work is a
+:class:`SubRequest` sitting in that shard's bounded :class:`RequestQueue`.
+Admission is all-or-nothing per request: if any target queue is full the
+whole request is *shed* — counted against both the tenant and the full
+queue, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import CacheError, ConfigError, InvariantError
+from repro.serve.base import ServeComponent
+from repro.workloads.generator import Operation
+
+Entry = Tuple[str, str]
+
+
+class Request:
+    """One client-issued operation, possibly fanned out across shards."""
+
+    __slots__ = ("seq", "tenant", "op", "arrival_us", "remaining", "parts")
+
+    def __init__(
+        self, seq: int, tenant: str, op: Operation, arrival_us: float, fanout: int
+    ) -> None:
+        self.seq = seq
+        self.tenant = tenant
+        self.op = op
+        self.arrival_us = arrival_us
+        #: Sub-requests still in flight; the request completes at zero.
+        self.remaining = fanout
+        #: Per-shard scan results awaiting the scatter-gather merge.
+        self.parts: Optional[List[List[Entry]]] = [] if op.kind == "scan" else None
+
+
+class SubRequest:
+    """The unit of work one shard's server queues and executes."""
+
+    __slots__ = ("request", "shard", "op", "enqueue_us", "start_us")
+
+    def __init__(
+        self, request: Request, shard: int, op: Operation, enqueue_us: float
+    ) -> None:
+        self.request = request
+        self.shard = shard
+        self.op = op
+        self.enqueue_us = enqueue_us
+        #: Set when service begins; queue wait = start - enqueue.
+        self.start_us = 0.0
+
+
+class RequestQueue(ServeComponent):
+    """Bounded FIFO of sub-requests in front of one shard's server.
+
+    ``capacity`` is the queue's admission budget: when it is full, new
+    requests are rejected (load shedding) and the rejection is counted —
+    backpressure is visible in the stats, never a silent drop.
+    """
+
+    __slots__ = (
+        "_sanitizer",
+        "shard_id",
+        "capacity",
+        "_items",
+        "accepted",
+        "served",
+        "rejected",
+        "peak_depth",
+    )
+
+    def __init__(self, shard_id: int, capacity: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be positive, got {capacity}")
+        self.shard_id = shard_id
+        self.capacity = capacity
+        self._items: Deque[SubRequest] = deque()
+        self.accepted = 0
+        self.served = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Sub-requests currently waiting (excludes the one in service)."""
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def has_room(self) -> bool:
+        """Whether one more sub-request can be admitted."""
+        return len(self._items) < self.capacity
+
+    def note_rejected(self) -> None:
+        """Account one shed request that targeted this full queue."""
+        self.rejected += 1
+        self._after_mutation()
+
+    def push(self, sub: SubRequest) -> None:
+        """Admit a sub-request; the caller must have checked room."""
+        if len(self._items) >= self.capacity:
+            raise CacheError(
+                f"shard {self.shard_id} queue overflow: push beyond "
+                f"capacity {self.capacity}"
+            )
+        self._items.append(sub)
+        self.accepted += 1
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+        self._after_mutation()
+
+    def pop(self) -> SubRequest:
+        """Dequeue the oldest waiting sub-request for service."""
+        if not self._items:
+            raise CacheError(f"shard {self.shard_id} queue underflow: pop when empty")
+        sub = self._items.popleft()
+        self.served += 1
+        self._after_mutation()
+        return sub
+
+    # -- sanitizer protocol -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Depth bound plus flow conservation (accepted = served + waiting)."""
+        depth = len(self._items)
+        if depth > self.capacity:
+            raise InvariantError(
+                f"RequestQueue shard {self.shard_id}: depth {depth} exceeds "
+                f"capacity {self.capacity}"
+            )
+        if self.accepted - self.served != depth:
+            raise InvariantError(
+                f"RequestQueue shard {self.shard_id}: flow imbalance — "
+                f"accepted {self.accepted} - served {self.served} != "
+                f"depth {depth}"
+            )
+        if min(self.accepted, self.served, self.rejected) < 0:
+            raise InvariantError(
+                f"RequestQueue shard {self.shard_id}: negative counter"
+            )
+        if self.peak_depth < depth or self.peak_depth > self.capacity:
+            raise InvariantError(
+                f"RequestQueue shard {self.shard_id}: peak depth "
+                f"{self.peak_depth} inconsistent with depth {depth} / "
+                f"capacity {self.capacity}"
+            )

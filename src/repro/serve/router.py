@@ -1,0 +1,155 @@
+"""Shard router: keyspace partitioning + scatter-gather planning.
+
+Partitions the workload keyspace across ``num_shards`` independent
+engines in one of two modes:
+
+* ``hash`` (default) — FNV-1a over the key modulo the shard count.
+  Point operations route to exactly one shard; scans scatter to every
+  shard (each owns an arbitrary subset of the range) and the gather
+  merges the per-shard sorted results.  Because the shards' key sets
+  are disjoint and each returns its *own* first ``length`` entries at
+  or after the start key, the merged-and-truncated result equals an
+  unsharded scan.
+* ``range`` — contiguous slices of the dense integer keyspace
+  (``key_of(0) .. key_of(num_keys-1)``).  Scans touch only the shards
+  whose slice overlaps ``[start, start+length)``; the gather
+  concatenates in shard order.  Deletions can shift a scan's true
+  window past the last planned shard, so range-mode sub-scans request
+  the full remaining length from each overlapping shard and the merge
+  truncates — exact for delete-free workloads, and never returns wrong
+  entries (only possibly fewer) otherwise.
+
+The router is pure bookkeeping: it owns no budget and holds no state
+beyond the immutable partition map.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import List, Tuple
+
+from repro.core.engine import KVEngine
+from repro.errors import ConfigError
+from repro.workloads.generator import Operation
+from repro.workloads.keys import index_of, key_of
+
+Entry = Tuple[str, str]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+PARTITION_MODES = ("hash", "range")
+
+
+def fnv1a_64(key: str) -> int:
+    """Platform-independent 64-bit FNV-1a (``hash()`` is salted per run)."""
+    h = _FNV_OFFSET
+    for byte in key.encode("utf-8"):
+        h = ((h ^ byte) * _FNV_PRIME) & _FNV_MASK
+    return h
+
+
+class ShardRouter:
+    """Routes operations to shards and plans scatter-gather fan-out."""
+
+    def __init__(
+        self, num_shards: int, num_keys: int, partition: str = "hash"
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigError(f"num_shards must be positive, got {num_shards}")
+        if num_keys <= 0:
+            raise ConfigError(f"num_keys must be positive, got {num_keys}")
+        if partition not in PARTITION_MODES:
+            raise ConfigError(
+                f"unknown partition mode {partition!r}; choose from "
+                f"{PARTITION_MODES}"
+            )
+        self.num_shards = num_shards
+        self.num_keys = num_keys
+        self.partition = partition
+        #: Range mode: shard ``i`` owns key ids ``[cuts[i], cuts[i+1])``.
+        self._cuts = [
+            num_keys * i // num_shards for i in range(num_shards + 1)
+        ]
+
+    # -- ownership ------------------------------------------------------------
+
+    def shard_of_id(self, key_id: int) -> int:
+        """Owning shard of logical key id ``key_id``."""
+        if self.partition == "hash":
+            return fnv1a_64(key_of(key_id)) % self.num_shards
+        return self._owner_of_id(key_id)
+
+    def shard_of_key(self, key: str) -> int:
+        """Owning shard of workload key ``key``."""
+        if self.partition == "hash":
+            return fnv1a_64(key) % self.num_shards
+        return self._owner_of_id(index_of(key))
+
+    def _owner_of_id(self, key_id: int) -> int:
+        key_id = max(0, min(self.num_keys - 1, key_id))
+        # cuts are evenly spaced; direct arithmetic beats bisect here and
+        # is exact because cuts[i] = floor(num_keys * i / num_shards).
+        shard = key_id * self.num_shards // self.num_keys
+        while self._cuts[shard + 1] <= key_id:  # pragma: no cover - safety
+            shard += 1
+        while self._cuts[shard] > key_id:  # pragma: no cover - safety
+            shard -= 1
+        return shard
+
+    def shard_ids(self) -> List[List[int]]:
+        """Each shard's sorted list of owned key ids (for DB seeding)."""
+        out: List[List[int]] = [[] for _ in range(self.num_shards)]
+        for key_id in range(self.num_keys):
+            out[self.shard_of_id(key_id)].append(key_id)
+        return out
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, op: Operation) -> List[Tuple[int, Operation]]:
+        """The (shard, sub-operation) fan-out for one client operation."""
+        if op.kind != "scan":
+            return [(self.shard_of_key(op.key), op)]
+        if self.partition == "hash":
+            # Every shard holds part of any range: full scatter.
+            return [(shard, op) for shard in range(self.num_shards)]
+        start_id = max(0, min(self.num_keys - 1, index_of(op.key)))
+        last_id = min(self.num_keys - 1, start_id + max(1, op.length) - 1)
+        first = self._owner_of_id(start_id)
+        last = self._owner_of_id(last_id)
+        plan: List[Tuple[int, Operation]] = []
+        for shard in range(first, last + 1):
+            sub_start = max(start_id, self._cuts[shard])
+            plan.append(
+                (shard, Operation("scan", key_of(sub_start), length=op.length))
+            )
+        return plan
+
+    def merge_scan(self, parts: List[List[Entry]], length: int) -> List[Entry]:
+        """Gather: merge per-shard sorted results, truncate to ``length``.
+
+        Shards own disjoint key sets, so the k-way merge is a strict
+        total order by key in both partition modes.
+        """
+        if len(parts) == 1:
+            return parts[0][:length]
+        return list(islice(heapq.merge(*parts), length))
+
+    # -- execution ------------------------------------------------------------
+
+    @staticmethod
+    def execute(engine: KVEngine, op: Operation) -> List[Entry]:
+        """Run one sub-operation on a shard engine; scans return entries."""
+        if op.kind == "get":
+            engine.get(op.key)
+        elif op.kind == "scan":
+            return engine.scan(op.key, op.length)
+        elif op.kind == "put":
+            engine.put(op.key, op.value or "")
+        elif op.kind == "delete":
+            engine.delete(op.key)
+        else:
+            raise ConfigError(f"unknown operation kind {op.kind!r}")
+        return []

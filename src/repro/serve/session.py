@@ -1,0 +1,108 @@
+"""Client sessions: open-loop and closed-loop tenants.
+
+An **open-loop** client issues requests on a Poisson process (seeded
+exponential inter-arrival times) regardless of completions — the
+arrival rate is an offered load, so saturation shows up as queueing and
+shed requests, not as a silently slowed client.  A **closed-loop**
+client keeps exactly one request in flight and thinks (exponential
+think time) between completions, so its throughput adapts to service
+latency.  Both draw their operation stream from a deterministic
+:class:`~repro.workloads.generator.WorkloadGenerator` and all timing
+randomness from a per-session seeded ``Random``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, Optional
+
+from repro.bench.report import LatencyHistogram
+from repro.errors import ConfigError
+from repro.workloads.generator import Operation, WorkloadGenerator
+
+#: Client behaviour modes.
+MODES = ("open", "closed")
+
+
+@dataclass
+class TenantConfig:
+    """One client's identity, behaviour mode, and timing parameters."""
+
+    name: str
+    ops: int
+    mode: str = "open"
+    #: Open loop: offered load in operations per second.
+    arrival_rate_ops_s: float = 1200.0
+    #: Closed loop: mean think time between completions, microseconds.
+    think_time_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.ops <= 0:
+            raise ConfigError(f"tenant {self.name!r}: ops must be positive")
+        if self.mode not in MODES:
+            raise ConfigError(
+                f"tenant {self.name!r}: mode must be one of {MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "open" and self.arrival_rate_ops_s <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: open-loop arrival rate must be positive"
+            )
+        if self.mode == "closed" and self.think_time_us < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: think time must be >= 0"
+            )
+
+
+class ClientSession:
+    """One tenant's operation stream, timing RNG, and accounting."""
+
+    __slots__ = (
+        "config",
+        "name",
+        "_ops",
+        "_rng",
+        "issued",
+        "completed",
+        "rejected",
+        "latency",
+    )
+
+    def __init__(
+        self, config: TenantConfig, generator: WorkloadGenerator, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self._ops: Iterator[Operation] = generator.ops(config.ops)
+        self._rng = Random(seed)
+        self.issued = 0
+        self.completed = 0
+        self.rejected = 0
+        self.latency = LatencyHistogram()
+
+    @property
+    def mode(self) -> str:
+        """``"open"`` or ``"closed"``."""
+        return self.config.mode
+
+    def next_operation(self) -> Optional[Operation]:
+        """The next workload operation, or None when the stream is done."""
+        op = next(self._ops, None)
+        if op is not None:
+            self.issued += 1
+        return op
+
+    def next_delay_us(self) -> float:
+        """Simulated delay before this client's next issue.
+
+        Open loop: exponential inter-arrival at the configured rate.
+        Closed loop: exponential think time (0 when think time is 0).
+        """
+        if self.config.mode == "open":
+            # expovariate(lambda) has mean 1/lambda; rate is per second,
+            # the loop runs in microseconds.
+            return self._rng.expovariate(self.config.arrival_rate_ops_s / 1e6)
+        if self.config.think_time_us <= 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / self.config.think_time_us)

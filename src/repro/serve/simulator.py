@@ -1,0 +1,520 @@
+"""The deterministic multi-tenant serving simulator.
+
+Composes the serving layer end to end: N client sessions issue
+operations into a shard router; each shard is an independent seeded
+engine (its own LSM tree + caches) behind a bounded request queue and a
+single logical server; service times are charged from the sim clock's
+cost-model deltas, so per-request latency = queue wait + metered engine
+work, in simulated microseconds.  A global budget arbiter periodically
+re-splits the fleet cache budget across shards from their window
+exports.
+
+Everything is event-driven off one :class:`~repro.serve.events.EventLoop`
+and every random draw comes from per-component seeded generators, so a
+configuration reproduces byte-for-byte: the event trace digest, the
+latency histograms, and every counter are pure functions of the config.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import sanitize
+from repro.bench.report import LatencyHistogram, format_table, latency_table
+from repro.bench.simclock import CostModel, SimClock
+from repro.bench.strategies import build_engine
+from repro.core.engine import KVEngine
+from repro.core.stats import WindowStats, merge_windows
+from repro.errors import ConfigError
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.serve.arbiter import BudgetArbiter
+from repro.serve.events import EventLoop
+from repro.serve.queueing import Request, RequestQueue, SubRequest
+from repro.serve.router import ShardRouter
+from repro.serve.session import ClientSession, TenantConfig
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_workload,
+)
+from repro.workloads.keys import key_of, value_of
+
+
+@dataclass
+class ServeConfig:
+    """Everything that defines one serving run (and thus its bytes)."""
+
+    num_clients: int = 8
+    num_shards: int = 4
+    total_ops: int = 20_000
+    seed: int = 0
+    strategy: str = "adcache"
+    workload: Optional[WorkloadSpec] = None  # default: balanced(num_keys)
+    num_keys: int = 4000
+    cache_bytes: int = 512 * 1024
+    partition: str = "hash"
+    queue_depth: int = 64
+    arrival_rate_ops_s: float = 1200.0  # per open-loop client
+    closed_clients: int = 0
+    think_time_us: float = 1000.0
+    rebalance_every: int = 2000  # completed requests; 0 disables
+    window_size: int = 250
+    memtable_entries: int = 32
+    entries_per_sstable: int = 64
+    keep_trace: bool = True
+    cost_model: Optional[CostModel] = None
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ConfigError("num_clients must be positive")
+        if self.num_shards <= 0:
+            raise ConfigError("num_shards must be positive")
+        if self.total_ops < self.num_clients:
+            raise ConfigError("need at least one op per client")
+        if not 0 <= self.closed_clients <= self.num_clients:
+            raise ConfigError("closed_clients must lie in [0, num_clients]")
+        if self.rebalance_every < 0:
+            raise ConfigError("rebalance_every must be >= 0")
+        if self.window_size <= 0:
+            raise ConfigError("window_size must be positive")
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload spec (defaults to the balanced mix)."""
+        return self.workload or balanced_workload(self.num_keys)
+
+
+@dataclass
+class TenantResult:
+    """Per-tenant outcome: accounting plus the latency distribution."""
+
+    name: str
+    mode: str
+    issued: int
+    completed: int
+    rejected: int
+    latency: LatencyHistogram
+
+
+@dataclass
+class ShardResult:
+    """Per-shard outcome: work served, I/O paid, budget held."""
+
+    shard_id: int
+    keys_owned: int
+    subrequests_served: int
+    disk_reads: int
+    budget_bytes: int
+    peak_queue_depth: int
+    rejected_at: int
+    busy_us: float
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    config: ServeConfig
+    duration_us: float
+    issued: int
+    completed: int
+    rejected: int
+    throughput_qps: float
+    latency: LatencyHistogram
+    queue_wait: LatencyHistogram
+    tenants: List[TenantResult]
+    shards: List[ShardResult]
+    fleet_window: WindowStats
+    rebalances: int
+    evictions_forced: int
+    trace_digest: str
+    trace: List[str] = field(default_factory=list)
+
+    def fingerprint(self) -> str:
+        """One hash covering the trace, histograms, and counters."""
+        h = hashlib.sha256()
+        h.update(self.trace_digest.encode())
+        h.update(repr(self.latency.fingerprint()).encode())
+        h.update(repr(self.queue_wait.fingerprint()).encode())
+        for t in self.tenants:
+            h.update(
+                f"{t.name}:{t.issued}:{t.completed}:{t.rejected}".encode()
+            )
+            h.update(repr(t.latency.fingerprint()).encode())
+        for s in self.shards:
+            h.update(
+                f"{s.shard_id}:{s.subrequests_served}:{s.disk_reads}:"
+                f"{s.budget_bytes}:{s.peak_queue_depth}:{s.rejected_at}".encode()
+            )
+        h.update(f"{self.duration_us:.3f}:{self.rebalances}".encode())
+        return h.hexdigest()
+
+    def format_report(self) -> str:
+        """Multi-section text report for the CLI."""
+        c = self.config
+        lines = [
+            f"serve: {c.strategy} | {c.num_clients} clients "
+            f"({c.closed_clients} closed) x {c.num_shards} shards "
+            f"({c.partition}) | {self.issued} ops | seed {c.seed}",
+            f"simulated time: {self.duration_us / 1e6:.3f} s   "
+            f"throughput: {self.throughput_qps:,.0f} qps   "
+            f"completed: {self.completed}   rejected: {self.rejected}",
+            "",
+            "latency (us):",
+            latency_table(
+                {"all": self.latency, "queue wait": self.queue_wait},
+                label="metric",
+            ),
+            "",
+            "per-tenant:",
+        ]
+        rows = []
+        for t in self.tenants:
+            rows.append(
+                [
+                    t.name,
+                    t.mode,
+                    str(t.issued),
+                    str(t.completed),
+                    str(t.rejected),
+                    f"{t.latency.p50:,.0f}",
+                    f"{t.latency.p99:,.0f}",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["tenant", "mode", "issued", "done", "shed", "p50", "p99"],
+                rows,
+            )
+        )
+        lines.append("")
+        lines.append("per-shard:")
+        shard_rows = []
+        for s in self.shards:
+            shard_rows.append(
+                [
+                    str(s.shard_id),
+                    str(s.keys_owned),
+                    str(s.subrequests_served),
+                    str(s.disk_reads),
+                    f"{s.budget_bytes // 1024} KB",
+                    str(s.peak_queue_depth),
+                    str(s.rejected_at),
+                    f"{100.0 * s.busy_us / self.duration_us if self.duration_us else 0.0:.1f}%",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["shard", "keys", "served", "sst reads", "budget", "peakq",
+                 "shed", "util"],
+                shard_rows,
+            )
+        )
+        w = self.fleet_window
+        lines.append("")
+        lines.append(
+            f"fleet: io_miss={w.io_miss} range_hits="
+            f"{w.range_point_hits + w.range_scan_hits} "
+            f"block_hit_rate={w.block_hit_rate:.3f} "
+            f"rebalances={self.rebalances} "
+            f"evictions_forced={self.evictions_forced}"
+        )
+        lines.append(f"trace digest: {self.trace_digest}")
+        return "\n".join(lines)
+
+
+class _Shard:
+    """One shard's engine, queue, clock, and single logical server."""
+
+    __slots__ = ("shard_id", "engine", "queue", "clock", "busy", "busy_us",
+                 "keys_owned")
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine: KVEngine,
+        queue: RequestQueue,
+        clock: SimClock,
+        keys_owned: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.engine = engine
+        self.queue = queue
+        self.clock = clock
+        self.busy = False
+        self.busy_us = 0.0
+        self.keys_owned = keys_owned
+
+
+def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
+    per_shard_ids = router.shard_ids()
+    base = config.cache_bytes // config.num_shards
+    shards: List[_Shard] = []
+    for shard_id, ids in enumerate(per_shard_ids):
+        tree = LSMTree(
+            LSMOptions(
+                memtable_entries=config.memtable_entries,
+                entries_per_sstable=config.entries_per_sstable,
+            )
+        )
+        tree.bulk_load(
+            ((key_of(i), value_of(i)) for i in ids), seed=7 + shard_id
+        )
+        share = base
+        if shard_id == 0:
+            share = config.cache_bytes - base * (config.num_shards - 1)
+        engine = build_engine(
+            config.strategy,
+            tree,
+            share,
+            seed=config.seed + 101 * (shard_id + 1),
+        )
+        engine.window_size = config.window_size
+        queue = RequestQueue(shard_id, config.queue_depth)
+        queue.sanitize_from_env(seed=config.seed + 31 + shard_id)
+        shards.append(
+            _Shard(
+                shard_id,
+                engine,
+                queue,
+                SimClock(engine, config.cost_model),
+                len(ids),
+            )
+        )
+    return shards
+
+
+def _build_sessions(config: ServeConfig) -> List[ClientSession]:
+    base = config.total_ops // config.num_clients
+    remainder = config.total_ops - base * config.num_clients
+    sessions: List[ClientSession] = []
+    first_closed = config.num_clients - config.closed_clients
+    for i in range(config.num_clients):
+        tenant = TenantConfig(
+            name=f"client{i:02d}",
+            ops=base + (1 if i < remainder else 0),
+            mode="closed" if i >= first_closed else "open",
+            arrival_rate_ops_s=config.arrival_rate_ops_s,
+            think_time_us=config.think_time_us,
+        )
+        generator = WorkloadGenerator(
+            config.spec, seed=config.seed + 1000 * (i + 1)
+        )
+        sessions.append(
+            ClientSession(tenant, generator, seed=config.seed + 500 + i)
+        )
+    return sessions
+
+
+class _Simulation:
+    """Mutable run state; one instance per :func:`run_serve` call."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.spec = config.spec
+        self.router = ShardRouter(
+            config.num_shards, self.spec.num_keys, config.partition
+        )
+        self.shards = _build_shards(config, self.router)
+        self.sessions = _build_sessions(config)
+        self._by_name: Dict[str, ClientSession] = {
+            s.name: s for s in self.sessions
+        }
+        self.loop = EventLoop()
+        self.arbiter: Optional[BudgetArbiter] = None
+        if config.rebalance_every > 0:
+            self.arbiter = BudgetArbiter(
+                [s.engine for s in self.shards], config.cache_bytes
+            )
+            self.arbiter.sanitize_from_env(seed=config.seed + 17)
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.completed_total = 0
+        self.rejected_total = 0
+        self._next_seq = 0
+        self._hasher = hashlib.sha256()
+        self.trace: List[str] = []
+
+    # -- trace ------------------------------------------------------------
+
+    def emit(self, kind: str, *fields: object) -> None:
+        record = f"{self.loop.now:.3f} {kind} " + " ".join(
+            str(f) for f in fields
+        )
+        self._hasher.update(record.encode())
+        self._hasher.update(b"\n")
+        if self.config.keep_trace:
+            self.trace.append(record)
+
+    # -- issue / service / complete ---------------------------------------
+
+    def issue(self, session: ClientSession) -> None:
+        op = session.next_operation()
+        if op is None:
+            return
+        # Open-loop arrivals keep coming regardless of this op's fate.
+        if session.mode == "open":
+            self.loop.after(
+                session.next_delay_us(), lambda: self.issue(session)
+            )
+        plan = self.router.plan(op)
+        seq = self._next_seq
+        self._next_seq += 1
+        request = Request(seq, session.name, op, self.loop.now, len(plan))
+        self.emit("arrive", seq, session.name, op.kind)
+        queues = [self.shards[shard_id].queue for shard_id, _ in plan]
+        if any(not q.has_room() for q in queues):
+            # All-or-nothing shed: account it at every full target queue.
+            for q in queues:
+                if not q.has_room():
+                    q.note_rejected()
+            session.rejected += 1
+            self.rejected_total += 1
+            self.emit("shed", seq, session.name)
+            if session.mode == "closed":
+                self.loop.after(
+                    session.next_delay_us(), lambda: self.issue(session)
+                )
+            return
+        for shard_id, sub_op in plan:
+            sub = SubRequest(request, shard_id, sub_op, self.loop.now)
+            self.shards[shard_id].queue.push(sub)
+            self.maybe_start(shard_id)
+
+    def maybe_start(self, shard_id: int) -> None:
+        shard = self.shards[shard_id]
+        if shard.busy or len(shard.queue) == 0:
+            return
+        sub = shard.queue.pop()
+        shard.busy = True
+        sub.start_us = self.loop.now
+        self.queue_wait.record(sub.start_us - sub.enqueue_us)
+        # Execute now and charge the metered delta as this sub-request's
+        # service time; event callbacks are synchronous, so no other
+        # shard's work can leak into this clock window.
+        entries = self.router.execute(shard.engine, sub.op)
+        if sub.request.parts is not None:
+            sub.request.parts.append(entries)
+        service_us = max(0.0, shard.clock.charge())
+        shard.busy_us += service_us
+        self.emit("start", sub.request.seq, shard_id)
+        self.loop.after(service_us, lambda: self.complete(sub))
+
+    def complete(self, sub: SubRequest) -> None:
+        shard = self.shards[sub.shard]
+        shard.busy = False
+        request = sub.request
+        request.remaining -= 1
+        self.emit("finish", request.seq, sub.shard)
+        if request.remaining == 0:
+            self.finish_request(request)
+        self.maybe_start(sub.shard)
+
+    def finish_request(self, request: Request) -> None:
+        if request.parts is not None:
+            # The gather half of scatter-gather; the merged result is the
+            # request's answer (dropped here — correctness is unit-tested
+            # against an unsharded oracle).
+            self.router.merge_scan(request.parts, request.op.length)
+        session = self._session_of(request.tenant)
+        latency_us = self.loop.now - request.arrival_us
+        self.latency.record(latency_us)
+        session.latency.record(latency_us)
+        session.completed += 1
+        self.completed_total += 1
+        self.emit("done", request.seq, request.tenant)
+        every = self.config.rebalance_every
+        if self.arbiter is not None and every and self.completed_total % every == 0:
+            evicted = self.arbiter.rebalance(self.loop.now)
+            self.emit(
+                "rebalance",
+                self.arbiter.rebalances,
+                evicted,
+                " ".join(f"{s:.4f}" for s in self.arbiter.shares),
+            )
+        if session.mode == "closed":
+            self.loop.after(
+                session.next_delay_us(), lambda: self.issue(session)
+            )
+
+    def _session_of(self, name: str) -> ClientSession:
+        return self._by_name[name]
+
+    # -- run ------------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        for session in self.sessions:
+            self.loop.after(
+                session.next_delay_us(),
+                (lambda s: lambda: self.issue(s))(session),
+            )
+        self.loop.run()
+        if sanitize.env_enabled():
+            # End-of-run full sweep, mirroring window-boundary sweeps.
+            for shard in self.shards:
+                shard.queue.check_invariants()
+            if self.arbiter is not None:
+                self.arbiter.check_invariants()
+        return self._result()
+
+    def _result(self) -> ServeResult:
+        duration = self.loop.now
+        issued = sum(s.issued for s in self.sessions)
+        tenants = [
+            TenantResult(
+                name=s.name,
+                mode=s.mode,
+                issued=s.issued,
+                completed=s.completed,
+                rejected=s.rejected,
+                latency=s.latency,
+            )
+            for s in self.sessions
+        ]
+        shard_results = []
+        for shard in self.shards:
+            shard.engine.flush_window()
+            shard_results.append(
+                ShardResult(
+                    shard_id=shard.shard_id,
+                    keys_owned=shard.keys_owned,
+                    subrequests_served=shard.queue.served,
+                    disk_reads=shard.engine.tree.disk.block_reads_total,
+                    budget_bytes=shard.engine.cache_budget_total,
+                    peak_queue_depth=shard.queue.peak_depth,
+                    rejected_at=shard.queue.rejected,
+                    busy_us=shard.busy_us,
+                )
+            )
+        fleet_window = merge_windows(
+            [shard.engine.collector.lifetime for shard in self.shards]
+        )
+        return ServeResult(
+            config=self.config,
+            duration_us=duration,
+            issued=issued,
+            completed=self.completed_total,
+            rejected=self.rejected_total,
+            throughput_qps=(
+                self.completed_total / (duration / 1e6) if duration > 0 else 0.0
+            ),
+            latency=self.latency,
+            queue_wait=self.queue_wait,
+            tenants=tenants,
+            shards=shard_results,
+            fleet_window=fleet_window,
+            rebalances=self.arbiter.rebalances if self.arbiter else 0,
+            evictions_forced=(
+                self.arbiter.evictions_forced if self.arbiter else 0
+            ),
+            trace_digest=self._hasher.hexdigest(),
+            trace=self.trace,
+        )
+
+
+def run_serve(config: ServeConfig) -> ServeResult:
+    """Run one deterministic serving simulation end to end."""
+    return _Simulation(config).run()

@@ -57,3 +57,26 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "C" in out and "D" in out
+
+    def test_serve_command(self, capsys):
+        code = main(
+            ["serve", "--clients", "2", "--shards", "2", "--ops", "400",
+             "--num-keys", "400", "--cache-kb", "64",
+             "--memtable-entries", "32", "--sstable-entries", "64",
+             "--window-size", "100", "--rebalance-every", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-tenant" in out
+        assert "per-shard" in out
+        assert "trace digest" in out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clients == 8
+        assert args.shards == 4
+        assert args.partition == "hash"
+
+    def test_serve_rejects_bad_partition(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--partition", "bogus"])

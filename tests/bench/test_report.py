@@ -3,7 +3,19 @@
 from __future__ import annotations
 
 from repro.bench.harness import RunResult
-from repro.bench.report import format_series, format_table, rank, ranking_table
+import pytest
+
+from repro.bench.report import (
+    LatencyHistogram,
+    format_series,
+    format_table,
+    latency_table,
+    merged_histogram,
+    percentile,
+    rank,
+    ranking_table,
+)
+from repro.errors import ConfigError
 
 
 def result(name, hit, qps):
@@ -58,3 +70,104 @@ class TestRanking:
         avg_qps_x, avg_hit_x = averages["x"]
         assert avg_qps_x == 1.5  # x: qps rank 2 in A, rank 1 in B
         assert avg_hit_x == 1.5  # x: hit rank 1 in A, rank 2 in B
+
+
+class TestPercentile:
+    def test_nearest_rank_semantics(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.0) == 10.0
+        assert percentile(samples, 0.25) == 10.0
+        assert percentile(samples, 0.5) == 20.0
+        assert percentile(samples, 0.99) == 40.0
+        assert percentile(samples, 1.0) == 40.0
+
+    def test_empty_and_validation(self):
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ConfigError):
+            percentile([1.0], 1.5)
+
+    def test_pure_function_of_multiset(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == percentile(
+            [2.0, 3.0, 1.0], 0.5
+        )
+
+
+class TestLatencyHistogram:
+    def test_quantile_is_bucket_upper_bound(self):
+        h = LatencyHistogram(growth=2.0, min_us=1.0)
+        for us in (1.0, 3.0, 100.0):
+            h.record(us)
+        # 3.0 falls in the bucket bounded above by 4.0; the reported
+        # median is that bound — a deterministic over-estimate.
+        assert h.quantile(0.5) == 4.0
+        assert h.p50 == 4.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 128.0
+        assert h.count == 3
+        assert h.max_us == 100.0
+        assert h.mean_us == pytest.approx(104.0 / 3)
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.p50 == 0.0 and h.p99 == 0.0
+        assert h.mean_us == 0.0
+        assert h.fingerprint() == ()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(min_us=0.0)
+        h = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            h.record(-1.0)
+        with pytest.raises(ConfigError):
+            h.record(float("inf"))
+        with pytest.raises(ConfigError):
+            h.quantile(2.0)
+
+    def test_merge_equals_single_stream(self):
+        a, b, both = (LatencyHistogram() for _ in range(3))
+        for i, us in enumerate([5.0, 17.0, 250.0, 3.0, 99.0, 1200.0]):
+            (a if i % 2 == 0 else b).record(us)
+            both.record(us)
+        a.merge(b)
+        assert a.fingerprint() == both.fingerprint()
+        assert a.count == both.count
+        assert a.total_us == pytest.approx(both.total_us)
+        assert a.max_us == both.max_us
+        assert a.p99 == both.p99
+
+    def test_merge_geometry_mismatch_rejected(self):
+        a = LatencyHistogram(growth=1.15)
+        b = LatencyHistogram(growth=2.0)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_fingerprint_reflects_contents(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10.0)
+        b.record(10.0)
+        assert a.fingerprint() == b.fingerprint()
+        b.record(5000.0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_merged_histogram_helper(self):
+        parts = []
+        for base in (10.0, 100.0, 1000.0):
+            h = LatencyHistogram()
+            h.record(base)
+            parts.append(h)
+        merged = merged_histogram(parts)
+        assert merged.count == 3
+        assert merged.max_us == 1000.0
+        empty = merged_histogram([])
+        assert empty.count == 0
+
+    def test_latency_table_renders(self):
+        h = LatencyHistogram()
+        for us in (10.0, 20.0, 30.0):
+            h.record(us)
+        table = latency_table({"t0": h}, label="tenant")
+        assert "tenant" in table and "p99 us" in table and "t0" in table

@@ -52,6 +52,74 @@ class TestRouting:
             even_boundaries(100, 0, key_of=lambda i: str(i))
 
 
+class TestBoundaries:
+    """Exact edge behaviour at the first/last shard and on split keys."""
+
+    def test_first_and_last_shard_edges(self):
+        c = cache_of(boundaries=("k0100", "k0200", "k0300"))
+        # Smallest representable keys land in shard 0 ...
+        assert c.shard_index("") == 0
+        assert c.shard_index("k0000") == 0
+        # ... and anything past the last boundary in the final shard.
+        assert c.shard_index("k0300") == c.num_shards - 1
+        assert c.shard_index("zzzz") == c.num_shards - 1
+
+    def test_key_exactly_on_boundary_owned_by_right_shard(self):
+        c = cache_of(boundaries=("k0100", "k0200"))
+        c.insert_point("k0100", "edge")
+        assert len(c.shards()[1]) == 1
+        assert len(c.shards()[0]) == 0
+        assert c.get_point("k0100") == "edge"
+        # A scan starting exactly on the boundary stays inside shard 1.
+        c.insert_range("k0100", entries(100, 110))
+        assert c.get_range("k0100", 5) == entries(100, 105)
+
+    def test_upper_bound_per_shard(self):
+        c = cache_of(boundaries=("k0100", "k0200"))
+        assert c._upper_bound(0) == "k0100"
+        assert c._upper_bound(1) == "k0200"
+        assert c._upper_bound(2) is None  # last shard is unbounded above
+
+    def test_single_shard_degenerates_to_plain_range_cache(self):
+        from repro.cache.range_cache import RangeCache
+
+        sharded = ShardedRangeCache(32 * 100, [], entry_charge=100, seed=1)
+        oracle = RangeCache(32 * 100, entry_charge=100, seed=1)
+        for cache in (sharded, oracle):
+            cache.insert_range("k0000", entries(0, 20))
+        assert sharded.num_shards == 1
+        for start, length in (("k0000", 5), ("k0010", 10), ("k0019", 1)):
+            assert sharded.get_range(start, length) == oracle.get_range(
+                start, length
+            )
+
+    def test_within_shard_scans_match_unsharded_oracle(self):
+        from repro.cache.range_cache import RangeCache
+
+        sharded = cache_of(budget_entries=256, boundaries=("k0100", "k0200"))
+        oracle = RangeCache(256 * 100, entry_charge=100, seed=1)
+        # Populate each shard's slice separately so inserts never cross a
+        # boundary (the sharded cache rejects those by design).
+        # Slices stay within each shard's budget (256/3 entries per shard)
+        # and never cross a boundary (the sharded cache rejects those by
+        # design).
+        for lo, hi in ((60, 100), (100, 150), (200, 250)):
+            sharded.insert_range(f"k{lo:04d}", entries(lo, hi))
+        # The oracle sees the same data but as contiguous intervals, so it
+        # can also serve the boundary-straddling scan the shards cannot.
+        for lo, hi in ((60, 150), (200, 250)):
+            oracle.insert_range(f"k{lo:04d}", entries(lo, hi))
+        probes = [("k0065", 20), ("k0100", 30), ("k0120", 30), ("k0240", 10)]
+        for start, length in probes:
+            assert sharded.get_range(start, length) == oracle.get_range(
+                start, length
+            )
+        # Crossing a shard boundary is the one divergence: the sharded
+        # cache misses (falls back to the LSM) where the oracle hits.
+        assert sharded.get_range("k0095", 10) is None
+        assert oracle.get_range("k0095", 10) == entries(95, 105)
+
+
 class TestRangePath:
     def test_in_shard_scan_hits(self):
         c = cache_of()

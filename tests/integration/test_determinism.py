@@ -111,6 +111,45 @@ def test_learned_policies_are_deterministic_too(strategy):
     assert _fingerprint(engine_a) == _fingerprint(engine_b)
 
 
+SERVE_KWARGS = dict(
+    num_clients=8,
+    num_shards=4,
+    total_ops=4_000,
+    num_keys=2_000,
+    cache_bytes=256 * 1024,
+    seed=21,
+    keep_trace=True,
+)
+
+
+def _run_serve_once():
+    from repro.serve import ServeConfig, run_serve
+
+    return run_serve(ServeConfig(**SERVE_KWARGS))
+
+
+def test_serve_double_run_is_byte_identical():
+    a = _run_serve_once()
+    b = _run_serve_once()
+    assert a.trace == b.trace
+    assert a.fingerprint() == b.fingerprint()
+    assert a.format_report() == b.format_report()
+    # Sanity: the serving layer actually did multi-shard work.
+    assert a.completed > 0
+    assert len(a.shards) == 4
+    assert len(a.tenants) == 8
+    assert a.rebalances >= 1
+
+
+def test_serve_sanitized_run_matches_unsanitized_run(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    plain = _run_serve_once()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sane = _run_serve_once()
+    assert plain.trace == sane.trace
+    assert plain.fingerprint() == sane.fingerprint()
+
+
 def test_sanitized_run_matches_unsanitized_run(monkeypatch):
     monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     engine_plain, results_plain = _run_once(seed=11, ops=2_000)

@@ -131,6 +131,27 @@ def test_cache001_accepts_cache_with_invariants(tmp_path):
     assert _lint_source(tmp_path, source, ["CACHE001"]) == []
 
 
+def test_cache001_flags_serve_component_without_invariants(tmp_path):
+    source = (
+        "class LossyQueue(ServeComponent):\n"
+        "    def push(self, item):\n"
+        "        pass\n"
+    )
+    findings = _lint_source(tmp_path, source, ["CACHE001"])
+    assert _rule_ids(findings) == ["CACHE001"]
+    assert "LossyQueue" in findings[0].message
+    assert "serving component" in findings[0].message
+
+
+def test_cache001_accepts_serve_component_with_invariants(tmp_path):
+    source = (
+        "class SafeQueue(ServeComponent):\n"
+        "    def check_invariants(self):\n"
+        "        pass\n"
+    )
+    assert _lint_source(tmp_path, source, ["CACHE001"]) == []
+
+
 # -- MUT001 / EXC001 / SLOT001 ----------------------------------------------
 
 

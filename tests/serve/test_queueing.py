@@ -1,0 +1,100 @@
+"""Bounded request queues: admission budget, shedding, flow invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheError, ConfigError, InvariantError
+from repro.serve.queueing import Request, RequestQueue, SubRequest
+from repro.workloads.generator import Operation
+
+
+def sub(seq=0, shard=0, t=0.0):
+    op = Operation("get", "key000000000000000000001")
+    request = Request(seq, "tenant", op, t, fanout=1)
+    return SubRequest(request, shard, op, t)
+
+
+class TestQueue:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RequestQueue(0, 0)
+
+    def test_fifo_order(self):
+        q = RequestQueue(0, 4)
+        subs = [sub(seq=i) for i in range(3)]
+        for s in subs:
+            q.push(s)
+        assert [q.pop().request.seq for _ in range(3)] == [0, 1, 2]
+
+    def test_room_and_depth_tracking(self):
+        q = RequestQueue(0, 2)
+        assert q.has_room()
+        q.push(sub(0))
+        q.push(sub(1))
+        assert not q.has_room()
+        assert q.depth == len(q) == 2
+        assert q.peak_depth == 2
+        q.pop()
+        assert q.has_room()
+        assert q.peak_depth == 2  # peak is sticky
+
+    def test_overflow_and_underflow_raise(self):
+        q = RequestQueue(3, 1)
+        q.push(sub(0))
+        with pytest.raises(CacheError):
+            q.push(sub(1))
+        q.pop()
+        with pytest.raises(CacheError):
+            q.pop()
+
+    def test_shedding_is_counted_not_silent(self):
+        q = RequestQueue(0, 1)
+        q.push(sub(0))
+        q.note_rejected()
+        q.note_rejected()
+        assert q.rejected == 2
+        assert q.accepted == 1
+
+    def test_flow_conservation_invariant(self):
+        q = RequestQueue(0, 8)
+        for i in range(5):
+            q.push(sub(i))
+        for _ in range(2):
+            q.pop()
+        q.check_invariants()
+        assert q.accepted - q.served == q.depth
+
+    def test_corrupted_counters_detected(self):
+        q = RequestQueue(0, 2)
+        q.push(sub(0))
+        q.served = 7  # simulate bookkeeping corruption
+        with pytest.raises(InvariantError):
+            q.check_invariants()
+
+    def test_corrupted_peak_detected(self):
+        q = RequestQueue(0, 2)
+        q.push(sub(0))
+        q.peak_depth = 0
+        with pytest.raises(InvariantError):
+            q.check_invariants()
+
+    def test_sampled_sanitizer_hook(self):
+        q = RequestQueue(0, 4)
+        q.enable_sanitizer(period=1)
+        assert q.sanitizing
+        q.push(sub(0))
+        q.pop()
+        assert q._sanitizer is not None and q._sanitizer.checks_run >= 2
+
+
+class TestRequest:
+    def test_scan_requests_collect_parts(self):
+        op = Operation("scan", "key000000000000000000000", length=4)
+        request = Request(0, "t", op, 0.0, fanout=3)
+        assert request.parts == []
+        assert request.remaining == 3
+
+    def test_point_requests_have_no_parts(self):
+        request = Request(0, "t", Operation("get", "k"), 0.0, fanout=1)
+        assert request.parts is None

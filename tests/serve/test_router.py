@@ -1,0 +1,155 @@
+"""Shard router: partitioning, planning, and scatter-gather vs an oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import apply_operation, seed_database
+from repro.core.engine import KVEngine
+from repro.errors import ConfigError
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.serve.router import ShardRouter, fnv1a_64
+from repro.workloads.generator import Operation, WorkloadGenerator, WorkloadSpec
+from repro.workloads.keys import key_of, value_of
+
+NUM_KEYS = 600
+
+
+def _options():
+    return LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+def _build_sharded(router):
+    """One plain engine per shard, seeded with that shard's keys."""
+    engines = []
+    for ids in router.shard_ids():
+        tree = LSMTree(_options())
+        tree.bulk_load(((key_of(i), value_of(i)) for i in ids), seed=7)
+        engines.append(KVEngine(tree))
+    return engines
+
+
+class TestPartitioning:
+    def test_fnv1a_is_stable(self):
+        # Known-answer: FNV-1a 64 of the empty string is the offset basis.
+        assert fnv1a_64("") == 0xCBF29CE484222325
+        assert fnv1a_64("a") == 0xAF63DC4C8601EC8C
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardRouter(0, 100)
+        with pytest.raises(ConfigError):
+            ShardRouter(2, 0)
+        with pytest.raises(ConfigError):
+            ShardRouter(2, 100, partition="round-robin")
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_shard_ids_partition_the_keyspace(self, partition):
+        router = ShardRouter(4, NUM_KEYS, partition)
+        ids = router.shard_ids()
+        flat = sorted(i for shard in ids for i in shard)
+        assert flat == list(range(NUM_KEYS))
+        assert all(shard == sorted(shard) for shard in ids)
+        if partition == "range":
+            # Contiguous slices in shard order.
+            assert [shard[0] for shard in ids] == [0, 150, 300, 450]
+
+    def test_shard_of_key_matches_shard_ids(self):
+        for partition in ("hash", "range"):
+            router = ShardRouter(3, NUM_KEYS, partition)
+            for shard, ids in enumerate(router.shard_ids()):
+                for key_id in ids[:25]:
+                    assert router.shard_of_key(key_of(key_id)) == shard
+                    assert router.shard_of_id(key_id) == shard
+
+    def test_range_mode_balance(self):
+        router = ShardRouter(4, NUM_KEYS, "range")
+        sizes = [len(ids) for ids in router.shard_ids()]
+        assert sizes == [150, 150, 150, 150]
+
+
+class TestPlanning:
+    def test_point_ops_route_to_one_shard(self):
+        for partition in ("hash", "range"):
+            router = ShardRouter(4, NUM_KEYS, partition)
+            for kind in ("get", "put", "delete"):
+                op = Operation(kind, key_of(123), value="v")
+                plan = router.plan(op)
+                assert len(plan) == 1
+                assert plan[0] == (router.shard_of_key(op.key), op)
+
+    def test_hash_scans_scatter_everywhere(self):
+        router = ShardRouter(4, NUM_KEYS, "hash")
+        op = Operation("scan", key_of(10), length=16)
+        plan = router.plan(op)
+        assert [shard for shard, _ in plan] == [0, 1, 2, 3]
+        assert all(sub == op for _, sub in plan)
+
+    def test_range_scans_touch_only_overlapping_shards(self):
+        router = ShardRouter(4, NUM_KEYS, "range")
+        # Fully inside shard 0 ([0, 150)).
+        plan = router.plan(Operation("scan", key_of(10), length=16))
+        assert [shard for shard, _ in plan] == [0]
+        # Straddles the shard 0/1 boundary at 150.
+        plan = router.plan(Operation("scan", key_of(145), length=16))
+        assert [shard for shard, _ in plan] == [0, 1]
+        # The second sub-scan starts at the boundary key, not before it.
+        assert plan[1][1].key == key_of(150)
+
+    def test_merge_scan_truncates_and_orders(self):
+        router = ShardRouter(2, NUM_KEYS, "hash")
+        parts = [
+            [(key_of(1), "a"), (key_of(5), "b")],
+            [(key_of(2), "c"), (key_of(9), "d")],
+        ]
+        merged = router.merge_scan(parts, 3)
+        assert [k for k, _ in merged] == [key_of(1), key_of(2), key_of(5)]
+
+
+class TestScatterGatherOracle:
+    """Sharded scan results must equal an unsharded engine's scans."""
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_scans_match_unsharded_oracle(self, partition):
+        spec = WorkloadSpec(
+            num_keys=NUM_KEYS,
+            get_ratio=0.2,
+            short_scan_ratio=0.5,
+            write_ratio=0.3,
+            short_scan_length=24,
+            name="oracle-mix",
+        )
+        router = ShardRouter(3, NUM_KEYS, partition)
+        engines = _build_sharded(router)
+        oracle = KVEngine(seed_database(NUM_KEYS, _options(), seed=7))
+        generator = WorkloadGenerator(spec, seed=42)
+        scans_checked = 0
+        for op in generator.ops(400):
+            if op.kind == "scan":
+                parts = [
+                    router.execute(engines[shard], sub_op)
+                    for shard, sub_op in router.plan(op)
+                ]
+                merged = router.merge_scan(parts, op.length)
+                expected = oracle.scan(op.key, op.length)
+                assert merged == expected, f"scan {op.key} x{op.length} diverged"
+                scans_checked += 1
+            else:
+                for shard, sub_op in router.plan(op):
+                    router.execute(engines[shard], sub_op)
+                apply_operation(oracle, op)
+        assert scans_checked > 50  # the mix actually exercised scans
+
+    def test_scan_at_keyspace_tail(self):
+        router = ShardRouter(3, NUM_KEYS, "range")
+        engines = _build_sharded(router)
+        oracle = KVEngine(seed_database(NUM_KEYS, _options(), seed=7))
+        op = Operation("scan", key_of(NUM_KEYS - 5), length=16)
+        parts = [
+            router.execute(engines[shard], sub_op)
+            for shard, sub_op in router.plan(op)
+        ]
+        merged = router.merge_scan(parts, op.length)
+        assert merged == oracle.scan(op.key, op.length)
+        assert len(merged) == 5  # keyspace exhausted, not padded
