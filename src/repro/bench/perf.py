@@ -1,0 +1,398 @@
+"""Host-side perf microbenchmarks: the ``repro bench`` subsystem.
+
+Everything else in :mod:`repro.bench` measures *simulated* cost (the
+deterministic cost model); this module measures the one thing the sim
+clock cannot see — how fast the simulator itself executes on the host.
+Experiment turnaround is bounded by the Python op path (engine ->
+AdCache -> block/range cache -> LSM tree -> simulated disk), so this
+harness times standard point/scan/mixed phases, normalizes throughput
+by a host-speed calibration score, and emits a machine-readable report
+(``BENCH_*.json``) that CI gates future PRs against.
+
+Two kinds of numbers per phase:
+
+* **wall-clock** — ``wall_s`` / ``ops_per_sec`` / ``normalized_score``
+  (ops/sec divided by the calibration score, so slow and fast hosts are
+  comparable; the CI regression gate compares normalized scores);
+* **simulated** — ``sim_qps`` / ``hit_rate`` / ``sst_reads`` plus a
+  sha256 ``fingerprint`` over the deterministic counters, which must be
+  byte-identical across runs on one host (the determinism guard for
+  hot-path optimizations).
+
+The report dict layout is the schema contract shared with
+:func:`repro.bench.report.perf_table`, which renders it for the CLI.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import pstats
+import time  # lint: disable=SIM001  # wall-clock timing is this module's subject
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.harness import RunResult, run_workload, seed_database
+from repro.bench.strategies import build_engine
+from repro.errors import ConfigError, InvariantError
+from repro.lsm.options import LSMOptions
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_workload,
+    point_lookup_workload,
+    short_scan_workload,
+)
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Fractional normalized-throughput drop that fails the CI gate.
+DEFAULT_FAIL_THRESHOLD = 0.25
+
+#: Phase name -> workload-spec factory, in report order.
+PHASE_SPECS: Dict[str, Callable[[int], WorkloadSpec]] = {
+    "point": point_lookup_workload,
+    "scan": short_scan_workload,
+    "mixed": balanced_workload,
+}
+
+#: Iterations of the fixed calibration loop (host-speed probe).
+_CALIBRATION_OPS = 200_000
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Ops/sec of a fixed pure-Python dict/string loop (best of N).
+
+    The loop exercises the same primitives the simulator leans on
+    (string formatting, dict churn, integer arithmetic), so the ratio
+    ``phase ops_per_sec / calibration_score`` is a machine-independent
+    measure of simulator efficiency: CI runners and developer laptops
+    produce comparable normalized scores even though their absolute
+    throughputs differ severalfold.
+    """
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        table: Dict[str, int] = {}
+        acc = 0
+        for i in range(_CALIBRATION_OPS):
+            key = "key-%07d" % (i & 8191)
+            table[key] = i
+            acc += table[key] ^ (i >> 3)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, _CALIBRATION_OPS / elapsed)
+    return best
+
+
+@dataclass
+class PhaseResult:
+    """Wall-clock and simulated outcome of one benchmark phase."""
+
+    name: str
+    ops: int
+    wall_s: float
+    ops_per_sec: float
+    normalized_score: float
+    sim_qps: float
+    hit_rate: float
+    sst_reads: int
+    fingerprint: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the shared schema's phase shape)."""
+        return {
+            "name": self.name,
+            "ops": self.ops,
+            "wall_s": round(self.wall_s, 6),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "normalized_score": round(self.normalized_score, 6),
+            "sim_qps": round(self.sim_qps, 1),
+            "hit_rate": round(self.hit_rate, 6),
+            "sst_reads": self.sst_reads,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class PerfReport:
+    """One full ``repro bench`` run: configuration + per-phase results."""
+
+    schema: int = SCHEMA_VERSION
+    label: str = "bench"
+    quick: bool = False
+    seed: int = 0
+    num_keys: int = 0
+    ops_per_phase: int = 0
+    strategy: str = "adcache"
+    cache_bytes: int = 0
+    calibration: float = 0.0
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    def phase(self, name: str) -> Optional[PhaseResult]:
+        """The named phase result, or None."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the shared schema's report shape)."""
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "quick": self.quick,
+            "seed": self.seed,
+            "num_keys": self.num_keys,
+            "ops_per_phase": self.ops_per_phase,
+            "strategy": self.strategy,
+            "cache_bytes": self.cache_bytes,
+            "calibration": round(self.calibration, 1),
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerfReport":
+        """Parse a report dict (raises :class:`ConfigError` on bad shape)."""
+        try:
+            schema = int(data["schema"])  # type: ignore[arg-type]
+            if schema != SCHEMA_VERSION:
+                raise ConfigError(
+                    f"unsupported bench schema {schema} "
+                    f"(this build reads {SCHEMA_VERSION})"
+                )
+            phases = [
+                PhaseResult(
+                    name=str(p["name"]),
+                    ops=int(p["ops"]),
+                    wall_s=float(p["wall_s"]),
+                    ops_per_sec=float(p["ops_per_sec"]),
+                    normalized_score=float(p["normalized_score"]),
+                    sim_qps=float(p["sim_qps"]),
+                    hit_rate=float(p["hit_rate"]),
+                    sst_reads=int(p["sst_reads"]),
+                    fingerprint=str(p["fingerprint"]),
+                )
+                for p in data["phases"]  # type: ignore[union-attr]
+            ]
+            return cls(
+                schema=schema,
+                label=str(data.get("label", "bench")),
+                quick=bool(data.get("quick", False)),
+                seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+                num_keys=int(data.get("num_keys", 0)),  # type: ignore[arg-type]
+                ops_per_phase=int(data.get("ops_per_phase", 0)),  # type: ignore[arg-type]
+                strategy=str(data.get("strategy", "adcache")),
+                cache_bytes=int(data.get("cache_bytes", 0)),  # type: ignore[arg-type]
+                calibration=float(data.get("calibration", 0.0)),  # type: ignore[arg-type]
+                phases=phases,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed bench report: {exc}") from exc
+
+
+def _phase_fingerprint(result: RunResult) -> str:
+    """sha256 over the deterministic simulated counters of one phase.
+
+    Wall-clock numbers vary run to run; these counters may not — two
+    runs of the same phase on one host must produce the same digest, or
+    an "optimization" changed simulated behaviour.
+    """
+    h = hashlib.sha256()
+    h.update(
+        (
+            f"{result.ops}:{result.sst_reads}:{result.io_miss}:"
+            f"{result.range_point_hits}:{result.range_scan_hits}:"
+            f"{result.compactions}:{result.hit_rate:.9f}:"
+            f"{result.io_estimate:.9f}"
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+def run_phase(
+    name: str,
+    *,
+    num_keys: int,
+    ops: int,
+    cache_bytes: int,
+    strategy: str,
+    seed: int,
+    calibration: float,
+    repeats: int = 1,
+) -> PhaseResult:
+    """Build a fresh engine, run one phase's workload, and time it.
+
+    Every phase starts from an identical freshly seeded database so
+    phases are independent and individually reproducible.  With
+    ``repeats`` > 1, the whole phase (seed + run) executes that many
+    times and the *best* wall time wins — standard microbenchmark
+    practice for filtering scheduler and cache noise on shared hosts.
+    Repeats are byte-identical simulations, so their fingerprints must
+    agree; a mismatch means nondeterminism crept into the op path and
+    raises :class:`~repro.errors.InvariantError` immediately.
+    """
+    if name not in PHASE_SPECS:
+        raise ConfigError(f"unknown bench phase {name!r}; choose from {sorted(PHASE_SPECS)}")
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    options = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+    best_wall: Optional[float] = None
+    result: Optional[RunResult] = None
+    fingerprint: Optional[str] = None
+    for _ in range(repeats):
+        tree = seed_database(num_keys, options, seed=7)
+        engine = build_engine(strategy, tree, cache_bytes, seed=seed)
+        generator = WorkloadGenerator(PHASE_SPECS[name](num_keys), seed=seed + 1)
+        start = time.perf_counter()
+        this_result = run_workload(engine, generator, num_ops=ops, name=name)
+        wall = time.perf_counter() - start
+        this_fingerprint = _phase_fingerprint(this_result)
+        if fingerprint is None:
+            fingerprint = this_fingerprint
+        elif this_fingerprint != fingerprint:
+            raise InvariantError(
+                f"bench phase {name!r} produced different simulated counters "
+                f"across identical repeats ({fingerprint[:12]} vs "
+                f"{this_fingerprint[:12]}); the op path is nondeterministic"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            result = this_result
+    assert best_wall is not None and result is not None and fingerprint is not None
+    wall = best_wall
+    ops_per_sec = ops / wall if wall > 0 else 0.0
+    return PhaseResult(
+        name=name,
+        ops=ops,
+        wall_s=wall,
+        ops_per_sec=ops_per_sec,
+        normalized_score=ops_per_sec / calibration if calibration > 0 else 0.0,
+        sim_qps=result.qps,
+        hit_rate=result.hit_rate,
+        sst_reads=result.sst_reads,
+        fingerprint=fingerprint,
+    )
+
+
+def run_perf(
+    quick: bool = False,
+    seed: int = 0,
+    strategy: str = "adcache",
+    label: str = "bench",
+    num_keys: Optional[int] = None,
+    ops_per_phase: Optional[int] = None,
+    cache_bytes: Optional[int] = None,
+    profile_sort: Optional[str] = None,
+    repeats: int = 1,
+) -> Tuple[PerfReport, Optional[str]]:
+    """Run every phase; returns ``(report, profile_text_or_None)``.
+
+    ``quick`` selects the small CI configuration; explicit ``num_keys``
+    / ``ops_per_phase`` / ``cache_bytes`` override either preset (used
+    by the unit tests to stay fast).  ``profile_sort`` (e.g.
+    ``"cumulative"`` or ``"tottime"``) wraps the phases in cProfile and
+    returns the formatted top of the profile.  ``repeats`` takes the
+    best wall time of N identical runs per phase (see
+    :func:`run_phase`); use 3+ when recording a committed baseline.
+    """
+    keys = num_keys if num_keys is not None else (2_000 if quick else 4_000)
+    ops = ops_per_phase if ops_per_phase is not None else (4_000 if quick else 20_000)
+    budget = cache_bytes if cache_bytes is not None else (256 * 1024 if quick else 512 * 1024)
+    calibration = calibration_score()
+    report = PerfReport(
+        label=label,
+        quick=quick,
+        seed=seed,
+        num_keys=keys,
+        ops_per_phase=ops,
+        strategy=strategy,
+        cache_bytes=budget,
+        calibration=calibration,
+    )
+
+    profiler = cProfile.Profile() if profile_sort else None
+    if profiler is not None:
+        profiler.enable()
+    for name in PHASE_SPECS:
+        report.phases.append(
+            run_phase(
+                name,
+                num_keys=keys,
+                ops=ops,
+                cache_bytes=budget,
+                strategy=strategy,
+                seed=seed + 11,
+                calibration=calibration,
+                repeats=repeats,
+            )
+        )
+    profile_text: Optional[str] = None
+    if profiler is not None:
+        profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats(profile_sort).print_stats(30)
+        profile_text = buffer.getvalue()
+    return report, profile_text
+
+
+def compare_reports(
+    current: PerfReport,
+    baseline: PerfReport,
+    threshold: float = DEFAULT_FAIL_THRESHOLD,
+    strict_fingerprints: bool = False,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    A phase regresses when its *normalized* score (ops/sec over the
+    host calibration score) drops more than ``threshold`` below the
+    baseline's — raw ops/sec would punish slower CI hardware instead of
+    slower code.  With ``strict_fingerprints`` (same-host runs only —
+    RL float behaviour may differ across BLAS builds), differing phase
+    fingerprints are also reported, catching optimizations that changed
+    simulated behaviour.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigError("threshold must be in (0, 1)")
+    problems: List[str] = []
+    for phase in current.phases:
+        base = baseline.phase(phase.name)
+        if base is None:
+            continue
+        floor = base.normalized_score * (1.0 - threshold)
+        if phase.normalized_score < floor:
+            problems.append(
+                f"{phase.name}: normalized score {phase.normalized_score:.4f} "
+                f"fell below {floor:.4f} (baseline {base.normalized_score:.4f} "
+                f"- {threshold:.0%})"
+            )
+        if (
+            strict_fingerprints
+            and (phase.ops, current.seed, current.num_keys)
+            == (base.ops, baseline.seed, baseline.num_keys)
+            and phase.fingerprint != base.fingerprint
+        ):
+            problems.append(
+                f"{phase.name}: simulated-counter fingerprint changed "
+                f"({base.fingerprint[:12]} -> {phase.fingerprint[:12]}); "
+                f"the optimization altered simulation behaviour"
+            )
+    return problems
+
+
+def load_baseline(path: str) -> PerfReport:
+    """Read a baseline report from ``path``.
+
+    Accepts either a bare report dict or a ``BENCH_PR*.json`` envelope,
+    whose ``current`` entry is the committed post-PR baseline.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and "current" in data and "phases" not in data:
+        data = data["current"]
+    if not isinstance(data, dict):
+        raise ConfigError(f"baseline {path} is not a report object")
+    return PerfReport.from_dict(data)

@@ -52,11 +52,14 @@ class FrequencyAdmission:
             raise CacheError("threshold must not be NaN")
         self._threshold = min(1.0, max(0.0, threshold))
 
-    def observe_and_decide(self, key: str) -> bool:
+    def observe_and_decide(self, key: str) -> bool:  # hot-path
         """Count one miss of ``key`` and decide whether to admit it.
 
         Always admits when the bar is zero (but still counts, keeping
-        the sketch warm for when the controller raises the bar).
+        the sketch warm for when the controller raises the bar).  The
+        estimate-then-increment pair runs as one sketch pass — the
+        sketch hashes the key's row columns once (and memoizes them),
+        so a miss never pays the row hashes twice.
         """
         count = self._sketch.increment(key)
         total = max(1, self._sketch.total)

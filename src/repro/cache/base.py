@@ -217,7 +217,7 @@ class BudgetedCache(CacheBase, Generic[K, V]):
 
     # -- lookups ---------------------------------------------------------------
 
-    def get(self, key: K) -> Optional[V]:
+    def get(self, key: K) -> Optional[V]:  # hot-path
         """Value for ``key`` (promoting it), or None; counts hit/miss."""
         entry = self._data.get(key)
         if entry is None:
@@ -244,25 +244,28 @@ class BudgetedCache(CacheBase, Generic[K, V]):
 
     # -- mutation ---------------------------------------------------------------
 
-    def put(self, key: K, value: V) -> bool:
+    def put(self, key: K, value: V) -> bool:  # hot-path
         """Insert or overwrite ``key``; returns False if it can never fit."""
         charge = self._charge_of(key, value)
         if charge > self._budget:
             self.stats.rejections += 1
             return False
-        if key in self._data:
-            _, old_charge = self._data[key]
-            self._used -= old_charge
-            self._data[key] = (value, charge)
+        data = self._data
+        old = data.get(key)
+        if old is not None:
+            self._used -= old[1]
+            data[key] = (value, charge)
             self._used += charge
             self._policy.record_access(key)
         else:
-            self._data[key] = (value, charge)
+            data[key] = (value, charge)
             self._used += charge
             self._policy.record_insert(key)
             self.stats.insertions += 1
-        self._evict_to_fit()
-        self._after_mutation()
+        if self._used > self._budget:
+            self._evict_to_fit()
+        if self._sanitizer is not None:
+            self._sanitizer.after_mutation(self)
         return True
 
     def remove(self, key: K) -> bool:

@@ -77,22 +77,25 @@ class BlockCache(CacheBase):
 
     # -- the read path hook ------------------------------------------------------
 
-    def fetch_through(self, handle: BlockHandle) -> DataBlock:
+    def fetch_through(self, handle: BlockHandle) -> DataBlock:  # hot-path
         """Serve a block read: cache hit, or backing fetch + admission.
 
         This is what gets installed as the LSM tree's ``block_fetch``.
         """
-        idx = self._shard_of(handle)
+        idx = hash(handle) % self._num_shards
         shard = self._shards[idx]
-        with self._locks[idx]:
+        lock = self._locks[idx]
+        with lock:
             block = shard.get(handle)
         if block is not None:
             return block
         block = self._backing_fetch(handle)
-        if self.admission_hook is None or self.admission_hook(handle):
-            with self._locks[idx]:
+        hook = self.admission_hook
+        if hook is None or hook(handle):
+            with lock:
                 shard.put(handle, block)
-            self._after_mutation()
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
         else:
             shard.stats.rejections += 1
         return block

@@ -55,8 +55,13 @@ class IntervalSet:
 
     # -- mutation ----------------------------------------------------------------
 
-    def add(self, start: str, end: str) -> None:
-        """Insert ``[start, end]``, merging any overlapping intervals."""
+    def add(self, start: str, end: str) -> None:  # hot-path
+        """Insert ``[start, end]``, merging any overlapping intervals.
+
+        The absorbed span is replaced with one slice assignment — a
+        single memmove — instead of a ``del`` + ``insert`` pair, each
+        of which would shift the list tail separately.
+        """
         if start > end:
             raise ValueError(f"interval start {start!r} > end {end!r}")
         # Find the span of existing intervals that overlap [start, end].
@@ -65,10 +70,8 @@ class IntervalSet:
         if lo < hi:
             start = min(start, self._starts[lo])
             end = max(end, self._ends[hi - 1])
-            del self._starts[lo:hi]
-            del self._ends[lo:hi]
-        self._starts.insert(lo, start)
-        self._ends.insert(lo, end)
+        self._starts[lo:hi] = (start,)
+        self._ends[lo:hi] = (end,)
 
     def split_around(
         self,
@@ -90,16 +93,18 @@ class IntervalSet:
         if idx is None:
             return False
         a, b = self._starts[idx], self._ends[idx]
-        del self._starts[idx]
-        del self._ends[idx]
-        pieces: List[Interval] = []
+        new_starts: List[str] = []
+        new_ends: List[str] = []
         if left_neighbor is not None and a <= left_neighbor:
-            pieces.append((a, left_neighbor))
+            new_starts.append(a)
+            new_ends.append(left_neighbor)
         if right_neighbor is not None and right_neighbor <= b:
-            pieces.append((right_neighbor, b))
-        for offset, (ps, pe) in enumerate(pieces):
-            self._starts.insert(idx + offset, ps)
-            self._ends.insert(idx + offset, pe)
+            new_starts.append(right_neighbor)
+            new_ends.append(b)
+        # One splice per list: replace the covering interval with its
+        # surviving pieces instead of del-then-insert tail shifts.
+        self._starts[idx : idx + 1] = new_starts
+        self._ends[idx : idx + 1] = new_ends
         return True
 
     def total_span_count(self) -> int:

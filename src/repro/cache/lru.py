@@ -21,13 +21,20 @@ class LRUPolicy(EvictionPolicy[K], Generic[K]):
     def __init__(self) -> None:
         self._order: "OrderedDict[K, None]" = OrderedDict()
 
-    def record_insert(self, key: K) -> None:
-        self._order[key] = None
-        self._order.move_to_end(key)
+    def record_insert(self, key: K) -> None:  # hot-path
+        order = self._order
+        if key in order:
+            order.move_to_end(key)
+        else:
+            order[key] = None  # new keys append at the end already
 
-    def record_access(self, key: K) -> None:
-        if key in self._order:
+    def record_access(self, key: K) -> None:  # hot-path
+        # Hits vastly outnumber misses here, so try the move directly
+        # instead of paying a containment probe on every access.
+        try:
             self._order.move_to_end(key)
+        except KeyError:
+            pass
 
     def select_victim(self) -> K:
         if not self._order:

@@ -117,34 +117,34 @@ class RangeCache(CacheBase):
 
     # -- point lookups -----------------------------------------------------------
 
-    @_locked
-    def get_point(self, key: str) -> Optional[str]:
+    def get_point(self, key: str) -> Optional[str]:  # hot-path
         """Serve a point lookup from cache, or None on miss."""
-        found, value = self._entries.get(key)
-        if found:
-            self.stats.hits += 1
-            self.point_hits += 1
-            self._policy.record_access(key)
-            return value
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            found, value = self._entries.get(key)
+            if found:
+                self.stats.hits += 1
+                self.point_hits += 1
+                self._policy.record_access(key)
+                return value
+            self.stats.misses += 1
+            return None
 
     @_locked
     def contains(self, key: str) -> bool:
         """Residency probe without stats side effects."""
         return key in self._entries
 
-    @_locked
-    def insert_point(self, key: str, value: str) -> bool:
+    def insert_point(self, key: str, value: str) -> bool:  # hot-path
         """Admit one point-lookup result."""
-        admitted = self._insert_entry(key, value)
-        self._after_mutation()
-        return admitted
+        with self._lock:
+            admitted = self._insert_entry(key, value)
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
+            return admitted
 
     # -- range scans -----------------------------------------------------------
 
-    @_locked
-    def get_range(self, start: str, length: int) -> Optional[List[Entry]]:
+    def get_range(self, start: str, length: int) -> Optional[List[Entry]]:  # hot-path
         """Serve ``scan(start, length)`` wholly from cache, else None.
 
         A hit requires a complete interval covering ``start`` that still
@@ -152,32 +152,36 @@ class RangeCache(CacheBase):
         coverage is a miss (a partial hit would still pay the full
         LSM-tree seek, as the paper notes).
         """
-        interval = self._intervals.covering(start)
-        if interval is None:
-            self.stats.misses += 1
-            return None
-        _, end = interval
-        result: List[Entry] = []
-        for key, value in self._entries.items_from(start):
-            if key > end or len(result) >= length:
-                break
-            result.append((key, value))
-        if len(result) < length:
-            # Fewer cached entries than requested before the interval's
-            # end: keys beyond the interval are unknown, so this is a
-            # miss even though a prefix was covered.
-            self.stats.misses += 1
-            return None
-        for key, _ in result:
-            self._policy.record_access(key)
-        self.stats.hits += 1
-        self.range_hits += 1
-        return result
+        with self._lock:
+            interval = self._intervals.covering(start)
+            if interval is None:
+                self.stats.misses += 1
+                return None
+            _, end = interval
+            result: List[Entry] = []
+            append = result.append
+            remaining = length
+            for key, value in self._entries.items_from(start):
+                if key > end or remaining <= 0:
+                    break
+                append((key, value))
+                remaining -= 1
+            if len(result) < length:
+                # Fewer cached entries than requested before the
+                # interval's end: keys beyond the interval are unknown,
+                # so this is a miss even though a prefix was covered.
+                self.stats.misses += 1
+                return None
+            record_access = self._policy.record_access
+            for key, _ in result:
+                record_access(key)
+            self.stats.hits += 1
+            self.range_hits += 1
+            return result
 
-    @_locked
     def insert_range(
         self, start: str, entries: List[Entry], admit_count: Optional[int] = None
-    ) -> int:
+    ) -> int:  # hot-path
         """Admit a scan result (optionally only its first ``admit_count``).
 
         ``entries`` must be the scan's result in key order; ``start`` is
@@ -185,55 +189,72 @@ class RangeCache(CacheBase):
         interval (all database keys in ``[start, last-admitted-key]``
         are in ``entries``).  Returns the number of entries admitted.
         """
-        if admit_count is None:
-            admit_count = len(entries)
-        admit_count = max(0, min(admit_count, len(entries)))
-        if admit_count == 0:
-            self.stats.rejections += 1
-            return 0
-        admitted = entries[:admit_count]
-        for key, value in admitted:
-            self._insert_entry(key, value, defer_eviction=True)
-        self._intervals.add(start, admitted[-1][0])
-        self._evict_to_fit()
-        self._after_mutation()
-        return admit_count
+        with self._lock:
+            if admit_count is None:
+                admit_count = len(entries)
+            admit_count = max(0, min(admit_count, len(entries)))
+            if admit_count == 0:
+                self.stats.rejections += 1
+                return 0
+            admitted = entries if admit_count == len(entries) else entries[:admit_count]
+            insert_entry = self._insert_entry
+            ascending = False  # first entry needs a full descent
+            for key, value in admitted:
+                insert_entry(key, value, True, ascending)
+                ascending = True
+            self._intervals.add(start, admitted[-1][0])
+            self._evict_to_fit()
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
+            return admit_count
 
     # -- write-path hooks -----------------------------------------------------------
 
-    @_locked
-    def on_write(self, key: str, value: str) -> None:
+    def on_write(self, key: str, value: str) -> None:  # hot-path
         """Keep the cache coherent with an upstream put.
 
         Overwrites a resident entry; a *new* key landing inside a
         complete interval must be inserted to preserve completeness.
+        The overwrite probe and the write share one skip-list descent.
         """
-        if key in self._entries:
-            self._entries.insert(key, value)
-            self._policy.record_access(key)
-        elif self._intervals.covering(key) is not None:
-            self._insert_entry(key, value)
-        self._after_mutation()
+        with self._lock:
+            if self._entries.update_if_present(key, value):
+                self._policy.record_access(key)
+            elif self._intervals.covering(key) is not None:
+                self._insert_entry(key, value)
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
 
-    @_locked
-    def on_delete(self, key: str) -> None:
+    def on_delete(self, key: str) -> None:  # hot-path
         """Keep the cache coherent with an upstream delete.
 
         Removing the entry preserves interval completeness: the key is
         no longer a live database key, so scans must not return it.
         """
-        if key in self._entries:
-            self._drop_entry(key, split_interval=False)
-            self.stats.invalidations += 1
-        self._after_mutation()
+        with self._lock:
+            if self._drop_entry(key, split_interval=False):
+                self.stats.invalidations += 1
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
 
     # -- internals -----------------------------------------------------------
 
-    def _insert_entry(self, key: str, value: str, defer_eviction: bool = False) -> bool:
+    def _insert_entry(
+        self,
+        key: str,
+        value: str,
+        defer_eviction: bool = False,
+        ascending: bool = False,
+    ) -> bool:
         if self.entry_charge > self._budget:
             self.stats.rejections += 1
             return False
-        is_new = self._entries.insert(key, value)
+        if ascending:
+            # Batch admission of a sorted scan result: resume the
+            # previous entry's descent (see SkipList.insert_ascending).
+            is_new = self._entries.insert_ascending(key, value)
+        else:
+            is_new = self._entries.insert(key, value)
         if is_new:
             self._used += self.entry_charge
             self._policy.record_insert(key)
@@ -244,13 +265,18 @@ class RangeCache(CacheBase):
             self._evict_to_fit()
         return True
 
-    def _drop_entry(self, key: str, split_interval: bool, evicted: bool = False) -> None:
-        if evicted or split_interval:
-            left = self._entries.predecessor(key)
-            right = self._entries.successor(key)
-        removed = self._entries.remove(key)
+    def _drop_entry(
+        self, key: str, split_interval: bool, evicted: bool = False
+    ) -> bool:  # hot-path
+        """Remove ``key``; returns whether it was resident.
+
+        One skip-list descent yields the removal *and* the surviving
+        neighbours the interval split needs (the old predecessor /
+        successor / remove triple cost three descents per eviction).
+        """
+        removed, left, right = self._entries.remove_with_neighbors(key)
         if not removed:
-            return
+            return False
         self._used -= self.entry_charge
         if evicted:
             self._policy.record_evict(key)
@@ -260,12 +286,18 @@ class RangeCache(CacheBase):
             self._policy.record_remove(key)
             if split_interval:
                 self._intervals.split_around(key, left, right)
+        return True
 
-    def _evict_to_fit(self) -> int:
+    def _evict_to_fit(self) -> int:  # hot-path
         evicted = 0
-        while self._used > self._budget and len(self._entries):
-            victim = self._policy.select_victim()
-            self._drop_entry(victim, split_interval=True, evicted=True)
+        used = self._used
+        budget = self._budget
+        if used <= budget:
+            return 0
+        entries = self._entries
+        select_victim = self._policy.select_victim
+        while self._used > budget and len(entries):
+            self._drop_entry(select_victim(), split_interval=True, evicted=True)
             evicted += 1
         return evicted
 

@@ -45,6 +45,11 @@ class SkipList:
         self._head = _Node(None, None, max_level)
         self._level = 1
         self._size = 0
+        # Reused by _find_predecessors: one preallocated predecessor array
+        # instead of a fresh max_level-list per mutation.  Entries at or
+        # above the tracked height may be stale between calls; insert
+        # explicitly re-points new top levels at the head before linking.
+        self._update: List[_Node] = [self._head] * max_level
 
     def __len__(self) -> int:
         return self._size
@@ -52,15 +57,24 @@ class SkipList:
     def __contains__(self, key: str) -> bool:
         return self.get(key)[0]
 
-    def _random_level(self) -> int:
+    def _random_level(self) -> int:  # hot-path
         level = 1
-        while level < self._max_level and self._rng.random() < self._p:
+        max_level = self._max_level
+        p = self._p
+        random = self._rng.random
+        while level < max_level and random() < p:
             level += 1
         return level
 
-    def _find_predecessors(self, key: str) -> List[_Node]:
-        """Per-level nodes immediately before ``key``."""
-        update: List[_Node] = [self._head] * self._max_level
+    def _find_predecessors(self, key: str) -> List[_Node]:  # hot-path
+        """Per-level nodes immediately before ``key``.
+
+        Returns the shared preallocated array; it is valid only until
+        the next call, so callers must consume it before any further
+        skip-list operation (all callers do so immediately).  Entries
+        at levels >= the tracked height are not refreshed.
+        """
+        update = self._update
         node = self._head
         for lv in range(self._level - 1, -1, -1):
             nxt = node.forward[lv]
@@ -72,36 +86,109 @@ class SkipList:
 
     # -- mutation --------------------------------------------------------------
 
-    def insert(self, key: str, value: str) -> bool:
+    def insert(self, key: str, value: str) -> bool:  # hot-path
         """Insert or overwrite; returns True when the key is new."""
         update = self._find_predecessors(key)
+        return self._insert_at(update, key, value)
+
+    def insert_ascending(self, key: str, value: str) -> bool:  # hot-path
+        """Like :meth:`insert`, resuming the previous call's descent.
+
+        Only valid when ``key`` is >= the key given to the immediately
+        preceding ``insert``/``insert_ascending`` call *and* no other
+        mutation touched the list in between (batch admission of a
+        sorted scan result satisfies this).  Behaviourally identical to
+        :meth:`insert` — same resulting structure, same RNG draws — it
+        just advances each level's predecessor from where the previous
+        search left it instead of descending from the head, making a
+        sorted batch of ``b`` inserts cost one descent plus ``O(b)``
+        amortised forward steps.
+        """
+        update = self._update
+        for lv in range(self._level - 1, -1, -1):
+            node = update[lv]
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+            update[lv] = node
+        return self._insert_at(update, key, value)
+
+    def _insert_at(self, update: List[_Node], key: str, value: str) -> bool:  # hot-path
+        """Link ``key`` given its per-level predecessors."""
         candidate = update[0].forward[0]
         if candidate is not None and candidate.key == key:
             candidate.value = value
             return False
         level = self._random_level()
         if level > self._level:
+            # New top levels: the shared update array may hold stale
+            # nodes there, so re-point them at the head explicitly.
+            for lv in range(self._level, level):
+                update[lv] = self._head
             self._level = level
         node = _Node(key, value, level)
+        forward = node.forward
         for lv in range(level):
-            node.forward[lv] = update[lv].forward[lv]
-            update[lv].forward[lv] = node
+            pred = update[lv]
+            forward[lv] = pred.forward[lv]
+            pred.forward[lv] = node
         self._size += 1
         return True
 
-    def remove(self, key: str) -> bool:
+    def update_if_present(self, key: str, value: str) -> bool:  # hot-path
+        """Overwrite ``key``'s value only when resident; one descent.
+
+        Never allocates a node or consumes level randomness, so callers
+        can probe-and-overwrite without perturbing the tower RNG.
+        """
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            node.value = value
+            return True
+        return False
+
+    def remove(self, key: str) -> bool:  # hot-path
         """Delete ``key``; returns whether it was present."""
+        removed, _, _ = self.remove_with_neighbors(key)
+        return removed
+
+    def remove_with_neighbors(
+        self, key: str
+    ) -> Tuple[bool, Optional[str], Optional[str]]:  # hot-path
+        """Delete ``key``; returns ``(removed, left_key, right_key)``.
+
+        ``left_key`` is the largest stored key strictly less than
+        ``key`` and ``right_key`` the smallest strictly greater (both
+        evaluated after the removal, both None at the boundary).  One
+        descent replaces the predecessor/remove/successor triple the
+        range cache needs when splitting an interval around an evicted
+        entry.
+        """
         update = self._find_predecessors(key)
-        node = update[0].forward[0]
+        pred = update[0]
+        left = pred.key
+        node = pred.forward[0]
         if node is None or node.key != key:
-            return False
-        for lv in range(len(node.forward)):
+            right = node.key if node is not None else None
+            return False, left, right
+        node_forward = node.forward
+        for lv in range(len(node_forward)):
             if update[lv].forward[lv] is node:
-                update[lv].forward[lv] = node.forward[lv]
-        while self._level > 1 and self._head.forward[self._level - 1] is None:
+                update[lv].forward[lv] = node_forward[lv]
+        head_forward = self._head.forward
+        while self._level > 1 and head_forward[self._level - 1] is None:
             self._level -= 1
         self._size -= 1
-        return True
+        nxt = node_forward[0]
+        right = nxt.key if nxt is not None else None
+        return True, left, right
 
     # -- queries --------------------------------------------------------------
 
@@ -128,18 +215,32 @@ class SkipList:
                 nxt = node.forward[lv]
         return node.key  # None when node is the head sentinel
 
-    def successor(self, key: str) -> Optional[str]:
+    def successor(self, key: str) -> Optional[str]:  # hot-path
         """Smallest stored key strictly greater than ``key``."""
-        update = self._find_predecessors(key)
-        node = update[0].forward[0]
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+        node = node.forward[0]
         if node is not None and node.key == key:
             node = node.forward[0]
         return node.key if node is not None else None
 
-    def items_from(self, key: str) -> Iterator[Tuple[str, str]]:
-        """Iterate ``(key, value)`` pairs with key >= ``key`` in order."""
-        update = self._find_predecessors(key)
-        node = update[0].forward[0]
+    def items_from(self, key: str) -> Iterator[Tuple[str, str]]:  # hot-path
+        """Iterate ``(key, value)`` pairs with key >= ``key`` in order.
+
+        Uses a private descent (not the shared predecessor array) so a
+        paused generator can never observe another call's scratch state.
+        """
+        node = self._head
+        for lv in range(self._level - 1, -1, -1):
+            nxt = node.forward[lv]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lv]
+        node = node.forward[0]
         while node is not None:
             yield node.key, node.value  # type: ignore[misc]
             node = node.forward[0]

@@ -27,6 +27,10 @@ Simulate a multi-tenant serving fleet (shard router + client sessions)::
 Run the repo's static-analysis pass::
 
     python -m repro lint src/repro
+
+Measure host-side simulator throughput and gate against a baseline::
+
+    python -m repro bench --quick --json bench.json --baseline BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -191,6 +195,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the host-side perf microbenchmarks (see docs/performance.md)."""
+    import json
+
+    from repro.bench.perf import (
+        compare_reports,
+        load_baseline,
+        run_perf,
+    )
+    from repro.bench.report import perf_table
+
+    report, profile_text = run_perf(
+        quick=args.quick,
+        seed=args.seed,
+        strategy=args.strategy,
+        label=args.label,
+        profile_sort=args.profile,
+        repeats=args.repeats,
+    )
+    print(perf_table(report.to_dict()))
+    if profile_text:
+        print(profile_text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        problems = compare_reports(
+            report, baseline, threshold=args.threshold,
+            strict_fingerprints=args.strict_fingerprints,
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(
+            f"OK: no phase regressed more than {args.threshold:.0%} "
+            f"vs {args.baseline}"
+        )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo's AST lint pass (delegates to :mod:`repro.lint`)."""
     from repro.lint.runner import main as lint_main
@@ -313,6 +361,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard controller window (ops)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench",
+        help="host-side perf microbenchmarks + regression gate (docs/performance.md)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    bench.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small CI configuration (2k keys, 4k ops/phase, 256 KiB cache)",
+    )
+    bench.add_argument("--label", default="bench", help="label stored in the report")
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="run each phase N times and keep the best wall time "
+        "(use 3+ when recording a committed baseline)",
+    )
+    bench.add_argument("--json", help="write the report JSON to this path")
+    bench.add_argument(
+        "--baseline",
+        help="compare against this report or BENCH_PR*.json envelope; "
+        "exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="normalized-throughput drop that counts as a regression",
+    )
+    bench.add_argument(
+        "--strict-fingerprints", action="store_true",
+        help="also fail if simulated-counter fingerprints differ from the "
+        "baseline (same-host comparisons only)",
+    )
+    bench.add_argument(
+        "--profile", nargs="?", const="cumulative", default=None,
+        metavar="SORT",
+        help="profile the phases with cProfile and print the top entries "
+        "(optional sort key, default 'cumulative')",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific AST lint pass (see docs/static_analysis.md)"

@@ -97,59 +97,66 @@ class KVEngine:
 
     # -- reads ---------------------------------------------------------------
 
-    def get(self, key: str) -> Optional[str]:
+    def get(self, key: str) -> Optional[str]:  # hot-path
         """Point lookup via the query handling path."""
-        if self.range_cache is not None:
-            value = self.range_cache.get_point(key)
+        collector = self.collector
+        window_size = self.window_size
+        range_cache = self.range_cache
+        if range_cache is not None:
+            value = range_cache.get_point(key)
             if value is not None:
-                self.collector.note_point(range_hit=True)
-                self._maybe_end_window()
-                return value
-        if self.kv_cache is not None:
-            value = self.kv_cache.get(key)
-            if value is not None:
-                self.collector.note_point(range_hit=False, kv_hit=True)
-                self._maybe_end_window()
-                return value
-        found, value = self.tree.get_from_memtable(key)
-        if not found:
-            if self.kp_cache is not None:
-                hit, value = self.kp_cache.lookup(key, self._block_fetch())
-                if hit:
-                    self.collector.note_point(range_hit=False)
+                collector.note_point(True)
+                if collector.current.ops >= window_size:
                     self._maybe_end_window()
+                return value
+        kv_cache = self.kv_cache
+        if kv_cache is not None:
+            value = kv_cache.get(key)
+            if value is not None:
+                collector.note_point(False, True)
+                if collector.current.ops >= window_size:
+                    self._maybe_end_window()
+                return value
+        tree = self.tree
+        kp_cache = self.kp_cache
+        found, value = tree.get_from_memtable(key)
+        if not found:
+            if kp_cache is not None:
+                # tree.fetch_block keeps KP-cache reads on the same
+                # transient-retry / corruption-repair path as the tree's.
+                hit, value = kp_cache.lookup(key, tree.fetch_block)
+                if hit:
+                    collector.note_point(False)
+                    if collector.current.ops >= window_size:
+                        self._maybe_end_window()
                     return value
-            value, origin = self.tree.get_from_sstables_with_origin(key)
+            value, origin = tree.get_from_sstables_with_origin(key)
             if value is not None:
                 self._fill_point(key, value)
-                if self.kp_cache is not None and origin is not None:
-                    self.kp_cache.remember(key, origin)
-        self.collector.note_point(range_hit=False)
-        self._maybe_end_window()
+                if kp_cache is not None and origin is not None:
+                    kp_cache.remember(key, origin)
+        collector.note_point(False)
+        if collector.current.ops >= window_size:
+            self._maybe_end_window()
         return value
 
-    def _block_fetch(self):
-        """The same block source the tree reads through.
-
-        Routed through :meth:`LSMTree.fetch_block` so engine-initiated
-        reads (the KP-cache path) get the same transient-retry and
-        corruption-repair treatment as the tree's own lookups.
-        """
-        return self.tree.fetch_block
-
-    def scan(self, start: str, length: int) -> List[Entry]:
+    def scan(self, start: str, length: int) -> List[Entry]:  # hot-path
         """Range scan via the query handling path."""
-        if self.range_cache is not None:
-            cached = self.range_cache.get_range(start, length)
+        collector = self.collector
+        range_cache = self.range_cache
+        if range_cache is not None:
+            cached = range_cache.get_range(start, length)
             if cached is not None:
-                self.collector.note_scan(length, range_hit=True)
-                self._maybe_end_window()
+                collector.note_scan(length, True)
+                if collector.current.ops >= self.window_size:
+                    self._maybe_end_window()
                 return cached
         result = self._scan_tree(start, length)
-        if self.range_cache is not None and result:
+        if range_cache is not None and result:
             self._fill_scan(start, result)
-        self.collector.note_scan(length, range_hit=False)
-        self._maybe_end_window()
+        collector.note_scan(length, False)
+        if collector.current.ops >= self.window_size:
+            self._maybe_end_window()
         return result
 
     def _scan_tree(self, start: str, length: int) -> List[Entry]:
@@ -207,7 +214,7 @@ class KVEngine:
 
     # -- writes ---------------------------------------------------------------
 
-    def put(self, key: str, value: str) -> None:
+    def put(self, key: str, value: str) -> None:  # hot-path
         """Insert/overwrite; keeps every cache coherent."""
         with self._write_lock:
             self.tree.put(key, value)
@@ -217,10 +224,12 @@ class KVEngine:
             self.kv_cache.on_write(key, value)
         if self.kp_cache is not None:
             self.kp_cache.on_write(key)
-        self.collector.note_write()
-        self._maybe_end_window()
+        collector = self.collector
+        collector.note_write()
+        if collector.current.ops >= self.window_size:
+            self._maybe_end_window()
 
-    def delete(self, key: str) -> None:
+    def delete(self, key: str) -> None:  # hot-path
         """Delete; removes the key from every cache."""
         with self._write_lock:
             self.tree.delete(key)
@@ -230,8 +239,10 @@ class KVEngine:
             self.kv_cache.on_delete(key)
         if self.kp_cache is not None:
             self.kp_cache.on_delete(key)
-        self.collector.note_delete()
-        self._maybe_end_window()
+        collector = self.collector
+        collector.note_delete()
+        if collector.current.ops >= self.window_size:
+            self._maybe_end_window()
 
     # -- crash recovery ---------------------------------------------------------------
 
@@ -263,10 +274,16 @@ class KVEngine:
     # -- window machinery ---------------------------------------------------------------
 
     def _maybe_end_window(self) -> None:
-        if self.collector.ops_in_window < self.window_size:
+        """Seal the window if full.
+
+        Hot-path callers pre-check ``collector.current.ops`` inline so
+        this is only entered near a boundary; the check repeats under
+        the lock because another thread may have sealed it first.
+        """
+        if self.collector.current.ops < self.window_size:
             return
         with self._window_lock:
-            if self.collector.ops_in_window < self.window_size:
+            if self.collector.current.ops < self.window_size:
                 return  # another thread sealed it
             self._end_window()
 

@@ -158,7 +158,12 @@ class StatsCollector:
     """Accumulates one window at a time; engine feeds it per-op events."""
 
     def __init__(self) -> None:
-        self._current = WindowStats()
+        #: The in-progress window.  Public so hot paths (engine per-op
+        #: window checks, the simulated clock's counter captures) can
+        #: read counters without a property hop; it is a *live* object
+        #: that is replaced wholesale at every :meth:`end_window`, so
+        #: never retain a reference across a window boundary.
+        self.current = WindowStats()
         self._window_index = 0
         self._pending_compactions = 0
         self._pending_blocks_invalidated = 0
@@ -167,32 +172,36 @@ class StatsCollector:
 
     # -- per-op events ------------------------------------------------------------
 
-    def note_point(self, range_hit: bool, kv_hit: bool = False) -> None:
+    def note_point(self, range_hit: bool, kv_hit: bool = False) -> None:  # hot-path
         """Record one point lookup and where it was served."""
-        self._current.ops += 1
-        self._current.points += 1
+        cur = self.current
+        cur.ops += 1
+        cur.points += 1
         if range_hit:
-            self._current.range_point_hits += 1
+            cur.range_point_hits += 1
         if kv_hit:
-            self._current.kv_hits += 1
+            cur.kv_hits += 1
 
-    def note_scan(self, length: int, range_hit: bool) -> None:
+    def note_scan(self, length: int, range_hit: bool) -> None:  # hot-path
         """Record one range scan of requested ``length``."""
-        self._current.ops += 1
-        self._current.scans += 1
-        self._current.scan_length_sum += length
+        cur = self.current
+        cur.ops += 1
+        cur.scans += 1
+        cur.scan_length_sum += length
         if range_hit:
-            self._current.range_scan_hits += 1
+            cur.range_scan_hits += 1
 
-    def note_write(self) -> None:
+    def note_write(self) -> None:  # hot-path
         """Record one put."""
-        self._current.ops += 1
-        self._current.writes += 1
+        cur = self.current
+        cur.ops += 1
+        cur.writes += 1
 
-    def note_delete(self) -> None:
+    def note_delete(self) -> None:  # hot-path
         """Record one delete."""
-        self._current.ops += 1
-        self._current.deletes += 1
+        cur = self.current
+        cur.ops += 1
+        cur.deletes += 1
 
     def note_compaction(self, blocks_invalidated: int) -> None:
         """Compaction-listener hook (may fire mid-window)."""
@@ -202,27 +211,33 @@ class StatsCollector:
     @property
     def ops_in_window(self) -> int:
         """Operations recorded since the last :meth:`end_window`."""
-        return self._current.ops
+        return self.current.ops
 
-    def totals(self) -> WindowStats:
-        """Lifetime counters including the in-progress window."""
-        out = WindowStats()
-        for source in (self.lifetime, self._current):
-            out.ops += source.ops
-            out.points += source.points
-            out.scans += source.scans
-            out.writes += source.writes
-            out.deletes += source.deletes
-            out.scan_length_sum += source.scan_length_sum
-            out.range_point_hits += source.range_point_hits
-            out.range_scan_hits += source.range_scan_hits
-            out.kv_hits += source.kv_hits
-            out.block_hits += source.block_hits
-            out.block_misses += source.block_misses
-            out.io_miss += source.io_miss
-            out.compactions += source.compactions
-            out.blocks_invalidated += source.blocks_invalidated
-        return out
+    def totals(self) -> WindowStats:  # hot-path
+        """Lifetime counters including the in-progress window.
+
+        Built in one constructor call (the serving simulator captures
+        totals once per request, so the two-pass accumulate loop this
+        replaces showed up in profiles).
+        """
+        life = self.lifetime
+        cur = self.current
+        return WindowStats(
+            ops=life.ops + cur.ops,
+            points=life.points + cur.points,
+            scans=life.scans + cur.scans,
+            writes=life.writes + cur.writes,
+            deletes=life.deletes + cur.deletes,
+            scan_length_sum=life.scan_length_sum + cur.scan_length_sum,
+            range_point_hits=life.range_point_hits + cur.range_point_hits,
+            range_scan_hits=life.range_scan_hits + cur.range_scan_hits,
+            kv_hits=life.kv_hits + cur.kv_hits,
+            block_hits=life.block_hits + cur.block_hits,
+            block_misses=life.block_misses + cur.block_misses,
+            io_miss=life.io_miss + cur.io_miss,
+            compactions=life.compactions + cur.compactions,
+            blocks_invalidated=life.blocks_invalidated + cur.blocks_invalidated,
+        )
 
     # -- window boundary ------------------------------------------------------------
 
@@ -238,7 +253,7 @@ class StatsCollector:
         range_ratio: float,
     ) -> WindowStats:
         """Seal the window with I/O deltas and snapshots; start the next."""
-        window = self._current
+        window = self.current
         window.window_index = self._window_index
         window.io_miss = io_miss
         window.block_hits = block_hits
@@ -253,7 +268,7 @@ class StatsCollector:
 
         self._accumulate_lifetime(window)
         self._window_index += 1
-        self._current = WindowStats()
+        self.current = WindowStats()
         self._pending_compactions = 0
         self._pending_blocks_invalidated = 0
         return window

@@ -19,6 +19,12 @@ _NONDETERMINISTIC_MODULES = ("random", "time", "datetime")
 #: Class-name pattern for hot-path linked-structure nodes (SLOT001).
 _NODE_CLASS_RE = re.compile(r"^_?[A-Za-z0-9_]*Node$")
 
+#: Comment marker naming the simulator's per-op functions (PERF001).
+_HOT_PATH_MARKER = "# hot-path"
+
+#: Names numpy is imported as (PERF001).
+_NUMPY_ALIASES = ("np", "numpy")
+
 #: Counters a metered disk read path must charge (SIM002).
 _METER_COUNTERS = ("block_reads_total", "bytes_read_total")
 
@@ -265,6 +271,88 @@ def check_bare_except(tree: ast.Module, path: str) -> Iterator[Violation]:
                 "EXC001",
                 "bare except swallows InvariantError and interrupts; "
                 "catch a concrete exception type",
+            )
+
+
+def _hot_path_functions(
+    tree: ast.Module, source_lines: List[str]
+) -> Iterator[ast.FunctionDef]:
+    """Functions whose signature carries the ``# hot-path`` marker.
+
+    The marker is a comment (invisible to the AST), so the signature's
+    source lines — from the ``def`` up to the first body statement —
+    are scanned textually.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        body_start = node.body[0].lineno if node.body else node.lineno + 1
+        for lineno in range(node.lineno, body_start):
+            if (
+                lineno <= len(source_lines)
+                and _HOT_PATH_MARKER in source_lines[lineno - 1]
+            ):
+                yield node
+                break
+
+
+@rule("PERF001")
+def check_hot_path_numpy_indexing(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """No per-element numpy indexing inside ``# hot-path`` functions.
+
+    Subscripting a numpy array with a scalar builds a numpy scalar
+    object per access — roughly two orders of magnitude slower than a
+    plain-list index, and the exact pattern the CountMinSketch rewrite
+    removed from the admission path.  Inside a function marked
+    ``# hot-path``, any scalar subscript of a name bound to a
+    ``np.*(...)``/``numpy.*(...)`` call is flagged: keep arrays for the
+    vectorised math and convert to plain ints/lists before per-element
+    loops.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source_lines = fh.read().splitlines()
+    except OSError:
+        return
+    for func in _hot_path_functions(tree, source_lines):
+        numpy_names = set()
+        for sub in ast.walk(func):
+            if not (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call)):
+                continue
+            call = sub.value.func
+            root = call
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if not (isinstance(root, ast.Name) and root.id in _NUMPY_ALIASES):
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    numpy_names.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    numpy_names.update(
+                        el.id for el in target.elts if isinstance(el, ast.Name)
+                    )
+        if not numpy_names:
+            continue
+        for sub in ast.walk(func):
+            if not isinstance(sub, ast.Subscript):
+                continue
+            if not (
+                isinstance(sub.value, ast.Name) and sub.value.id in numpy_names
+            ):
+                continue
+            if isinstance(sub.slice, ast.Slice):
+                continue  # slicing stays vectorised; only scalars pay per-element
+            yield Violation(
+                path,
+                sub.lineno,
+                sub.col_offset,
+                "PERF001",
+                f"scalar index into numpy array {sub.value.id!r} inside "
+                f"hot-path function {func.name}(); per-element numpy access "
+                f"is ~100x a list index — convert to plain ints/lists first",
             )
 
 

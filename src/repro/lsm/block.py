@@ -13,15 +13,20 @@ from __future__ import annotations
 
 import bisect
 import zlib
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 Entry = Tuple[str, Optional[str]]  # value None == tombstone
 
 
-@dataclass(frozen=True, order=True)
-class BlockHandle:
-    """Global identity of a data block: which SSTable, which slot."""
+class BlockHandle(NamedTuple):
+    """Global identity of a data block: which SSTable, which slot.
+
+    A ``NamedTuple`` rather than a frozen dataclass: handles are hashed
+    on every block-cache probe and dict operation, and the C tuple hash
+    produces the same values as the generated dataclass hash (both hash
+    the ``(sst_id, block_no)`` field tuple) at a fraction of the cost.
+    Equality and ordering are likewise field-tuple lexicographic.
+    """
 
     sst_id: int
     block_no: int
@@ -34,13 +39,26 @@ class DataBlock:
     tombstone.  Keys within a block are strictly increasing.
     """
 
-    __slots__ = ("handle", "_keys", "_values", "_checksum")
+    __slots__ = ("handle", "_keys", "_values", "_checksum", "_pairs", "first_key", "last_key")
 
     def __init__(self, handle: BlockHandle, entries: Sequence[Entry]) -> None:
         self.handle = handle
-        self._keys: List[str] = [key for key, _ in entries]
-        self._values: List[Optional[str]] = [value for _, value in entries]
+        if entries:
+            # One C-level transpose instead of two per-entry list comps;
+            # blocks are built in bulk during every flush and compaction.
+            keys_t, values_t = zip(*entries)
+            keys: List[str] = list(keys_t)
+            self._keys = keys
+            self._values: List[Optional[str]] = list(values_t)
+            # Eager bounds: the point-lookup path reads these on every
+            # probe, so they are plain attributes rather than properties.
+            self.first_key: str = keys[0]
+            self.last_key: str = keys[-1]
+        else:
+            self._keys = []
+            self._values = []
         self._checksum: Optional[int] = None
+        self._pairs: Optional[List[Entry]] = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -62,35 +80,43 @@ class DataBlock:
             self._checksum = zlib.crc32(payload.encode("utf-8"))
         return self._checksum
 
-    @property
-    def first_key(self) -> str:
-        """Smallest key in the block."""
-        return self._keys[0]
-
-    @property
-    def last_key(self) -> str:
-        """Largest key in the block."""
-        return self._keys[-1]
-
-    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:  # hot-path
         """Look up ``key``; returns ``(found, value)``.
 
         ``found`` is True for tombstones too — the caller must treat a
         ``(True, None)`` result as "deleted, stop searching older runs".
         """
-        idx = bisect.bisect_left(self._keys, key)
-        if idx < len(self._keys) and self._keys[idx] == key:
+        keys = self._keys
+        idx = bisect.bisect_left(keys, key)
+        if idx < len(keys) and keys[idx] == key:
             return True, self._values[idx]
         return False, None
 
-    def entries_from(self, key: str) -> List[Entry]:
-        """All entries with key >= ``key``, in order."""
+    def _pairs_list(self) -> List[Entry]:  # hot-path
+        """``(key, value)`` tuples, zipped once and cached (immutable block)."""
+        pairs = self._pairs
+        if pairs is None:
+            pairs = self._pairs = list(zip(self._keys, self._values))
+        return pairs
+
+    def entries_from(self, key: str) -> List[Entry]:  # hot-path
+        """All entries with key >= ``key``, in order (fresh list)."""
         idx = bisect.bisect_left(self._keys, key)
-        return list(zip(self._keys[idx:], self._values[idx:]))
+        return self._pairs_list()[idx:]
 
     def entries(self) -> List[Entry]:
-        """All entries in key order."""
-        return list(zip(self._keys, self._values))
+        """All entries in key order (fresh list)."""
+        return list(self._pairs_list())
+
+    def entries_view(self) -> List[Entry]:  # hot-path
+        """All entries in key order, **without** copying.
+
+        Returns the block's cached pairs list itself; callers must only
+        iterate it.  Scan sources walk every block past the first in
+        full, so skipping the defensive copy saves one list allocation
+        per block read on the merge path.
+        """
+        return self._pairs_list()
 
     def keys(self) -> List[str]:
         """All keys in order."""

@@ -20,12 +20,13 @@ _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
 
 
-def _fnv1a(data: bytes, salt: int) -> int:
+def _fnv1a(data: bytes, salt: int) -> int:  # hot-path
     """64-bit FNV-1a hash of ``data`` seeded with ``salt``."""
     h = (_FNV_OFFSET ^ salt) & _MASK64
+    prime = _FNV_PRIME
+    mask = _MASK64
     for byte in data:
-        h ^= byte
-        h = (h * _FNV_PRIME) & _MASK64
+        h = ((h ^ byte) * prime) & mask
     return h
 
 
@@ -86,24 +87,47 @@ class BloomFilter:
         return bloom
 
     def _positions(self, key: str) -> Iterable[int]:
+        """Probe positions for ``key`` (kept for tests/diagnostics; the
+        hot paths inline the identical double-hash loop)."""
         data = key.encode("utf-8")
         h1 = _fnv1a(data, self._seed)
         h2 = _fnv1a(data, self._seed ^ 0x9E3779B97F4A7C15) | 1
         for i in range(self._num_hashes):
             yield ((h1 + i * h2) & _MASK64) % self._num_bits
 
-    def add(self, key: str) -> None:
+    def add(self, key: str) -> None:  # hot-path
         """Insert ``key`` into the filter."""
-        if not self._num_bits:
+        num_bits = self._num_bits
+        if not num_bits:
             return
-        for pos in self._positions(key):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        data = key.encode("utf-8")
+        seed = self._seed
+        h1 = _fnv1a(data, seed)
+        h2 = _fnv1a(data, seed ^ 0x9E3779B97F4A7C15) | 1
+        bits = self._bits
+        pos = h1 % num_bits
+        for _ in range(self._num_hashes):
+            bits[pos >> 3] |= 1 << (pos & 7)
+            h1 = (h1 + h2) & _MASK64
+            pos = h1 % num_bits
 
-    def may_contain(self, key: str) -> bool:
+    def may_contain(self, key: str) -> bool:  # hot-path
         """Return False only if ``key`` is definitely absent."""
-        if not self._num_bits:
+        num_bits = self._num_bits
+        if not num_bits:
             return True
-        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+        data = key.encode("utf-8")
+        seed = self._seed
+        h1 = _fnv1a(data, seed)
+        h2 = _fnv1a(data, seed ^ 0x9E3779B97F4A7C15) | 1
+        bits = self._bits
+        pos = h1 % num_bits
+        for _ in range(self._num_hashes):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h1 = (h1 + h2) & _MASK64
+            pos = h1 % num_bits
+        return True
 
     def __contains__(self, key: str) -> bool:
         return self.may_contain(key)

@@ -16,6 +16,7 @@ source, forcing one block read per overlapping run — exactly the
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.lsm.block import BlockHandle, DataBlock
@@ -34,7 +35,7 @@ def memtable_source(memtable: MemTable, start: str, priority: int) -> Iterator[M
 
 def sstable_source(
     table: SSTable, start: str, priority: int, fetch: BlockFetch
-) -> Iterator[MergeItem]:
+) -> Iterator[MergeItem]:  # hot-path
     """Merge source over one SSTable's entries >= ``start``.
 
     Reads blocks one at a time through ``fetch`` as the consumer
@@ -44,10 +45,12 @@ def sstable_source(
     block_no = table.first_block_no_for(start)
     if block_no is None:
         return
+    handles = table.block_handles
+    num_blocks = len(handles)
     first = True
-    while block_no < table.num_blocks:
-        block = fetch(BlockHandle(table.sst_id, block_no))
-        entries = block.entries_from(start) if first else block.entries()
+    while block_no < num_blocks:
+        block = fetch(handles[block_no])
+        entries = block.entries_from(start) if first else block.entries_view()
         first = False
         for key, value in entries:
             yield key, priority, value
@@ -56,16 +59,20 @@ def sstable_source(
 
 def level_source(
     files: List[SSTable], start: str, priority: int, fetch: BlockFetch
-) -> Iterator[MergeItem]:
+) -> Iterator[MergeItem]:  # hot-path
     """Merge source over a sorted (non-overlapping) level from ``start``.
 
     Walks the level's files in key order, opening each lazily, so a scan
-    only touches the files it actually reaches.
+    only touches the files it actually reaches.  Built with
+    ``chain.from_iterable`` so consuming an item resumes the per-table
+    generator directly instead of trampolining through an extra
+    delegating frame per entry.
     """
-    for table in files:
-        if table.last_key < start:
-            continue
-        yield from sstable_source(table, start, priority, fetch)
+    return itertools.chain.from_iterable(
+        sstable_source(table, start, priority, fetch)
+        for table in files
+        if table.last_key >= start
+    )
 
 
 def merge_scan(sources: List[Iterator[MergeItem]]) -> Iterator[Tuple[str, str]]:

@@ -55,12 +55,18 @@ class MemTable:
             self._sorted_keys = sorted(self._data)
             self._dirty = False
 
-    def entries_from(self, key: str) -> Iterator[Entry]:
-        """Yield entries with key >= ``key`` in key order (tombstones included)."""
+    def entries_from(self, key: str) -> Iterator[Entry]:  # hot-path
+        """Yield entries with key >= ``key`` in key order (tombstones included).
+
+        Iterates by index — slicing the sorted-key list would copy the
+        whole tail for every scan seek.
+        """
         self._ensure_sorted()
-        idx = bisect.bisect_left(self._sorted_keys, key)
-        for k in self._sorted_keys[idx:]:
-            yield k, self._data[k]
+        keys = self._sorted_keys
+        data = self._data
+        for idx in range(bisect.bisect_left(keys, key), len(keys)):
+            k = keys[idx]
+            yield k, data[k]
 
     def entries(self) -> Iterator[Entry]:
         """Yield all entries in key order (tombstones included)."""

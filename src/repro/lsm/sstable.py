@@ -50,6 +50,14 @@ class SSTable:
         self.bloom = bloom
         self.block_size = block_size
         self.num_entries = sum(len(b) for b in self._blocks)
+        # Eager key-range bounds: the file is immutable and every point
+        # lookup reads them, so plain attributes beat per-call properties.
+        self.first_key: str = self._blocks[0].first_key
+        self.last_key: str = self._blocks[-1].last_key
+        #: Prebuilt handles by block number (read-only): the read paths
+        #: fetch through these instead of constructing a BlockHandle per
+        #: probe/scan step.
+        self.block_handles: List[BlockHandle] = [b.handle for b in self._blocks]
 
     @classmethod
     def from_entries(
@@ -82,17 +90,7 @@ class SSTable:
         """Number of data blocks."""
         return len(self._blocks)
 
-    @property
-    def first_key(self) -> str:
-        """Smallest key in the file."""
-        return self._blocks[0].first_key
-
-    @property
-    def last_key(self) -> str:
-        """Largest key in the file."""
-        return self._blocks[-1].last_key
-
-    def key_in_range(self, key: str) -> bool:
+    def key_in_range(self, key: str) -> bool:  # hot-path
         """Whether ``key`` falls within [first_key, last_key]."""
         return self.first_key <= key <= self.last_key
 
@@ -109,18 +107,18 @@ class SSTable:
         """Bloom-filter probe; False means definitely absent."""
         return key in self.bloom
 
-    def find_block_no(self, key: str) -> Optional[int]:
+    def find_block_no(self, key: str) -> Optional[int]:  # hot-path
         """Index lookup: the block that may contain ``key``, or None.
 
         Returns None when ``key`` sorts before the file's first key or
         after its last key.
         """
-        if not self.key_in_range(key):
+        if key < self.first_key or key > self.last_key:
             return None
         idx = bisect.bisect_right(self._index, key) - 1
         return max(idx, 0)
 
-    def first_block_no_for(self, key: str) -> Optional[int]:
+    def first_block_no_for(self, key: str) -> Optional[int]:  # hot-path
         """Block where a scan starting at ``key`` should begin, or None if
         all entries sort before ``key``."""
         if key > self.last_key:
@@ -129,8 +127,8 @@ class SSTable:
         return max(idx, 0)
 
     def handles(self) -> List[BlockHandle]:
-        """Handles of all data blocks in order."""
-        return [b.handle for b in self._blocks]
+        """Handles of all data blocks in order (fresh list)."""
+        return list(self.block_handles)
 
     # -- direct block access (used only by the metered disk) -----------------
 

@@ -18,8 +18,8 @@ a block except through ``block_fetch``.
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, List, Optional, Tuple
+import heapq
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -244,26 +244,40 @@ class LSMTree:
 
     def get_from_sstables_with_origin(
         self, key: str
-    ) -> Tuple[Optional[str], Optional[BlockHandle]]:
+    ) -> Tuple[Optional[str], Optional[BlockHandle]]:  # hot-path
         """Like :meth:`get_from_sstables`, also reporting which block
-        served the key (for key-pointer caches a la AC-Key)."""
-        for table in self.levels.level_files(0):  # newest first
-            found, value, handle = self._get_from_table(table, key)
-            if found:
-                return value, handle
+        served the key (for key-pointer caches a la AC-Key).
+
+        Each level's cached key-range fence is consulted before any
+        per-file probing: a key outside the fence cannot be at that
+        level, so the bloom checks (and their counters) are skipped
+        exactly when no file's range would have admitted the key anyway
+        — seeded bloom-counter fingerprints are unchanged.
+        """
+        levels = self.levels
+        get_from_table = self._get_from_table
+        fence = levels.level_fence(0)
+        if fence is not None and fence[0] <= key <= fence[1]:
+            for table in levels.iter_level(0):  # newest first
+                found, value, handle = get_from_table(table, key)
+                if found:
+                    return value, handle
         for level in range(1, self.options.max_levels):
-            table = self.levels.find_file(level, key)
+            fence = levels.level_fence(level)
+            if fence is None or key < fence[0] or key > fence[1]:
+                continue
+            table = levels.find_file(level, key)
             if table is None:
                 continue
-            found, value, handle = self._get_from_table(table, key)
+            found, value, handle = get_from_table(table, key)
             if found:
                 return value, handle
         return None, None
 
     def _get_from_table(
         self, table: SSTable, key: str
-    ) -> Tuple[bool, Optional[str], Optional[BlockHandle]]:
-        if not table.key_in_range(key):
+    ) -> Tuple[bool, Optional[str], Optional[BlockHandle]]:  # hot-path
+        if key < table.first_key or key > table.last_key:
             return False, None, None
         if not table.may_contain(key):
             self.bloom_negative_total += 1
@@ -271,7 +285,7 @@ class LSMTree:
         block_no = table.find_block_no(key)
         if block_no is None:
             return False, None, None
-        handle = BlockHandle(table.sst_id, block_no)
+        handle = table.block_handles[block_no]
         block = self.fetch_block(handle)
         found, value = block.get(key)
         if not found:
@@ -280,9 +294,71 @@ class LSMTree:
 
     # -- range scans -----------------------------------------------------------------
 
-    def scan(self, start: str, length: int) -> List[Tuple[str, str]]:
-        """Return up to ``length`` live entries with key >= ``start``."""
-        return list(itertools.islice(self.scan_iter(start), length))
+    def scan(self, start: str, length: int) -> List[Tuple[str, str]]:  # hot-path
+        """Return up to ``length`` live entries with key >= ``start``.
+
+        Runs the merge/dedup/limit loop inline rather than through
+        ``islice(merge_scan(...))``: identical consumption order (the
+        loop stops right after the ``length``-th live entry, exactly
+        where islice stopped pulling), so block-read counts are
+        unchanged, but each merged entry no longer trampolines through
+        two extra generator frames.
+        """
+        sources = self._scan_sources(start)
+        if length <= 0:
+            return []
+        out: List[Tuple[str, str]] = []
+        append = out.append
+        current_key: Optional[str] = None
+        # Inlined heapq.merge: same cell layout ([item, order, iterator]),
+        # same order-index tie-break (priorities are unique per source, so
+        # cell comparison never reaches the iterator), and each winning
+        # source advances only after its item is consumed — so an early
+        # stop leaves exactly the same generators suspended at exactly
+        # the same block as the heapq.merge generator did.
+        heap = []
+        heap_append = heap.append
+        for order, it in enumerate(sources):
+            try:
+                heap_append([next(it), order, it])
+            except StopIteration:
+                pass
+        heapq.heapify(heap)
+        heapreplace = heapq.heapreplace
+        heappop = heapq.heappop
+        while len(heap) > 1:
+            cell = heap[0]
+            key, _priority, value = cell[0]
+            if key != current_key:
+                current_key = key
+                if value is not None:
+                    append((key, value))
+                    if len(out) == length:
+                        return out
+            try:
+                cell[0] = next(cell[2])
+            except StopIteration:
+                heappop(heap)
+            else:
+                heapreplace(heap, cell)
+        if heap:
+            cell = heap[0]
+            key, _priority, value = cell[0]
+            if key != current_key:
+                current_key = key
+                if value is not None:
+                    append((key, value))
+                    if len(out) == length:
+                        return out
+            for key, _priority, value in cell[2]:
+                if key == current_key:
+                    continue  # older version of a key we already resolved
+                current_key = key
+                if value is not None:
+                    append((key, value))
+                    if len(out) == length:
+                        break
+        return out
 
     def scan_iter(self, start: str) -> Iterable[Tuple[str, str]]:
         """Lazily merge all sorted runs from ``start`` (tombstones resolved).
@@ -290,21 +366,31 @@ class LSMTree:
         Initialising the merge performs the seek: one block read per
         overlapping run, as in the paper's I/O model.
         """
+        return merge_scan(self._scan_sources(start))
+
+    def _scan_sources(self, start: str) -> List[Iterator[MergeItem]]:  # hot-path
+        """One merge source per sorted run overlapping ``start``.
+
+        Building the sources is free of I/O — every generator is
+        unstarted — so counting the scan here keeps ``scans_total``
+        identical for both :meth:`scan` and :meth:`scan_iter` callers.
+        """
         self._check_open()
         self.scans_total += 1
-        sources: List[Iterable[MergeItem]] = [
+        fetch = self.fetch_block
+        sources: List[Iterator[MergeItem]] = [
             memtable_source(self.memtable, start, priority=0)
         ]
         priority = 1
         for table in self.levels.level_files(0):  # newest first
-            sources.append(sstable_source(table, start, priority, self.fetch_block))
+            sources.append(sstable_source(table, start, priority, fetch))
             priority += 1
         for level in range(1, self.options.max_levels):
             files = self.levels.level_files(level)
             if files:
-                sources.append(level_source(files, start, priority, self.fetch_block))
+                sources.append(level_source(files, start, priority, fetch))
                 priority += 1
-        return merge_scan([iter(s) for s in sources])
+        return sources
 
     # -- crash recovery -----------------------------------------------------------------
 

@@ -14,26 +14,81 @@ The counts exposed here (``num_levels`` ``L`` and sorted-run totals
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import InvariantError, StorageError
 from repro.lsm.sstable import SSTable
 
 
 class LevelState:
-    """Mutable view of the files at every level."""
+    """Mutable view of the files at every level.
+
+    Point lookups hit every level per query, so the per-level first-key
+    arrays and key-range fences are cached and invalidated on the three
+    mutation points (flush install, compaction install, detach) rather
+    than rebuilt per lookup.
+    """
 
     def __init__(self, max_levels: int) -> None:
         if max_levels < 2:
             raise StorageError("need at least levels 0 and 1")
         self.max_levels = max_levels
         self._levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+        # Lazily rebuilt caches, one slot per level (None = stale).
+        self._firsts: List[Optional[List[str]]] = [None] * max_levels
+        self._fences: List[Optional[Tuple[str, str]]] = [None] * max_levels
+        self._fence_fresh: List[bool] = [False] * max_levels
+
+    def _invalidate(self, level: int) -> None:
+        self._firsts[level] = None
+        self._fences[level] = None
+        self._fence_fresh[level] = False
+
+    def _level_firsts(self, level: int) -> List[str]:  # hot-path
+        """Cached sorted first keys of a sorted level (levels 1+)."""
+        firsts = self._firsts[level]
+        if firsts is None:
+            firsts = [t.first_key for t in self._levels[level]]
+            self._firsts[level] = firsts
+        return firsts
+
+    def level_fence(self, level: int) -> Optional[Tuple[str, str]]:  # hot-path
+        """Cached ``(min first_key, max last_key)``; None when empty.
+
+        A key outside the fence cannot be in any file at the level, so
+        point lookups skip the per-file probing (and the bloom checks
+        behind it) entirely.
+        """
+        if self._fence_fresh[level]:
+            return self._fences[level]
+        files = self._levels[level]
+        if not files:
+            fence = None
+        elif level == 0:
+            fence = (
+                min(t.first_key for t in files),
+                max(t.last_key for t in files),
+            )
+        else:
+            fence = (files[0].first_key, files[-1].last_key)
+        self._fences[level] = fence
+        self._fence_fresh[level] = True
+        return fence
 
     # -- structure queries ---------------------------------------------------
 
     def level_files(self, level: int) -> List[SSTable]:
         """Files at ``level`` (L0 newest-first, L1+ sorted by first key)."""
         return list(self._levels[level])
+
+    def iter_level(self, level: int) -> List[SSTable]:  # hot-path
+        """The internal file list at ``level`` — read-only, do not mutate.
+
+        The read path iterates levels once per query; handing out the
+        backing list (instead of the defensive copy ``level_files``
+        makes) keeps that loop allocation-free.
+        """
+        return self._levels[level]
 
     def level_entry_count(self, level: int) -> int:
         """Total entries at ``level`` (tombstones included)."""
@@ -70,6 +125,7 @@ class LevelState:
     def add_level0(self, table: SSTable) -> None:
         """Install a freshly flushed file as the newest L0 run."""
         self._levels[0].insert(0, table)
+        self._invalidate(0)
 
     def add_to_level(self, level: int, table: SSTable) -> None:
         """Install ``table`` into a sorted level, keeping first-key order.
@@ -79,7 +135,7 @@ class LevelState:
         if level == 0:
             raise StorageError("use add_level0 for level 0")
         files = self._levels[level]
-        firsts = [t.first_key for t in files]
+        firsts = self._level_firsts(level)
         idx = bisect.bisect_left(firsts, table.first_key)
         left_ok = idx == 0 or files[idx - 1].last_key < table.first_key
         right_ok = idx == len(files) or table.last_key < files[idx].first_key
@@ -88,30 +144,32 @@ class LevelState:
                 f"file [{table.first_key}..{table.last_key}] overlaps level {level}"
             )
         files.insert(idx, table)
+        self._invalidate(level)
 
     def remove(self, level: int, sst_id: int) -> SSTable:
         """Detach the file with ``sst_id`` from ``level`` and return it."""
         files = self._levels[level]
         for i, table in enumerate(files):
             if table.sst_id == sst_id:
+                self._invalidate(level)
                 return files.pop(i)
         raise StorageError(f"sst {sst_id} not found at level {level}")
 
     # -- read-path lookups -----------------------------------------------------
 
-    def find_file(self, level: int, key: str) -> Optional[SSTable]:
+    def find_file(self, level: int, key: str) -> Optional[SSTable]:  # hot-path
         """In a sorted level, the single file whose range may hold ``key``."""
         if level == 0:
             raise StorageError("level 0 files overlap; iterate them instead")
         files = self._levels[level]
         if not files:
             return None
-        firsts = [t.first_key for t in files]
+        firsts = self._level_firsts(level)
         idx = bisect.bisect_right(firsts, key) - 1
         if idx < 0:
             return None
         table = files[idx]
-        return table if table.key_in_range(key) else None
+        return table if key <= table.last_key else None
 
     def overlapping_files(
         self, level: int, start: str, end: Optional[str]

@@ -1,0 +1,163 @@
+"""Perf microbenchmark harness: schema round-trip, regression gate,
+repeat determinism, and a tiny end-to-end smoke run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    DEFAULT_FAIL_THRESHOLD,
+    PerfReport,
+    PhaseResult,
+    compare_reports,
+    load_baseline,
+    run_perf,
+    run_phase,
+)
+from repro.bench.report import perf_table
+from repro.errors import ConfigError
+
+
+def _phase(name="mixed", normalized=0.01, fingerprint="f" * 64, ops=100):
+    return PhaseResult(
+        name=name,
+        ops=ops,
+        wall_s=0.5,
+        ops_per_sec=200.0,
+        normalized_score=normalized,
+        sim_qps=123.4,
+        hit_rate=0.5,
+        sst_reads=42,
+        fingerprint=fingerprint,
+    )
+
+
+def _report(**phase_kwargs):
+    return PerfReport(
+        label="test",
+        quick=True,
+        seed=0,
+        num_keys=100,
+        ops_per_phase=100,
+        cache_bytes=1024,
+        calibration=1_000_000.0,
+        phases=[_phase(**phase_kwargs)],
+    )
+
+
+class TestSchema:
+    def test_round_trip_through_json(self, tmp_path):
+        report = _report()
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report.to_dict()))
+        loaded = load_baseline(str(path))
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_load_baseline_unwraps_pr_envelope(self, tmp_path):
+        # BENCH_PR*.json stores the committed baseline under "current".
+        report = _report()
+        envelope = {"schema": 1, "pr": 4, "current": report.to_dict()}
+        path = tmp_path / "BENCH_PR4.json"
+        path.write_text(json.dumps(envelope))
+        loaded = load_baseline(str(path))
+        assert loaded.phase("mixed").normalized_score == pytest.approx(0.01)
+
+    def test_schema_version_mismatch_rejected(self):
+        data = _report().to_dict()
+        data["schema"] = 999
+        with pytest.raises(ConfigError, match="unsupported bench schema"):
+            PerfReport.from_dict(data)
+
+    def test_malformed_report_rejected(self):
+        with pytest.raises(ConfigError, match="malformed bench report"):
+            PerfReport.from_dict({"schema": 1, "phases": [{"name": "x"}]})
+
+    def test_perf_table_renders_report_dict(self):
+        text = perf_table(_report().to_dict())
+        assert "mixed" in text and "calibration" in text
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        current = _report(normalized=0.008)  # -20% vs 0.01 baseline
+        baseline = _report(normalized=0.01)
+        assert compare_reports(current, baseline) == []
+
+    def test_regression_beyond_threshold_reported(self):
+        current = _report(normalized=0.007)  # -30% vs 0.01 baseline
+        baseline = _report(normalized=0.01)
+        problems = compare_reports(current, baseline)
+        assert len(problems) == 1 and "mixed" in problems[0]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigError):
+            compare_reports(_report(), _report(), threshold=1.5)
+        assert DEFAULT_FAIL_THRESHOLD == pytest.approx(0.25)
+
+    def test_fingerprint_drift_only_with_strict(self):
+        current = _report(fingerprint="a" * 64)
+        baseline = _report(fingerprint="b" * 64)
+        assert compare_reports(current, baseline) == []
+        problems = compare_reports(current, baseline, strict_fingerprints=True)
+        assert len(problems) == 1 and "fingerprint changed" in problems[0]
+
+    def test_fingerprints_not_compared_across_configs(self):
+        # Different op counts simulate different work; digests can't match.
+        current = _report(fingerprint="a" * 64, ops=100)
+        baseline = _report(fingerprint="b" * 64, ops=200)
+        assert compare_reports(current, baseline, strict_fingerprints=True) == []
+
+    def test_extra_phase_in_current_ignored(self):
+        current = _report()
+        current.phases.append(_phase(name="new-phase", normalized=0.0001))
+        baseline = _report()
+        assert compare_reports(current, baseline) == []
+
+
+class TestRun:
+    def test_tiny_run_is_deterministic_across_repeats(self):
+        # A real (tiny) end-to-end run: repeats re-execute the identical
+        # simulation, so run_phase must not raise on fingerprint checks
+        # and the reported counters must match a fresh single run.
+        kwargs = dict(
+            num_keys=64, ops=80, cache_bytes=32 * 1024,
+            strategy="adcache", seed=11, calibration=1_000_000.0,
+        )
+        twice = run_phase("mixed", repeats=2, **kwargs)
+        once = run_phase("mixed", repeats=1, **kwargs)
+        assert twice.fingerprint == once.fingerprint
+        assert twice.sst_reads == once.sst_reads
+        assert twice.sim_qps == pytest.approx(once.sim_qps)
+
+    def test_run_phase_validates_inputs(self):
+        with pytest.raises(ConfigError, match="unknown bench phase"):
+            run_phase(
+                "nope", num_keys=10, ops=10, cache_bytes=1024,
+                strategy="adcache", seed=0, calibration=1.0,
+            )
+        with pytest.raises(ConfigError, match="repeats"):
+            run_phase(
+                "mixed", num_keys=10, ops=10, cache_bytes=1024,
+                strategy="adcache", seed=0, calibration=1.0, repeats=0,
+            )
+
+    def test_run_perf_smoke_covers_all_phases(self):
+        report, profile_text = run_perf(
+            quick=True, num_keys=64, ops_per_phase=60, cache_bytes=32 * 1024,
+        )
+        assert [p.name for p in report.phases] == ["point", "scan", "mixed"]
+        assert profile_text is None
+        assert report.calibration > 0
+        for phase in report.phases:
+            assert phase.ops == 60
+            assert phase.ops_per_sec > 0
+            assert len(phase.fingerprint) == 64
+
+    def test_run_perf_profile_text(self):
+        _, profile_text = run_perf(
+            num_keys=64, ops_per_phase=40, cache_bytes=32 * 1024,
+            profile_sort="tottime",
+        )
+        assert profile_text is not None and "function calls" in profile_text

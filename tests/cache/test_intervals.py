@@ -45,6 +45,25 @@ class TestAdd:
         with pytest.raises(ValueError):
             IntervalSet().add("z", "a")
 
+    def test_touching_and_adjacent_splice_keeps_invariants(self):
+        # Micro-test for the batch splice: every add replaces the
+        # absorbed span with one slice assignment, so a sequence of
+        # touching (shared bound) and adjacent (non-touching) inserts
+        # must leave the set sorted, disjoint, and well-formed.
+        s = IntervalSet()
+        s.add("d", "f")
+        s.add("p", "r")
+        s.check_invariants()
+        s.add("f", "h")  # touches the first interval's end
+        s.check_invariants()
+        assert s.intervals() == [("d", "h"), ("p", "r")]
+        s.add("j", "l")  # adjacent: between the two, touching neither
+        s.check_invariants()
+        assert s.intervals() == [("d", "h"), ("j", "l"), ("p", "r")]
+        s.add("h", "p")  # touches both neighbours: one splice absorbs all three
+        s.check_invariants()
+        assert s.intervals() == [("d", "r")]
+
 
 class TestCovering:
     def test_covering_hit_and_miss(self):

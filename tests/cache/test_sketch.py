@@ -69,6 +69,27 @@ class TestDecay:
         sk.increment("hot")  # decay fires
         assert sk.estimate("hot") > sk.estimate("warm")
 
+    def test_normalized_bounded_through_heavy_decay(self):
+        # Regression for the old min(1.0, ...) clamp: conservative
+        # update + lockstep halving keep estimate <= total through any
+        # number of decays, so no clamp is needed for a healthy sketch.
+        sk = CountMinSketch(width=64, depth=4, saturation=4, seed=5)
+        for i in range(200):
+            sk.increment(f"k{i % 7}")
+        assert sk.decays_total > 0
+        for i in range(7):
+            assert 0.0 <= sk.normalized(f"k{i}") <= 1.0
+
+    def test_normalized_raises_on_corrupted_bookkeeping(self):
+        # The clamp used to mask exactly this: counters exceeding the
+        # global total.  The decay-aware bound must raise instead.
+        sk = CountMinSketch(width=64, depth=4, seed=5)
+        for _ in range(6):
+            sk.increment("a")
+        sk.total = 3  # simulate drifted bookkeeping (estimate("a") == 6)
+        with pytest.raises(CacheError, match="exceeds the global total"):
+            sk.normalized("a")
+
 
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.sampled_from([f"k{i}" for i in range(12)]), max_size=60))

@@ -9,6 +9,8 @@ counters, controller windows, and final cache contents — and that
 enabling the sanitizer does not perturb the simulation.
 """
 
+import hashlib
+
 import pytest
 
 from repro.bench.harness import seed_database
@@ -148,6 +150,27 @@ def test_serve_sanitized_run_matches_unsanitized_run(monkeypatch):
     sane = _run_serve_once()
     assert plain.trace == sane.trace
     assert plain.fingerprint() == sane.fingerprint()
+
+
+# sha256 over a balanced (point/scan/write) run + a serving-layer run,
+# computed on the pre-optimization tree at the CI seed.  Hot-path
+# optimizations must keep seeded behaviour byte-identical, so this value
+# never changes when code merely gets faster; it changes only when a PR
+# deliberately alters simulation semantics (and must say so).
+GOLDEN_MIXED_SERVE_DIGEST = (
+    "9ae1a219dbe6859d72570f8836f2010b8186fd14512e04110d759120dec9dd20"
+)
+
+
+def test_mixed_and_serve_digest_matches_pre_optimization_golden():
+    engine, results = _run_once(seed=11)
+    serve = _run_serve_once()
+    payload = repr((results, _fingerprint(engine), serve.fingerprint()))
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    assert digest == GOLDEN_MIXED_SERVE_DIGEST, (
+        "seeded run diverged from the pre-optimization golden digest; "
+        "an optimization changed simulated behaviour"
+    )
 
 
 def test_sanitized_run_matches_unsanitized_run(monkeypatch):

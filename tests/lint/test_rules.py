@@ -185,6 +185,53 @@ def test_slot001_accepts_slotted_node(tmp_path):
     assert _lint_source(tmp_path, source, ["SLOT001"]) == []
 
 
+# -- PERF001 -----------------------------------------------------------------
+
+
+_PERF001_HOT = (
+    "import numpy as np\n"
+    "def estimate(key):  # hot-path\n"
+    "    rows = np.zeros(4, dtype=np.int64)\n"
+    "    return rows[0] + rows[1]\n"
+)
+
+
+def test_perf001_flags_scalar_numpy_index_in_hot_path(tmp_path):
+    findings = _lint_source(tmp_path, _PERF001_HOT, ["PERF001"])
+    assert _rule_ids(findings) == ["PERF001", "PERF001"]
+    assert "hot-path function estimate()" in findings[0].message
+
+
+def test_perf001_ignores_unmarked_functions(tmp_path):
+    source = _PERF001_HOT.replace("  # hot-path", "")
+    assert _lint_source(tmp_path, source, ["PERF001"]) == []
+
+
+def test_perf001_ignores_slices_and_plain_lists(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def estimate(key):  # hot-path\n"
+        "    rows = np.zeros(4)\n"
+        "    head = rows[:2]\n"  # slicing stays vectorised
+        "    plain = [1, 2, 3]\n"
+        "    return plain[0], head.sum()\n"
+    )
+    assert _lint_source(tmp_path, source, ["PERF001"]) == []
+
+
+def test_perf001_marker_on_multiline_signature(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def estimate(\n"
+        "    key,\n"
+        "):  # hot-path\n"
+        "    rows = np.zeros(4)\n"
+        "    return rows[key]\n"
+    )
+    findings = _lint_source(tmp_path, source, ["PERF001"])
+    assert _rule_ids(findings) == ["PERF001"]
+
+
 # -- disable comments and runner behaviour -----------------------------------
 
 
