@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from repro.cache.sketch import CountMinSketch
 from repro.errors import CacheError
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 class FrequencyAdmission:
@@ -37,6 +39,7 @@ class FrequencyAdmission:
     def __init__(self, sketch: CountMinSketch, threshold: float = 0.0) -> None:
         self._sketch = sketch
         self._threshold = 0.0
+        self.recorder: Recorder = NULL_RECORDER
         self.set_threshold(threshold)
         self.admitted_total = 0
         self.rejected_total = 0
@@ -50,7 +53,15 @@ class FrequencyAdmission:
         """Clamp and apply a new admission bar."""
         if threshold != threshold:  # NaN guard
             raise CacheError("threshold must not be NaN")
-        self._threshold = min(1.0, max(0.0, threshold))
+        clamped = min(1.0, max(0.0, threshold))
+        if clamped != self._threshold and self.recorder.enabled:
+            self.recorder.event(
+                N.EV_ADMISSION_RETUNE,
+                policy="frequency",
+                threshold=clamped,
+                previous=self._threshold,
+            )
+        self._threshold = clamped
 
     def observe_and_decide(self, key: str) -> bool:  # hot-path
         """Count one miss of ``key`` and decide whether to admit it.
@@ -91,6 +102,7 @@ class PartialScanAdmission:
     def __init__(self, a: float = 16.0, b: float = 0.5) -> None:
         self._a = 0.0
         self._b = 0.0
+        self.recorder: Recorder = NULL_RECORDER
         self.set_params(a, b)
 
     @property
@@ -107,8 +119,14 @@ class PartialScanAdmission:
         """Clamp and apply new (a, b)."""
         if a != a or b != b:  # NaN guard
             raise CacheError("a and b must not be NaN")
-        self._a = max(0.0, a)
-        self._b = min(1.0, max(0.0, b))
+        new_a = max(0.0, a)
+        new_b = min(1.0, max(0.0, b))
+        if (new_a, new_b) != (self._a, self._b) and self.recorder.enabled:
+            self.recorder.event(
+                N.EV_ADMISSION_RETUNE, policy="partial_scan", a=new_a, b=new_b
+            )
+        self._a = new_a
+        self._b = new_b
 
     def admit_count(self, scan_length: int) -> int:
         """How many of a ``scan_length`` result's entries to admit.

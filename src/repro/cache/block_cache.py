@@ -22,6 +22,8 @@ from repro.cache.base import BudgetedCache, CacheBase, CacheStats, EvictionPolic
 from repro.cache.lru import LRUPolicy
 from repro.errors import CacheError, InvariantError
 from repro.lsm.block import BlockHandle, DataBlock
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 BlockFetch = Callable[[BlockHandle], DataBlock]
 #: Admission hook: called with the missed handle; False rejects the fill.
@@ -71,6 +73,7 @@ class BlockCache(CacheBase):
         )
         self._locks = [threading.Lock() for _ in range(num_shards)]
         self.admission_hook: Optional[AdmissionHook] = None
+        self.recorder: Recorder = NULL_RECORDER
 
     def _shard_of(self, handle: BlockHandle) -> int:
         return hash(handle) % self._num_shards
@@ -98,6 +101,13 @@ class BlockCache(CacheBase):
                 self._sanitizer.after_mutation(self)
         else:
             shard.stats.rejections += 1
+            if self.recorder.enabled:
+                self.recorder.event(
+                    N.EV_CACHE_REJECT,
+                    cache="block",
+                    sst=handle.sst_id,
+                    block=handle.block_no,
+                )
         return block
 
     def get(self, handle: BlockHandle) -> Optional[DataBlock]:

@@ -30,6 +30,8 @@ from repro.cache.intervals import IntervalSet
 from repro.cache.lru import LRUPolicy
 from repro.cache.skiplist import SkipList
 from repro.errors import CacheError, InvariantError
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 Entry = Tuple[str, str]
 
@@ -88,6 +90,7 @@ class RangeCache(CacheBase):
         self.stats = CacheStats()
         self.point_hits = 0
         self.range_hits = 0
+        self.recorder: Recorder = NULL_RECORDER
         self._sanitizer = sanitize.from_env(seed)
 
     # -- capacity -------------------------------------------------------------
@@ -112,6 +115,13 @@ class RangeCache(CacheBase):
             raise CacheError("budget_bytes must be >= 0")
         self._budget = budget_bytes
         evicted = self._evict_to_fit()
+        if evicted and self.recorder.enabled:
+            self.recorder.event(
+                N.EV_CACHE_EVICT,
+                cache="range",
+                evicted=evicted,
+                budget_bytes=budget_bytes,
+            )
         self._after_mutation()
         return evicted
 

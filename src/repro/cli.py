@@ -28,6 +28,11 @@ Run the repo's static-analysis pass::
 
     python -m repro lint src/repro
 
+Export observability artifacts and render them::
+
+    python -m repro run --strategy adcache --obs-dir /tmp/obs
+    python -m repro report /tmp/obs --validate
+
 Measure host-side simulator throughput and gate against a baseline::
 
     python -m repro bench --quick --json bench.json --baseline BENCH_PR4.json
@@ -88,16 +93,45 @@ def _result_row(name: str, result) -> List[str]:
 _HEADERS = ["strategy", "est. hit rate", "SST reads", "sim QPS", "compactions"]
 
 
+def _add_obs_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-dir", default=None,
+        help="export observability artifacts (metrics/events/audit JSONL) here",
+    )
+
+
+def _attach_obs(engine, args: argparse.Namespace):
+    """Attach an ObsRecorder when ``--obs-dir`` was given (else None)."""
+    if not getattr(args, "obs_dir", None):
+        return None
+    from repro.obs import ObsRecorder
+
+    recorder = ObsRecorder()
+    engine.attach_recorder(recorder)
+    return recorder
+
+
+def _export_obs(engine, recorder, args: argparse.Namespace) -> None:
+    """Seal the trailing partial window and write the obs artifacts."""
+    if recorder is None:
+        return
+    engine.flush_window()
+    recorder.export(args.obs_dir)
+    print(f"wrote obs artifacts to {args.obs_dir}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one strategy on one workload and print its metrics."""
     tree = seed_database(args.num_keys, _options(args), seed=args.seed)
     engine = build_engine(args.strategy, tree, args.cache_kb * 1024, seed=args.seed)
+    recorder = _attach_obs(engine, args)
     generator = WorkloadGenerator(_spec(args), seed=args.seed + 1)
     result = run_workload(
         engine, generator, num_ops=args.ops, warmup_ops=args.warmup,
         name=args.strategy,
     )
     print(format_table(_HEADERS, [_result_row(DISPLAY_NAMES[args.strategy], result)]))
+    _export_obs(engine, recorder, args)
     return 0
 
 
@@ -123,12 +157,14 @@ def cmd_phases(args: argparse.Namespace) -> int:
     """Run the Table 3 dynamic phases on one strategy."""
     tree = seed_database(args.num_keys, _options(args), seed=args.seed)
     engine = build_engine(args.strategy, tree, args.cache_kb * 1024, seed=args.seed)
+    recorder = _attach_obs(engine, args)
     phases = dynamic_phase_specs(args.num_keys, skew=args.skew, phases=args.phases)
     results = run_phases(engine, phases, ops_per_phase=args.ops_per_phase, seed=args.seed + 1)
     print(format_table(
         ["phase"] + _HEADERS[1:],
         [[r.name] + _result_row("", r)[1:] for r in results],
     ))
+    _export_obs(engine, recorder, args)
     return 0
 
 
@@ -189,9 +225,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         memtable_entries=args.memtable_entries,
         entries_per_sstable=args.sstable_entries,
         keep_trace=False,
+        obs=bool(args.obs_dir),
     )
     result = run_serve(config)
     print(result.format_report())
+    if args.obs_dir:
+        result.export_obs(args.obs_dir)
+        print(f"wrote per-shard + fleet obs artifacts to {args.obs_dir}")
     return 0
 
 
@@ -239,6 +279,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render (and optionally validate) an exported obs directory."""
+    from repro.obs.report import list_metrics, render_report
+    from repro.obs.schema import validate_export
+
+    if args.list_metrics:
+        print(list_metrics())
+        return 0
+    if not args.directory:
+        raise SystemExit("repro report: an obs directory is required")
+    if args.validate:
+        problems = validate_export(args.directory)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print(f"OK: {args.directory} validates against the obs schema")
+    print(render_report(args.directory, max_rows=args.max_rows))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo's AST lint pass (delegates to :mod:`repro.lint`)."""
     from repro.lint.runner import main as lint_main
@@ -274,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workload", choices=sorted(WORKLOADS), default="balanced")
     run.add_argument("--ops", type=int, default=20_000)
     run.add_argument("--warmup", type=int, default=5_000)
+    _add_obs_dir(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="compare all schemes on one workload")
@@ -288,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     phases.add_argument("--strategy", choices=sorted(STRATEGIES), default="adcache")
     phases.add_argument("--phases", default="ABCDEF")
     phases.add_argument("--ops-per-phase", type=int, default=5_000)
+    _add_obs_dir(phases)
     phases.set_defaults(func=cmd_phases)
 
     chaos = sub.add_parser(
@@ -360,7 +423,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-size", type=int, default=250,
         help="per-shard controller window (ops)",
     )
+    _add_obs_dir(serve)
     serve.set_defaults(func=cmd_serve)
+
+    report = sub.add_parser(
+        "report", help="render/validate an exported obs directory"
+    )
+    report.add_argument(
+        "directory", nargs="?", default=None,
+        help="directory written by --obs-dir (or a fleet export)",
+    )
+    report.add_argument(
+        "--validate", action="store_true",
+        help="check the artifacts against the obs schema first (exit 1 on problems)",
+    )
+    report.add_argument(
+        "--list-metrics", action="store_true",
+        help="print the registered metric catalogue and exit",
+    )
+    report.add_argument(
+        "--max-rows", type=int, default=12,
+        help="cap per-section table rows in the rendered report",
+    )
+    report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser(
         "bench",

@@ -17,7 +17,7 @@ Ablation variants (Figure 11b) are one-flag configurations:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.core.controller import PolicyDecisionController
 from repro.core.engine import KVEngine
 from repro.lsm.options import KEY_SIZE, VALUE_SIZE
 from repro.lsm.tree import LSMTree
+from repro.obs.recorder import Recorder
 from repro.rl.actor_critic import ActorCriticAgent
 from repro.rl.features import STATE_DIM
 
@@ -110,7 +111,29 @@ class AdCacheEngine(KVEngine):
                 a=config.initial_a / opts.entries_per_block, b=config.initial_b
             )
 
+        self._agent_init: Optional[Dict[str, Any]] = None
         if agent is None:
+            initial_policy = [
+                config.initial_range_ratio,
+                0.0,  # point-admission bar: admit everything
+                config.initial_a / config.a_max,
+                config.initial_b,
+            ]
+            # The agent's full construction record: with it, an audit
+            # log replays the decision stream bit-for-bit offline (see
+            # repro.obs.audit).  Externally supplied agents carry state
+            # the log cannot reconstruct, so they record None.
+            self._agent_init = {
+                "state_dim": STATE_DIM,
+                "action_dim": ACTION_DIM,
+                "hidden_dim": config.hidden_dim,
+                "actor_lr": config.actor_lr,
+                "critic_lr": config.critic_lr,
+                "gamma": config.gamma,
+                "initial_log_std": config.exploration_log_std,
+                "seed": config.seed,
+                "initial_policy": initial_policy,
+            }
             agent = ActorCriticAgent(
                 state_dim=STATE_DIM,
                 action_dim=ACTION_DIM,
@@ -124,17 +147,7 @@ class AdCacheEngine(KVEngine):
             # Start from the paper's initial configuration — the
             # configured boundary, admission wide open, (a, b) at their
             # initial values — instead of an arbitrary mid-scale point.
-            agent.set_initial_policy(
-                np.array(
-                    [
-                        config.initial_range_ratio,
-                        0.0,  # point-admission bar: admit everything
-                        config.initial_a / config.a_max,
-                        config.initial_b,
-                    ],
-                    dtype=np.float32,
-                )
-            )
+            agent.set_initial_policy(np.array(initial_policy, dtype=np.float32))
         self.agent = agent
         self.controller = PolicyDecisionController(
             config=config,
@@ -159,6 +172,16 @@ class AdCacheEngine(KVEngine):
             window_size=config.window_size,
             on_window=self.controller.on_window,
         )
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Wire observability through the engine *and* the controller.
+
+        On top of the base engine wiring, starts the controller's
+        decision audit with this engine's agent construction record, so
+        the exported log is replayable when the agent was built here.
+        """
+        super().attach_recorder(recorder)
+        self.controller.attach_recorder(recorder, agent_init=self._agent_init)
 
     @property
     def entry_charge(self) -> int:

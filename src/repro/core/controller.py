@@ -20,8 +20,8 @@ from __future__ import annotations
 import math
 from random import Random
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from repro.cache.block_cache import BlockCache
 from repro.cache.range_cache import RangeCache
 from repro.core.config import AdCacheConfig
 from repro.core.stats import WindowStats
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder, Recorder
 from repro.rl.actor_critic import ActorCriticAgent
 from repro.rl.features import state_vector
 from repro.rl.reward import RewardCalculator, adapt_learning_rate
@@ -113,6 +115,54 @@ class PolicyDecisionController:
         self.degraded_windows_total = 0
         self.degraded_activations_total = 0
         self.degraded_recoveries_total = 0
+        self.recorder: Recorder = NULL_RECORDER
+
+    # -- observability ------------------------------------------------
+
+    def attach_recorder(
+        self, recorder: Recorder, agent_init: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Start auditing decisions on ``recorder``.
+
+        ``agent_init`` is the agent's construction record (seeds and
+        dimensions); with it the audit log replays bit-for-bit offline
+        (see :mod:`repro.obs.audit`).  ``None`` means the agent was
+        supplied externally, so the log documents but cannot rebuild it.
+        """
+        self.recorder = recorder
+        if isinstance(recorder, ObsRecorder):
+            recorder.audit.set_header(
+                asdict(self.config),
+                agent_init,
+                self.entries_per_block,
+                self.level0_max_runs,
+            )
+
+    def _observe(self, window: WindowStats, record: ControlRecord) -> ControlRecord:
+        """Fold one decision into the recorder (metrics, trace, audit)."""
+        recorder = self.recorder
+        if not isinstance(recorder, ObsRecorder):
+            return record
+        recorder.inc(N.CTRL_DECISIONS)
+        if record.degraded:
+            recorder.inc(N.CTRL_DEGRADED_WINDOWS)
+        for gauge, value in (
+            (N.G_REWARD, record.reward),
+            (N.G_ACTOR_LR, record.actor_lr),
+            (N.G_POINT_THRESHOLD, record.point_threshold),
+            (N.G_SCAN_A, record.scan_a),
+            (N.G_SCAN_B, record.scan_b),
+        ):
+            recorder.set_gauge(gauge, value)
+        recorder.event(
+            N.EV_DECISION,
+            window=record.window_index,
+            reward=record.reward,
+            range_ratio=record.range_ratio,
+            degraded=record.degraded,
+        )
+        recorder.audit.record(window, record, recorder.now_us)
+        return record
 
     # -- current applied parameters ------------------------------------------------
 
@@ -176,6 +226,12 @@ class PolicyDecisionController:
                 return self._record_pinned(window, reward_out)
             self._degraded = False
             self.degraded_recoveries_total += 1
+            if self.recorder.enabled:
+                self.recorder.event(
+                    N.EV_DEGRADED_EXIT,
+                    window=window.window_index,
+                    healthy_streak=self._healthy_streak,
+                )
 
         if (
             self.config.online_learning
@@ -220,7 +276,7 @@ class PolicyDecisionController:
             scan_b=self._b,
         )
         self.history.append(record)
-        return record
+        return self._observe(window, record)
 
     # -- degraded mode ------------------------------------------------
 
@@ -229,6 +285,10 @@ class PolicyDecisionController:
         if not self._degraded:
             self._degraded = True
             self.degraded_activations_total += 1
+            if self.recorder.enabled:
+                self.recorder.event(
+                    N.EV_DEGRADED_ENTER, window=window.window_index
+                )
         self._healthy_streak = 0
         self.degraded_windows_total += 1
         # Any pending transition may span the blackout; never train on it.
@@ -255,7 +315,7 @@ class PolicyDecisionController:
             degraded=True,
         )
         self.history.append(record)
-        return record
+        return self._observe(window, record)
 
     def _apply_safe_defaults(self) -> None:
         """Walk the applied parameters to the paper's static defaults.
@@ -319,8 +379,13 @@ class PolicyDecisionController:
             # Walk the boundary toward the target at a bounded rate so a
             # single exploratory action cannot flush either cache.
             step = self.config.max_ratio_step
+            old_ratio = self._range_ratio
             ratio = min(self._range_ratio + step, max(self._range_ratio - step, ratio))
             self._range_ratio = ratio
+            if ratio != old_ratio and self.recorder.enabled:
+                self.recorder.event(
+                    N.EV_BOUNDARY_MOVE, range_ratio=ratio, previous=old_ratio
+                )
             total = self.config.total_cache_bytes
             range_budget = int(total * ratio)
             if self.range_cache is not None:

@@ -17,17 +17,24 @@ policy, or the full AdCache stack with a controller attached.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro import sanitize
 from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
+from repro.cache.base import CacheStats
 from repro.cache.block_cache import BlockCache
 from repro.cache.kp_cache import KPCache
 from repro.cache.kv_cache import KVCache
 from repro.cache.range_cache import RangeCache
 from repro.core.stats import StatsCollector, WindowStats
 from repro.lsm.tree import LSMTree
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
+if TYPE_CHECKING:  # bench.simclock imports this module; runtime import is local
+    from repro.bench.simclock import SimClock
 
 Entry = Tuple[str, str]
 #: Controller callback: receives the sealed window's statistics.
@@ -94,6 +101,107 @@ class KVEngine:
             block_cache.stats if block_cache is not None else None
         )
         self.crashes_total = 0
+        # Observability: a NullRecorder by default, so every instrumented
+        # site costs one attribute read when observability is off.
+        self.recorder: Recorder = NULL_RECORDER
+        self._obs_clock: Optional["SimClock"] = None
+        self._obs_block_stats: Optional[CacheStats] = None
+        self._obs_range_stats: Optional[CacheStats] = None
+        self._obs_admit_snapshot: Tuple[int, int] = (0, 0)
+
+    # -- observability ---------------------------------------------------------------
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Wire an observability recorder through the whole composition.
+
+        Propagates to the LSM tree (and through it the compactor and any
+        attached fault injector) and snapshots the cache/admission
+        counters so window metrics report per-window deltas.  Timestamps
+        come from a dedicated sim clock over this engine's metered
+        counters — never wall time — advanced at window boundaries.
+        """
+        self.recorder = recorder
+        self.tree.attach_recorder(recorder)
+        if self.block_cache is not None:
+            self.block_cache.recorder = recorder
+        if self.range_cache is not None:
+            self.range_cache.recorder = recorder
+        if self.freq_admission is not None:
+            self.freq_admission.recorder = recorder
+        if self.scan_admission is not None:
+            self.scan_admission.recorder = recorder
+        if recorder.enabled:
+            # Imported here: bench.simclock imports this module, so a
+            # module-level import would be a cycle.
+            from repro.bench.simclock import SimClock
+
+            self._obs_clock = SimClock(self)
+            self._obs_block_stats = (
+                self.block_cache.stats if self.block_cache is not None else None
+            )
+            self._obs_range_stats = (
+                self.range_cache.stats.snapshot()
+                if self.range_cache is not None
+                else None
+            )
+            fa = self.freq_admission
+            self._obs_admit_snapshot = (
+                (fa.admitted_total, fa.rejected_total) if fa is not None else (0, 0)
+            )
+
+    def _obs_window_metrics(self, window: WindowStats) -> None:
+        """Fold one sealed window into the recorder (pre-``on_window``).
+
+        Runs before the controller callback so it sees the window as the
+        collector sealed it, ahead of any chaos-harness poisoning; the
+        ``is_healthy`` guard keeps non-finite fields out of the integer
+        counters regardless.
+        """
+        recorder = self.recorder
+        clock = self._obs_clock
+        if clock is not None:
+            clock.charge()
+            recorder.advance_to(clock.charged_us_total)
+        if window.is_healthy():
+            recorder.inc(N.WINDOW_OPS, window.ops)
+            recorder.inc(N.WINDOW_POINTS, window.points)
+            recorder.inc(N.WINDOW_SCANS, window.scans)
+            recorder.inc(N.WINDOW_WRITES, window.writes)
+            recorder.inc(N.WINDOW_DELETES, window.deletes)
+            recorder.inc(N.WINDOW_IO_MISS, window.io_miss)
+            recorder.inc(N.RANGE_HITS, window.range_point_hits + window.range_scan_hits)
+            recorder.inc(N.BLOCK_HITS, window.block_hits)
+            recorder.inc(N.BLOCK_MISSES, window.block_misses)
+            recorder.observe(N.H_WINDOW_IO_MISS, window.io_miss)
+        if self.block_cache is not None and self._obs_block_stats is not None:
+            current = self.block_cache.stats
+            delta = current.delta(self._obs_block_stats)
+            self._obs_block_stats = current
+            recorder.inc(N.BLOCK_EVICTIONS, delta.evictions)
+            recorder.inc(N.BLOCK_REJECTIONS, delta.rejections)
+        if self.range_cache is not None and self._obs_range_stats is not None:
+            current = self.range_cache.stats.snapshot()
+            delta = current.delta(self._obs_range_stats)
+            self._obs_range_stats = current
+            recorder.inc(N.RANGE_INSERTIONS, delta.insertions)
+            recorder.inc(N.RANGE_EVICTIONS, delta.evictions)
+            recorder.inc(N.RANGE_REJECTIONS, delta.rejections)
+        fa = self.freq_admission
+        if fa is not None:
+            admitted, rejected = fa.admitted_total, fa.rejected_total
+            prev_admitted, prev_rejected = self._obs_admit_snapshot
+            recorder.inc(N.ADMIT_POINT_ACCEPTED, admitted - prev_admitted)
+            recorder.inc(N.ADMIT_POINT_REJECTED, rejected - prev_rejected)
+            self._obs_admit_snapshot = (admitted, rejected)
+        for gauge, value in (
+            (N.G_RANGE_OCCUPANCY, window.range_occupancy),
+            (N.G_BLOCK_OCCUPANCY, window.block_occupancy),
+            (N.G_RANGE_RATIO, window.range_ratio),
+            (N.G_NUM_LEVELS, float(window.num_levels)),
+            (N.G_LEVEL0_RUNS, float(window.level0_runs)),
+        ):
+            if math.isfinite(value):
+                recorder.set_gauge(gauge, value)
 
     # -- reads ---------------------------------------------------------------
 
@@ -211,6 +319,18 @@ class KVEngine:
             self.range_cache.insert_range(start, result, admit)
         else:
             self.range_cache.stats.rejections += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            length = len(result)
+            if admit >= length:
+                recorder.inc(N.ADMIT_SCAN_FULL)
+            elif admit > 0:
+                recorder.inc(N.ADMIT_SCAN_PARTIAL)
+            else:
+                recorder.inc(N.ADMIT_SCAN_REJECTED)
+                recorder.event(N.EV_CACHE_REJECT, cache="range", scan_length=length)
+            if admit > 0:
+                recorder.observe(N.H_SCAN_ADMITTED, admit)
 
     # -- writes ---------------------------------------------------------------
 
@@ -269,6 +389,10 @@ class KVEngine:
             if self.block_cache is not None:
                 self._block_stats_snapshot = self.block_cache.stats
             self.crashes_total += 1
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.inc(N.ENGINE_CRASHES)
+                recorder.event(N.EV_CRASH_RECOVER, wal_records_replayed=replayed)
         return replayed
 
     # -- window machinery ---------------------------------------------------------------
@@ -316,8 +440,19 @@ class KVEngine:
         self.windows.append(window)
         if self._sanitize_sweep_due():
             self.check_invariants()
+        recorder = self.recorder
+        if recorder.enabled:
+            self._obs_window_metrics(window)
         if self.on_window is not None:
             self.on_window(window)
+        if recorder.enabled:
+            recorder.event(
+                N.EV_WINDOW,
+                index=window.window_index,
+                ops=window.ops,
+                range_ratio=window.range_ratio,
+            )
+            recorder.end_window(window.window_index)
 
     # -- sanitizer protocol -----------------------------------------------------
 

@@ -9,7 +9,8 @@ the compaction listener to produce one :class:`WindowStats`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
 
 
 @dataclass
@@ -110,6 +111,22 @@ class WindowStats:
             return False
         return True
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready field dict (the obs audit log's window payload)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowStats":
+        """Rebuild from :meth:`to_dict` output (or a shard export).
+
+        Tolerant by design: missing fields take their dataclass
+        defaults and unknown keys are ignored, so audit logs written by
+        an older or newer schema still load — cross-version replay then
+        fails loudly at verification, not at parse time.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 def merge_windows(windows: list[WindowStats]) -> WindowStats:
     """Aggregate several windows into one (cross-shard reporting).
@@ -118,12 +135,27 @@ def merge_windows(windows: list[WindowStats]) -> WindowStats:
     take the op-weighted mean so the merged view reflects where the
     traffic actually went.  The serving layer uses this to expose a
     fleet-wide window built from each shard's export.
+
+    Edge cases are handled explicitly rather than propagated:
+
+    * an empty list merges to the default (empty) window;
+    * when no window did any work (all ``ops == 0`` — e.g. a fleet of
+      idle shards at startup) the snapshots fall back to a plain mean,
+      so occupancy and split still describe the shards instead of
+      collapsing to zero;
+    * non-finite snapshot values (a blackout-poisoned shard) are
+      excluded from the means so one bad shard cannot NaN the fleet
+      view — its *counters* still sum, and ``is_healthy()`` on the
+      poisoned per-shard window is how blackouts are detected.
     """
     out = WindowStats()
     if not windows:
         return out
-    total_ops = 0
+    total_ops = sum(max(0, w.ops) for w in windows)
+    # Weighted-mean accumulators: value-sum and weight-sum per snapshot
+    # field, skipping non-finite contributions.
     occ_range = occ_block = ratio = 0.0
+    occ_range_w = occ_block_w = ratio_w = 0.0
     for w in windows:
         out.ops += w.ops
         out.points += w.points
@@ -141,15 +173,22 @@ def merge_windows(windows: list[WindowStats]) -> WindowStats:
         out.blocks_invalidated += w.blocks_invalidated
         out.num_levels = max(out.num_levels, w.num_levels)
         out.level0_runs = max(out.level0_runs, w.level0_runs)
-        weight = max(0, w.ops)
-        total_ops += weight
-        occ_range += w.range_occupancy * weight
-        occ_block += w.block_occupancy * weight
-        ratio += w.range_ratio * weight
-    if total_ops:
-        out.range_occupancy = occ_range / total_ops
-        out.block_occupancy = occ_block / total_ops
-        out.range_ratio = ratio / total_ops
+        weight = float(max(0, w.ops)) if total_ops else 1.0
+        if math.isfinite(w.range_occupancy):
+            occ_range += w.range_occupancy * weight
+            occ_range_w += weight
+        if math.isfinite(w.block_occupancy):
+            occ_block += w.block_occupancy * weight
+            occ_block_w += weight
+        if math.isfinite(w.range_ratio):
+            ratio += w.range_ratio * weight
+            ratio_w += weight
+    if occ_range_w:
+        out.range_occupancy = occ_range / occ_range_w
+    if occ_block_w:
+        out.block_occupancy = occ_block / occ_block_w
+    if ratio_w:
+        out.range_ratio = ratio / ratio_w
     out.window_index = max(w.window_index for w in windows)
     return out
 

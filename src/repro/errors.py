@@ -71,3 +71,12 @@ class WriteStallError(ReproError):
 
 class ClosedError(ReproError):
     """An operation was attempted on a closed store or engine."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused or fed malformed artifacts.
+
+    Raised for unregistered metric names, kind mismatches (e.g. calling
+    ``observe`` on a counter), and audit/export files that fail schema
+    validation or cannot support replay.
+    """

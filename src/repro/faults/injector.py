@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ConfigError, TransientIOError
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.stats import WindowStats
@@ -92,6 +94,7 @@ class FaultInjector:
         self.config = config or FaultConfig()
         self.stats = FaultStats()
         self._rng = Random(self.config.seed ^ 0xFA17)
+        self.recorder: Recorder = NULL_RECORDER
 
     # -- disk hook -----------------------------------------------------------
 
@@ -106,11 +109,23 @@ class FaultInjector:
         cfg = self.config
         if cfg.transient_read_rate and self._rng.random() < cfg.transient_read_rate:
             self.stats.transient_injected += 1
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.inc(N.FAULT_TRANSIENT)
+                recorder.event(
+                    N.EV_FAULT_TRANSIENT, sst=handle.sst_id, block=handle.block_no
+                )
             raise TransientIOError(f"injected transient fault reading {handle}")
         if cfg.corruption_rate and self._rng.random() < cfg.corruption_rate:
             if not table.is_block_corrupt(handle.block_no):
                 table.corrupt_block(handle.block_no)
                 self.stats.corruptions_injected += 1
+                recorder = self.recorder
+                if recorder.enabled:
+                    recorder.inc(N.FAULT_CORRUPTION)
+                    recorder.event(
+                        N.EV_FAULT_CORRUPTION, sst=handle.sst_id, block=handle.block_no
+                    )
 
     # -- WAL hook ------------------------------------------------------------
 
@@ -120,6 +135,10 @@ class FaultInjector:
         cfg = self.config
         if cfg.torn_wal_rate and self._rng.random() < cfg.torn_wal_rate:
             self.stats.torn_injected += 1
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.inc(N.FAULT_TORN_WAL)
+                recorder.event(N.EV_FAULT_TORN_WAL)
             return True
         return False
 
@@ -138,4 +157,8 @@ class FaultInjector:
             window.scan_length_sum = float("nan")
             window.range_occupancy = float("inf")
             self.stats.blackouts_injected += 1
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.inc(N.FAULT_BLACKOUT)
+                recorder.event(N.EV_FAULT_BLACKOUT, window=window.window_index)
         return window

@@ -28,6 +28,10 @@ _NUMPY_ALIASES = ("np", "numpy")
 #: Counters a metered disk read path must charge (SIM002).
 _METER_COUNTERS = ("block_reads_total", "bytes_read_total")
 
+#: Recording methods whose first argument must be a registered
+#: metric/event-kind constant from :mod:`repro.obs.names` (OBS001).
+_OBS_RECORDING_METHODS = ("inc", "set_gauge", "observe", "event")
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -353,6 +357,43 @@ def check_hot_path_numpy_indexing(
                 f"scalar index into numpy array {sub.value.id!r} inside "
                 f"hot-path function {func.name}(); per-element numpy access "
                 f"is ~100x a list index — convert to plain ints/lists first",
+            )
+
+
+@rule("OBS001")
+def check_obs_metric_constants(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """Instrumentation sites must use registered metric-name constants.
+
+    The obs registry rejects unregistered names at runtime, but only on
+    the instrumented path — an inline string literal passed to
+    ``inc``/``set_gauge``/``observe``/``event`` can sit dormant (typo'd,
+    unregistered, drifting from the exporter's schema) until that branch
+    finally executes.  Recording calls must therefore pass the constants
+    defined in :mod:`repro.obs.names` (``N.WINDOW_OPS``,
+    ``N.EV_FLUSH``, ...), which are checked at import time and keep
+    every call site greppable by constant name.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _OBS_RECORDING_METHODS
+        ):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield Violation(
+                path,
+                first.lineno,
+                first.col_offset,
+                "OBS001",
+                f"inline string {first.value!r} passed to .{func.attr}(); "
+                f"instrumentation must use the registered constants in "
+                f"repro.obs.names",
             )
 
 

@@ -27,6 +27,8 @@ from repro.lsm.options import LSMOptions
 from repro.lsm.sstable import SSTable
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.version import LevelState
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 @dataclass
@@ -59,6 +61,7 @@ class Compactor:
         self._cursor: Dict[int, str] = {}
         self.compactions_total = 0
         self.entries_compacted_total = 0
+        self.recorder: Recorder = NULL_RECORDER
 
     def add_listener(self, listener: CompactionListener) -> None:
         """Register a callback fired after every compaction."""
@@ -164,6 +167,19 @@ class Compactor:
 
         self.compactions_total += 1
         self.entries_compacted_total += event.entries_in
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.inc(N.LSM_COMPACTIONS)
+            recorder.inc(N.LSM_BLOCKS_INVALIDATED, event.blocks_invalidated)
+            recorder.observe(N.H_COMPACTION_ENTRIES, event.entries_in)
+            recorder.event(
+                N.EV_COMPACTION,
+                level_from=level_from,
+                level_to=level_to,
+                entries_in=event.entries_in,
+                entries_out=event.entries_out,
+                blocks_invalidated=event.blocks_invalidated,
+            )
         for listener in self._listeners:
             listener(event)
 

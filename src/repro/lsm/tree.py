@@ -47,6 +47,8 @@ from repro.lsm.sstable import SSTable
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.version import LevelState
 from repro.lsm.wal import WriteAheadLog
+from repro.obs import names as N
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 class LSMTree:
@@ -91,6 +93,8 @@ class LSMTree:
         self.retry_stalls_us: List[float] = []
         self.crash_recoveries_total = 0
         self.wal_records_lost_total = 0
+        self.fault_injector = None
+        self.recorder: Recorder = NULL_RECORDER
 
     # -- wiring -----------------------------------------------------------------
 
@@ -101,8 +105,20 @@ class LSMTree:
     def attach_fault_injector(self, injector) -> None:
         """Wire a :class:`~repro.faults.injector.FaultInjector` into the
         disk read path and the WAL append path (None detaches)."""
+        self.fault_injector = injector
         self.disk.set_fault_injector(injector)
         self.wal.set_fault_injector(injector)
+        if injector is not None and self.recorder.enabled:
+            injector.recorder = self.recorder
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Propagate an observability recorder to the tree, its
+        compactor, and any attached fault injector (attachment order
+        between injector and recorder does not matter)."""
+        self.recorder = recorder
+        self.compactor.recorder = recorder
+        if self.fault_injector is not None:
+            self.fault_injector.recorder = recorder
 
     # -- resilient block reads ---------------------------------------------
 
@@ -134,12 +150,29 @@ class LSMTree:
                 self.retry_stalls_us.append(stall)
                 transient_attempts += 1
                 self.read_retries_total += 1
+                recorder = self.recorder
+                if recorder.enabled:
+                    recorder.inc(N.FAULT_RETRIES)
+                    recorder.observe(N.H_RETRY_STALL_US, stall)
+                    recorder.event(
+                        N.EV_RETRY,
+                        sst=handle.sst_id,
+                        block=handle.block_no,
+                        attempt=transient_attempts,
+                        stall_us=stall,
+                    )
             except CorruptionError:
                 if repair_attempts >= self.options.max_corruption_repairs:
                     raise
                 self.disk.repair_block(handle)
                 repair_attempts += 1
                 self.corruption_recoveries_total += 1
+                recorder = self.recorder
+                if recorder.enabled:
+                    recorder.inc(N.FAULT_REPAIRS)
+                    recorder.event(
+                        N.EV_REPAIR, sst=handle.sst_id, block=handle.block_no
+                    )
 
     def add_compaction_listener(self, listener: CompactionListener) -> None:
         """Observe every compaction (used by the stats collector)."""
@@ -187,6 +220,10 @@ class LSMTree:
         l0 = self.levels.level0_file_count
         if l0 >= self.options.level0_slowdown_writes_trigger:
             self.write_slowdowns_total += 1
+            recorder = self.recorder
+            if recorder.enabled:
+                recorder.inc(N.LSM_WRITE_SLOWDOWNS)
+                recorder.event(N.EV_WRITE_STALL, level0_files=l0)
         if l0 >= self.options.level0_stop_writes_trigger:
             if self.options.auto_compact:
                 self.compactor.maybe_compact()
@@ -215,6 +252,10 @@ class LSMTree:
         self.memtable = MemTable()
         self.wal.truncate()
         self.flushes_total += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.inc(N.LSM_FLUSHES)
+            recorder.event(N.EV_FLUSH, sst=table.sst_id, entries=len(entries))
         if self.options.auto_compact:
             self.compactor.maybe_compact()
         if self._sanitizer is not None:

@@ -1,0 +1,56 @@
+"""repro.obs — metrics, event tracing, and controller decision audit.
+
+The observability subsystem for the AdCache simulator:
+
+* :mod:`repro.obs.names` — the closed vocabulary of registered metric
+  constants and event kinds (lint rule OBS001 enforces their use);
+* :mod:`repro.obs.metrics` — counters / gauges / log-bucketed
+  histograms with per-window snapshots and fleet-wide merging;
+* :mod:`repro.obs.trace` — bounded ring buffer of structured events;
+* :mod:`repro.obs.audit` — the controller decision audit log, with
+  exact offline replay through the real actor-critic;
+* :mod:`repro.obs.recorder` — the facade engines talk to; the shared
+  :data:`NULL_RECORDER` keeps the disabled path free;
+* :mod:`repro.obs.schema` — validators for the exported JSONL;
+* :mod:`repro.obs.report` — ``repro report`` rendering.
+
+Everything is deterministic and sim-clock timestamped; enabling
+observability never changes a run's results, only what it exports.
+"""
+
+from repro.obs.audit import (
+    DecisionAudit,
+    load_audit_log,
+    replay_decision_log,
+    verify_replay,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    WindowSnapshot,
+    merge_window_snapshots,
+)
+from repro.obs.names import METRICS, MetricSpec
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, ObsRecorder, Recorder
+from repro.obs.schema import validate_export
+from repro.obs.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "METRICS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "WindowSnapshot",
+    "Histogram",
+    "merge_window_snapshots",
+    "EventTrace",
+    "TraceEvent",
+    "DecisionAudit",
+    "load_audit_log",
+    "replay_decision_log",
+    "verify_replay",
+    "NullRecorder",
+    "ObsRecorder",
+    "Recorder",
+    "NULL_RECORDER",
+    "validate_export",
+]

@@ -1,0 +1,197 @@
+"""Hand-rolled validators for the exported JSONL artifacts.
+
+No jsonschema dependency: each validator is a plain function that
+returns a list of human-readable problems (empty = valid).  The CI
+``obs-smoke`` job and ``repro report --validate`` both run
+:func:`validate_export` over an obs directory, so a schema drift
+between writer and reader fails loudly in CI instead of silently
+producing unreadable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.obs import names as N
+from repro.obs.names import EVENT_KINDS
+from repro.obs.recorder import AUDIT_FILE, EVENTS_FILE, MANIFEST_FILE, METRICS_FILE
+
+_KNOWN_EVENT_KINDS = frozenset(EVENT_KINDS)
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_fields(
+    obj: Dict[str, Any], spec: Tuple[Tuple[str, Any], ...], where: str
+) -> List[str]:
+    problems = []
+    for key, kind in spec:
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+        elif kind is float:
+            if not _is_num(obj[key]):
+                problems.append(f"{where}: {key!r} must be a number")
+        elif not isinstance(obj[key], kind) or (
+            kind is int and isinstance(obj[key], bool)
+        ):
+            problems.append(f"{where}: {key!r} must be {kind.__name__}")
+    return problems
+
+
+def _load_lines(path: str) -> Tuple[List[Dict[str, Any]], List[str]]:
+    objs: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"{path}:{line_no}: not valid JSON: {exc}")
+                continue
+            if not isinstance(obj, dict):
+                problems.append(f"{path}:{line_no}: line is not a JSON object")
+                continue
+            objs.append(obj)
+    return objs, problems
+
+
+def validate_metrics_lines(objs: List[Dict[str, Any]], where: str) -> List[str]:
+    """Schema-check parsed metrics.jsonl lines."""
+    problems: List[str] = []
+    if not objs or objs[0].get("type") != "meta" or objs[0].get("kind") != "metrics":
+        problems.append(f"{where}: first line must be the metrics meta line")
+        return problems
+    saw_totals = False
+    last_index = -1
+    for i, obj in enumerate(objs[1:], start=2):
+        kind = obj.get("type")
+        if kind == "window":
+            problems += _check_fields(
+                obj, (("index", int), ("ts_us", float)), f"{where}:{i}"
+            )
+            index = obj.get("index")
+            if isinstance(index, int):
+                if index <= last_index:
+                    problems.append(f"{where}:{i}: window index {index} not increasing")
+                last_index = index
+            for section, want_int in (("counters", True), ("gauges", False)):
+                table = obj.get(section)
+                if not isinstance(table, dict):
+                    problems.append(f"{where}:{i}: {section!r} must be an object")
+                    continue
+                for name, value in table.items():
+                    if name not in N.METRICS:
+                        problems.append(f"{where}:{i}: unregistered metric {name!r}")
+                    elif want_int and not isinstance(value, int):
+                        problems.append(f"{where}:{i}: counter {name!r} must be int")
+                    elif not want_int and not _is_num(value):
+                        problems.append(f"{where}:{i}: gauge {name!r} must be a number")
+        elif kind == "totals":
+            saw_totals = True
+            for name in obj.get("counters", {}):
+                if name not in N.METRICS:
+                    problems.append(f"{where}:{i}: unregistered metric {name!r}")
+            for name, hist in obj.get("histograms", {}).items():
+                if name not in N.METRICS:
+                    problems.append(f"{where}:{i}: unregistered metric {name!r}")
+                elif not isinstance(hist, dict) or "buckets" not in hist:
+                    problems.append(f"{where}:{i}: histogram {name!r} has no buckets")
+        else:
+            problems.append(f"{where}:{i}: unknown line type {kind!r}")
+    if not saw_totals:
+        problems.append(f"{where}: missing totals line")
+    return problems
+
+
+def validate_events_lines(objs: List[Dict[str, Any]], where: str) -> List[str]:
+    """Schema-check parsed events.jsonl lines."""
+    problems: List[str] = []
+    if not objs or objs[0].get("type") != "meta" or objs[0].get("kind") != "events":
+        problems.append(f"{where}: first line must be the events meta line")
+        return problems
+    last_seq = -1
+    for i, obj in enumerate(objs[1:], start=2):
+        if obj.get("type") != "event":
+            problems.append(f"{where}:{i}: unknown line type {obj.get('type')!r}")
+            continue
+        problems += _check_fields(
+            obj, (("seq", int), ("ts_us", float), ("kind", str)), f"{where}:{i}"
+        )
+        kind = obj.get("kind")
+        if isinstance(kind, str) and kind not in _KNOWN_EVENT_KINDS:
+            problems.append(f"{where}:{i}: unknown event kind {kind!r}")
+        seq = obj.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(f"{where}:{i}: seq {seq} not increasing")
+            last_seq = seq
+        if not isinstance(obj.get("fields"), dict):
+            problems.append(f"{where}:{i}: 'fields' must be an object")
+    return problems
+
+
+def validate_audit_lines(objs: List[Dict[str, Any]], where: str) -> List[str]:
+    """Schema-check parsed audit.jsonl lines."""
+    problems: List[str] = []
+    if not objs or objs[0].get("type") != "header":
+        problems.append(f"{where}: first line must be the audit header")
+        return problems
+    header = objs[0]
+    for key in ("config", "entries_per_block", "level0_max_runs"):
+        if key not in header:
+            problems.append(f"{where}: header missing {key!r}")
+    for i, obj in enumerate(objs[1:], start=2):
+        if obj.get("type") != "decision":
+            problems.append(f"{where}:{i}: unknown line type {obj.get('type')!r}")
+            continue
+        problems += _check_fields(
+            obj,
+            (
+                ("ts_us", float),
+                ("window", dict),
+                ("applied", dict),
+                ("reward", float),
+                ("trend", float),
+                ("h_estimate", float),
+                ("h_smoothed", float),
+                ("actor_lr", float),
+                ("degraded", bool),
+            ),
+            f"{where}:{i}",
+        )
+        applied = obj.get("applied")
+        if isinstance(applied, dict):
+            for key in ("range_ratio", "point_threshold", "scan_a", "scan_b"):
+                if not _is_num(applied.get(key)):
+                    problems.append(f"{where}:{i}: applied.{key!r} must be a number")
+    return problems
+
+
+def validate_export(directory: str) -> List[str]:
+    """Validate a whole obs export directory; returns all problems."""
+    problems: List[str] = []
+    manifest_path = os.path.join(directory, MANIFEST_FILE)
+    if not os.path.exists(manifest_path):
+        problems.append(f"{directory}: missing {MANIFEST_FILE}")
+    for filename, validator, required in (
+        (METRICS_FILE, validate_metrics_lines, True),
+        (EVENTS_FILE, validate_events_lines, True),
+        (AUDIT_FILE, validate_audit_lines, False),
+    ):
+        path = os.path.join(directory, filename)
+        if not os.path.exists(path):
+            if required:
+                problems.append(f"{directory}: missing {filename}")
+            continue
+        objs, parse_problems = _load_lines(path)
+        problems += parse_problems
+        if not parse_problems:
+            problems += validator(objs, filename)
+    return problems

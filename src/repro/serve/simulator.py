@@ -18,6 +18,8 @@ latency histograms, and every counter are pure functions of the config.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,9 +29,21 @@ from repro.bench.simclock import CostModel, SimClock
 from repro.bench.strategies import build_engine
 from repro.core.engine import KVEngine
 from repro.core.stats import WindowStats, merge_windows
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ObsError
 from repro.lsm.options import LSMOptions
 from repro.lsm.tree import LSMTree
+from repro.obs.metrics import (
+    WindowSnapshot,
+    export_fleet_metrics,
+    merge_window_snapshots,
+)
+from repro.obs.recorder import (
+    EVENTS_FILE,
+    MANIFEST_FILE,
+    METRICS_FILE,
+    ObsRecorder,
+)
+from repro.obs.trace import export_fleet_events
 from repro.serve.arbiter import BudgetArbiter
 from repro.serve.events import EventLoop
 from repro.serve.queueing import Request, RequestQueue, SubRequest
@@ -66,6 +80,10 @@ class ServeConfig:
     entries_per_sstable: int = 64
     keep_trace: bool = True
     cost_model: Optional[CostModel] = None
+    #: Attach an ObsRecorder to every shard engine.  Off by default so
+    #: the golden fingerprints and the perf gate see an untouched run.
+    obs: bool = False
+    obs_trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -132,6 +150,56 @@ class ServeResult:
     evictions_forced: int
     trace_digest: str
     trace: List[str] = field(default_factory=list)
+    #: Per-shard recorders (``config.obs`` runs only; empty otherwise).
+    obs_recorders: List[ObsRecorder] = field(default_factory=list, repr=False)
+    #: Fleet-wide reduction of the per-shard metric windows.
+    obs_fleet_windows: List[WindowSnapshot] = field(default_factory=list, repr=False)
+
+    def export_obs(self, directory: str) -> Dict[str, str]:
+        """Write obs artifacts: one subdirectory per shard + a fleet view.
+
+        ``shard<N>/`` each hold a complete single-engine export
+        (metrics, events, audit when the strategy has a controller);
+        the top level is itself a complete export — ``metrics.jsonl``
+        is the fleet-wide merge-windows-style reduction,
+        ``events.jsonl`` the shard-tagged interleave of every trace —
+        so ``repro report`` (and its ``--validate``) read the fleet
+        directory exactly like a single-shard one.
+        """
+        if not self.obs_recorders:
+            raise ObsError(
+                "run recorded no observability; set ServeConfig.obs=True"
+            )
+        os.makedirs(directory, exist_ok=True)
+        paths: Dict[str, str] = {}
+        for shard_id, recorder in enumerate(self.obs_recorders):
+            sub = os.path.join(directory, f"shard{shard_id}")
+            recorder.export(sub)
+            paths[f"shard{shard_id}"] = sub
+        fleet_path = os.path.join(directory, METRICS_FILE)
+        export_fleet_metrics([r.metrics for r in self.obs_recorders], fleet_path)
+        paths["fleet"] = fleet_path
+        events_path = os.path.join(directory, EVENTS_FILE)
+        export_fleet_events([r.trace for r in self.obs_recorders], events_path)
+        paths["fleet_events"] = events_path
+        manifest = {
+            "version": 1,
+            "fleet": True,
+            "shards": len(self.obs_recorders),
+            "final_ts_us": max(r.now_us for r in self.obs_recorders),
+            "windows": len(self.obs_fleet_windows),
+            "events_recorded": sum(r.trace.next_seq for r in self.obs_recorders),
+            "events_dropped": sum(
+                r.trace.dropped_total for r in self.obs_recorders
+            ),
+            "files": sorted([EVENTS_FILE, METRICS_FILE]),
+        }
+        manifest_path = os.path.join(directory, MANIFEST_FILE)
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths["manifest"] = manifest_path
+        return paths
 
     def fingerprint(self) -> str:
         """One hash covering the trace, histograms, and counters."""
@@ -319,6 +387,12 @@ class _Simulation:
             config.num_shards, self.spec.num_keys, config.partition
         )
         self.shards = _build_shards(config, self.router)
+        self.obs_recorders: List[ObsRecorder] = []
+        if config.obs:
+            for shard in self.shards:
+                recorder = ObsRecorder(trace_capacity=config.obs_trace_capacity)
+                shard.engine.attach_recorder(recorder)
+                self.obs_recorders.append(recorder)
         self.sessions = _build_sessions(config)
         self._by_name: Dict[str, ClientSession] = {
             s.name: s for s in self.sessions
@@ -392,6 +466,10 @@ class _Simulation:
         shard.busy = True
         sub.start_us = self.loop.now
         self.queue_wait.record(sub.start_us - sub.enqueue_us)
+        if self.obs_recorders:
+            # Serving-layer time is richer than engine-work time (it
+            # includes queueing), so recordings carry event-loop stamps.
+            self.obs_recorders[shard_id].advance_to(self.loop.now)
         # Execute now and charge the metered delta as this sub-request's
         # service time; event callbacks are synchronous, so no other
         # shard's work can leak into this clock window.
@@ -492,6 +570,13 @@ class _Simulation:
         fleet_window = merge_windows(
             [shard.engine.collector.lifetime for shard in self.shards]
         )
+        obs_fleet_windows: List[WindowSnapshot] = []
+        if self.obs_recorders:
+            for recorder in self.obs_recorders:
+                recorder.advance_to(duration)
+            obs_fleet_windows = merge_window_snapshots(
+                [r.metrics.windows for r in self.obs_recorders]
+            )
         return ServeResult(
             config=self.config,
             duration_us=duration,
@@ -512,6 +597,8 @@ class _Simulation:
             ),
             trace_digest=self._hasher.hexdigest(),
             trace=self.trace,
+            obs_recorders=self.obs_recorders,
+            obs_fleet_windows=obs_fleet_windows,
         )
 
 

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.config import AdCacheConfig
-from repro.core.stats import StatsCollector, WindowStats
+from repro.core.stats import StatsCollector, WindowStats, merge_windows
 from repro.errors import ConfigError
 
 
@@ -64,6 +66,74 @@ class TestWindowStats:
         )
         assert w.range_hit_rate == 0.5
         assert w.block_hit_rate == 0.75
+
+
+class TestMergeWindows:
+    def test_empty_list_merges_to_default_window(self):
+        assert merge_windows([]) == WindowStats()
+
+    def test_counters_sum_and_snapshots_weight_by_ops(self):
+        a = WindowStats(
+            ops=300, io_miss=30, num_levels=2, level0_runs=1, window_index=3,
+            range_occupancy=0.9, block_occupancy=0.1, range_ratio=0.8,
+        )
+        b = WindowStats(
+            ops=100, io_miss=10, num_levels=4, level0_runs=3, window_index=4,
+            range_occupancy=0.1, block_occupancy=0.5, range_ratio=0.4,
+        )
+        m = merge_windows([a, b])
+        assert m.ops == 400 and m.io_miss == 40
+        assert m.range_occupancy == pytest.approx(0.9 * 0.75 + 0.1 * 0.25)
+        assert m.block_occupancy == pytest.approx(0.1 * 0.75 + 0.5 * 0.25)
+        assert m.range_ratio == pytest.approx(0.8 * 0.75 + 0.4 * 0.25)
+        # Structural maxima, not means: the fleet is as deep as its
+        # deepest shard.
+        assert m.num_levels == 4 and m.level0_runs == 3
+        assert m.window_index == 4
+
+    def test_idle_fleet_falls_back_to_plain_mean(self):
+        a = WindowStats(ops=0, range_occupancy=0.2, range_ratio=0.4)
+        b = WindowStats(ops=0, range_occupancy=0.6, range_ratio=0.6)
+        m = merge_windows([a, b])
+        assert m.range_occupancy == pytest.approx(0.4)
+        assert m.range_ratio == pytest.approx(0.5)
+
+    def test_poisoned_shard_cannot_nan_the_fleet_view(self):
+        poisoned = WindowStats(
+            ops=100, io_miss=5,
+            range_occupancy=float("inf"), block_occupancy=float("nan"),
+            range_ratio=0.5,
+        )
+        healthy = WindowStats(
+            ops=100, io_miss=7,
+            range_occupancy=0.3, block_occupancy=0.4, range_ratio=0.7,
+        )
+        m = merge_windows([poisoned, healthy])
+        assert m.io_miss == 12  # counters still sum
+        assert m.range_occupancy == pytest.approx(0.3)
+        assert m.block_occupancy == pytest.approx(0.4)
+        assert m.range_ratio == pytest.approx(0.6)
+        assert all(
+            math.isfinite(v)
+            for v in (m.range_occupancy, m.block_occupancy, m.range_ratio)
+        )
+
+    def test_negative_ops_window_contributes_no_weight(self):
+        wrapped = WindowStats(ops=-5, range_occupancy=0.9)
+        good = WindowStats(ops=10, range_occupancy=0.1)
+        m = merge_windows([wrapped, good])
+        assert m.range_occupancy == pytest.approx(0.1)
+
+    def test_to_dict_from_dict_roundtrip(self):
+        w = WindowStats(
+            ops=10, points=4, scans=3, io_miss=7, range_ratio=0.6,
+            window_index=7, compactions=2, blocks_invalidated=9,
+        )
+        assert WindowStats.from_dict(w.to_dict()) == w
+
+    def test_from_dict_tolerates_missing_and_unknown_keys(self):
+        w = WindowStats.from_dict({"ops": 5, "unknown_future_field": 1})
+        assert w.ops == 5 and w.points == 0
 
 
 class TestCollector:

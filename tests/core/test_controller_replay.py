@@ -1,4 +1,5 @@
-"""Controller replay buffer, warmup gating, and rate-limited boundary."""
+"""Controller replay buffer, warmup gating, rate-limited boundary, and
+bit-for-bit offline replay of the obs decision-audit log."""
 
 from __future__ import annotations
 
@@ -88,6 +89,74 @@ class TestActorWarmup:
         import numpy as np
 
         assert not np.allclose(mean_before, agent.action_mean(state_probe), atol=1e-6)
+
+
+class TestAuditReplay:
+    """The exported audit log reproduces the live action stream exactly."""
+
+    def _recorded_run(self, tmp_path, **config_kw):
+        from repro.bench.harness import apply_operation
+        from repro.core.adcache import AdCacheEngine
+        from repro.lsm.options import LSMOptions
+        from repro.lsm.tree import LSMTree
+        from repro.obs.recorder import ObsRecorder
+        from repro.workloads.generator import WorkloadGenerator, balanced_workload
+        from repro.workloads.keys import key_of, value_of
+
+        opts = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+        tree = LSMTree(opts)
+        tree.bulk_load((key_of(i), value_of(i)) for i in range(1500))
+        config = AdCacheConfig(
+            total_cache_bytes=1 << 20, window_size=100, hidden_dim=32,
+            seed=1, **config_kw,
+        )
+        engine = AdCacheEngine(tree, config=config)
+        recorder = ObsRecorder()
+        engine.attach_recorder(recorder)
+        gen = WorkloadGenerator(balanced_workload(1500), seed=2)
+        for op in gen.ops(800):
+            apply_operation(engine, op)
+        engine.flush_window()
+        paths = recorder.export(str(tmp_path))
+        return engine, paths["audit"]
+
+    def test_replay_reproduces_actions_bit_for_bit(self, tmp_path):
+        from repro.obs.audit import load_audit_log, verify_replay
+
+        engine, audit_path = self._recorded_run(tmp_path)
+        header, records = load_audit_log(audit_path)
+        assert len(records) == len(engine.controller.history)
+        assert verify_replay(header, records) == []
+
+    def test_replay_matches_live_applied_parameters(self, tmp_path):
+        from repro.obs.audit import load_audit_log, replay_decision_log
+
+        engine, audit_path = self._recorded_run(tmp_path)
+        header, records = load_audit_log(audit_path)
+        replayed = replay_decision_log(header, records)
+        # The final replayed split equals the live controller's.
+        assert replayed[-1].range_ratio == engine.controller.range_ratio
+
+    def test_tampered_log_fails_verification(self, tmp_path):
+        from repro.obs.audit import load_audit_log, verify_replay
+
+        _, audit_path = self._recorded_run(tmp_path)
+        header, records = load_audit_log(audit_path)
+        records[1]["window"]["io_miss"] = records[1]["window"]["io_miss"] + 500
+        problems = verify_replay(header, records)
+        assert problems  # divergence is reported, not silently absorbed
+
+    def test_externally_supplied_agent_refuses_replay(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.errors import ObsError
+        from repro.obs.audit import build_replay_controller
+
+        with _pytest.raises(ObsError, match="agent_init"):
+            build_replay_controller({
+                "config": {}, "agent_init": None,
+                "entries_per_block": 4, "level0_max_runs": 8,
+            })
 
 
 class TestRateLimitedBoundary:

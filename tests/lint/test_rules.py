@@ -232,6 +232,43 @@ def test_perf001_marker_on_multiline_signature(tmp_path):
     assert _rule_ids(findings) == ["PERF001"]
 
 
+# -- OBS001 ------------------------------------------------------------------
+
+
+def test_obs001_flags_inline_string_metric_names(tmp_path):
+    source = (
+        "def instrument(recorder):\n"
+        "    recorder.metrics.inc('window.ops')\n"
+        "    recorder.metrics.set_gauge('reward', 0.5)\n"
+        "    recorder.metrics.observe('scan.admitted', 12)\n"
+        "    recorder.event('flush', sst=3)\n"
+    )
+    findings = _lint_source(tmp_path, source, ["OBS001"])
+    assert _rule_ids(findings) == ["OBS001"] * 4
+    assert "'window.ops'" in findings[0].message
+    assert "repro.obs.names" in findings[0].message
+
+
+def test_obs001_accepts_registered_constants(tmp_path):
+    source = (
+        "from repro.obs import names as N\n"
+        "def instrument(recorder, count):\n"
+        "    recorder.metrics.inc(N.WINDOW_OPS, count)\n"
+        "    recorder.event(N.EV_FLUSH, sst=3)\n"
+    )
+    assert _lint_source(tmp_path, source, ["OBS001"]) == []
+
+
+def test_obs001_ignores_unrelated_methods_and_values(tmp_path):
+    source = (
+        "def mixed(hist, mapping, name):\n"
+        "    hist.observe(12.5)\n"  # non-string first arg
+        "    mapping.get('key')\n"  # method not in the recording set
+        "    hist.observe(name)\n"  # variable, resolvable to a constant
+    )
+    assert _lint_source(tmp_path, source, ["OBS001"]) == []
+
+
 # -- disable comments and runner behaviour -----------------------------------
 
 
@@ -272,7 +309,9 @@ def test_main_exit_codes(tmp_path, capsys):
 def test_list_rules_documents_every_rule(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("SIM001", "SIM002", "CACHE001", "MUT001", "EXC001", "SLOT001"):
+    for rule_id in (
+        "SIM001", "SIM002", "CACHE001", "MUT001", "EXC001", "OBS001", "SLOT001"
+    ):
         assert rule_id in out
         assert ALL_RULES[rule_id].__doc__  # every rule is documented
 
