@@ -1,0 +1,153 @@
+"""Availability experiment: the serving fleet under shard crashes.
+
+Kills two of four shard executors mid-run (seeded fleet fault plan) and
+measures what the resilience layer preserves, against a fault-free run
+of the identical configuration:
+
+* **durability** — zero acknowledged writes lost: every write was
+  WAL-shipped to the shard's passive replica before the ack, and
+  promotion replays the backlog through the engine's crash-recovery
+  path;
+* **correctness** — every scan completes exact or *explicitly* partial
+  (counted in ``scans_partial``), never silently wrong;
+* **availability** — the owner tenant's p99 stays within a small
+  multiple of the fault-free p99: crashes cost milliseconds of failover,
+  not the run; and
+* **reproducibility** — the whole chaos scenario is byte-identical
+  across same-seed runs, failover timing included.
+
+Marked ``slow``: this is the long-form harness behind the CI
+``chaos-serve-smoke`` job (which runs it at reduced scale via
+``REPRO_BENCH_SCALE``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import BENCH_WINDOW, print_banner, scaled
+from repro.bench.report import format_table
+from repro.faults.fleet import FleetFaultConfig
+from repro.serve import ResilienceConfig, ServeConfig, run_serve
+
+NUM_KEYS = 2_000
+CACHE_BYTES = 256 * 1024
+OPS = scaled(8_000)
+CLIENTS = 4
+SHARDS = 4
+CRASHES = 2
+SEED = 11
+
+#: Owner-tenant p99 under chaos must stay within this multiple of the
+#: fault-free p99.  Failover parks one shard for a few simulated ms, so
+#: some queueing spill is expected; an unbounded tail is the regression
+#: this harness exists to catch.
+P99_BOUND = 4.0
+
+
+def fleet_config(with_faults: bool) -> ServeConfig:
+    resilience = None
+    if with_faults:
+        resilience = ResilienceConfig(
+            fleet_faults=FleetFaultConfig(
+                crashes=CRASHES,
+                earliest_us=50_000.0,
+                latest_us=400_000.0,
+                seed=SEED,
+            ),
+            hedge_quantile=0.95,
+        )
+    return ServeConfig(
+        num_clients=CLIENTS,
+        num_shards=SHARDS,
+        total_ops=OPS,
+        num_keys=NUM_KEYS,
+        cache_bytes=CACHE_BYTES,
+        window_size=BENCH_WINDOW,
+        queue_depth=32,
+        seed=SEED,
+        keep_trace=False,
+        resilience=resilience,
+    )
+
+
+def run_experiment():
+    baseline = run_serve(fleet_config(with_faults=False))
+    chaos_a = run_serve(fleet_config(with_faults=True))
+    chaos_b = run_serve(fleet_config(with_faults=True))
+    return baseline, chaos_a, chaos_b
+
+
+@pytest.mark.slow
+def test_fleet_resilience(run_once):
+    baseline, chaos, rerun = run_once(run_experiment)
+
+    print_banner(
+        f"Fleet resilience — {OPS:,} ops, {SHARDS} shards, {CRASHES} "
+        f"crashes mid-run, WAL-shipped replicas, hedged reads @ p95"
+    )
+    rows = []
+    for label, r in (("fault-free", baseline), ("chaos", chaos)):
+        rows.append(
+            [
+                label,
+                f"{r.completed:,}",
+                f"{r.rejected:,}",
+                f"{r.latency.p50:,.0f}",
+                f"{r.latency.p99:,.0f}",
+                str(r.crashes),
+                str(r.promotions),
+                str(r.scans_partial),
+                f"{r.hedge_wins}/{r.hedges}",
+            ]
+        )
+    print(
+        format_table(
+            ["run", "done", "shed", "p50 us", "p99 us", "crashes",
+             "promoted", "partial", "hedge w/i"],
+            rows,
+        )
+    )
+    for shard in chaos.shards:
+        if shard.crashed:
+            print(
+                f"shard {shard.shard_id}: failover "
+                f"{shard.failover_us / 1000.0:.2f} ms "
+                f"({shard.wal_replayed} WAL records replayed)"
+            )
+    sheds = " ".join(
+        f"{k}={v}" for k, v in sorted(chaos.shed_by_reason.items())
+    )
+    print(f"chaos sheds: {sheds}")
+
+    # Reproducibility: the disaster is byte-identical under its seed.
+    assert chaos.fingerprint() == rerun.fingerprint()
+    assert chaos.breaker_log == rerun.breaker_log
+
+    # The planned crashes all happened and every one promoted a replica.
+    assert chaos.crashes == CRASHES
+    assert chaos.promotions == CRASHES
+    assert all(s.promoted for s in chaos.shards if s.crashed)
+
+    # Durability: every acknowledged write reads back from the fleet.
+    assert chaos.acked_writes_checked > 0
+    assert chaos.lost_acked_writes == 0
+
+    # Correctness: conservation holds; scans are exact or counted partial.
+    assert chaos.issued == chaos.completed + chaos.rejected
+    assert all(t.completed + t.rejected == t.issued for t in chaos.tenants)
+    assert chaos.scans_partial > 0  # dead-shard scatter-gather happened
+    assert chaos.scans_partial <= chaos.completed
+
+    # The fault-free sibling run saw none of this.
+    assert baseline.crashes == 0
+    assert baseline.scans_partial == 0
+    assert not baseline.config.resilience_active
+
+    # Availability: the owner tenant's tail survives the failover.
+    owner_chaos = chaos.tenants[0].latency.p99
+    owner_base = baseline.tenants[0].latency.p99
+    assert owner_chaos <= P99_BOUND * owner_base, (
+        f"owner p99 exploded under chaos: {owner_chaos:,.0f} us vs "
+        f"{owner_base:,.0f} us fault-free (bound {P99_BOUND}x)"
+    )

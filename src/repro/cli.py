@@ -20,6 +20,11 @@ Chaos-test resilience under injected storage faults::
     python -m repro chaos --ops 20000 --transient-rate 0.01 \
         --corruption-rate 0.001 --crash-every 5000 --blackout-window 20
 
+Chaos-test the serving fleet (shard crashes + replica failover), running
+the same seeded scenario twice and demanding identical fingerprints::
+
+    python -m repro chaos --serve --ops 8000 --serve-crashes 2 --seed 11
+
 Simulate a multi-tenant serving fleet (shard router + client sessions)::
 
     python -m repro serve --clients 8 --shards 4 --ops 20000 --seed 0
@@ -168,8 +173,105 @@ def cmd_phases(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_resilience_config(args: argparse.Namespace):
+    """Build the ResilienceConfig the serve/chaos flags describe (or None)."""
+    from repro.faults.fleet import FleetFaultConfig
+    from repro.serve.resilience import ResilienceConfig
+
+    crashes = getattr(args, "serve_crashes", 0)
+    hedge = getattr(args, "hedge_quantile", 0.0)
+    timeout = getattr(args, "op_timeout_us", 0.0)
+    if not crashes and not hedge and not timeout:
+        return None
+    faults = None
+    if crashes:
+        faults = FleetFaultConfig(
+            crashes=crashes,
+            earliest_us=args.crash_earliest_us,
+            latest_us=args.crash_latest_us,
+            seed=args.seed,
+        )
+    return ResilienceConfig(
+        fleet_faults=faults,
+        hedge_quantile=hedge,
+        op_timeout_us=timeout,
+    )
+
+
+def _chaos_serve(args: argparse.Namespace) -> int:
+    """Fleet chaos: same seeded crash scenario twice, bytes must match."""
+    from repro.faults.fleet import FleetFaultPlan
+    from repro.serve import ServeConfig, run_serve
+
+    resilience = _serve_resilience_config(args)
+    if resilience is None or resilience.fleet_faults is None:
+        raise SystemExit("repro chaos --serve needs --serve-crashes >= 1")
+
+    def one_run():
+        return run_serve(ServeConfig(
+            num_clients=args.clients,
+            num_shards=args.shards,
+            total_ops=args.ops,
+            seed=args.seed,
+            strategy=args.strategy,
+            workload=_spec(args),
+            num_keys=args.num_keys,
+            cache_bytes=args.cache_kb * 1024,
+            partition=args.partition,
+            queue_depth=args.queue_depth,
+            memtable_entries=args.memtable_entries,
+            entries_per_sstable=args.sstable_entries,
+            keep_trace=False,
+            op_deadline_us=args.deadline_us,
+            resilience=resilience,
+        ))
+
+    first, second = one_run(), one_run()
+    print(first.format_report())
+    failures = []
+    if first.fingerprint() != second.fingerprint():
+        failures.append(
+            f"fingerprint mismatch across identical seeded runs: "
+            f"{first.fingerprint()} != {second.fingerprint()}"
+        )
+    if first.breaker_log != second.breaker_log:
+        failures.append("breaker audit logs diverged across identical runs")
+    planned = len(FleetFaultPlan(resilience.fleet_faults, args.shards))
+    if first.crashes != planned:
+        failures.append(
+            f"planned crashes not all executed: {first.crashes} of {planned}"
+        )
+    if first.promotions != first.crashes:
+        failures.append(
+            f"replica promotion missing: {first.crashes} crashes but "
+            f"{first.promotions} promotions"
+        )
+    if first.lost_acked_writes:
+        failures.append(
+            f"{first.lost_acked_writes}/{first.acked_writes_checked} "
+            f"acknowledged writes unreadable after failover"
+        )
+    if first.issued != first.completed + first.rejected:
+        failures.append(
+            f"request conservation broken: {first.issued} issued != "
+            f"{first.completed} completed + {first.rejected} rejected"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: two same-seed fleet-chaos runs matched byte-for-byte "
+        f"({first.crashes} crashes, {first.promotions} promotions, "
+        f"{first.acked_writes_checked} acked writes verified durable)"
+    )
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the chaos harness: injected faults must not change results."""
+    if args.serve:
+        return _chaos_serve(args)
     report = run_chaos(
         ops=args.ops,
         num_keys=args.num_keys,
@@ -225,6 +327,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         memtable_entries=args.memtable_entries,
         entries_per_sstable=args.sstable_entries,
         keep_trace=False,
+        op_deadline_us=args.deadline_us,
+        resilience=_serve_resilience_config(args),
         obs=bool(args.obs_dir),
     )
     result = run_serve(config)
@@ -232,6 +336,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.obs_dir:
         result.export_obs(args.obs_dir)
         print(f"wrote per-shard + fleet obs artifacts to {args.obs_dir}")
+    failures = []
+    if result.lost_acked_writes:
+        failures.append(
+            f"{result.lost_acked_writes}/{result.acked_writes_checked} "
+            f"acknowledged writes unreadable after failover"
+        )
+    if result.issued != result.completed + result.rejected:
+        failures.append(
+            f"request conservation broken: {result.issued} issued != "
+            f"{result.completed} completed + {result.rejected} rejected"
+        )
+    if result.crashes != result.promotions:
+        failures.append(
+            f"replica promotion missing: {result.crashes} crashes but "
+            f"{result.promotions} promotions"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
     return 0
 
 
@@ -312,6 +436,39 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _add_resilience_flags(
+    parser: argparse.ArgumentParser, default_crashes: int = 0
+) -> None:
+    parser.add_argument(
+        "--serve-crashes", type=int, default=default_crashes,
+        help="shard executors the seeded fleet fault plan kills mid-run "
+        "(0 disables crash injection)",
+    )
+    parser.add_argument(
+        "--crash-earliest-us", type=float, default=50_000.0,
+        help="earliest simulated crash time (us)",
+    )
+    parser.add_argument(
+        "--crash-latest-us", type=float, default=400_000.0,
+        help="latest simulated crash time (us)",
+    )
+    parser.add_argument(
+        "--deadline-us", type=float, default=0.0,
+        help="per-op completion deadline; queue waits past it are shed "
+        "at dequeue (0 disables)",
+    )
+    parser.add_argument(
+        "--hedge-quantile", type=float, default=0.0,
+        help="hedge point reads to the replica past this per-tenant "
+        "latency quantile, e.g. 0.95 (0 disables)",
+    )
+    parser.add_argument(
+        "--op-timeout-us", type=float, default=0.0,
+        help="service time that counts as a circuit-breaker failure "
+        "(0: only crashes trip breakers)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-keys", type=int, default=10_000, help="database size in keys")
     parser.add_argument("--cache-kb", type=int, default=1024, help="total cache budget (KiB)")
@@ -384,6 +541,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-size", type=int, default=None,
         help="override the controller window (ops) for both engines",
     )
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="fleet chaos: crash serving shards mid-run, fail over to "
+        "replicas, and demand two same-seed runs match byte-for-byte",
+    )
+    chaos.add_argument("--clients", type=int, default=4, help="(--serve) client sessions")
+    chaos.add_argument("--shards", type=int, default=4, help="(--serve) engine shards")
+    chaos.add_argument(
+        "--partition", choices=["hash", "range"], default="hash",
+        help="(--serve) keyspace partitioning across shards",
+    )
+    chaos.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="(--serve) bounded per-shard queue capacity",
+    )
+    _add_resilience_flags(chaos, default_crashes=2)
     chaos.set_defaults(func=cmd_chaos)
 
     serve = sub.add_parser(
@@ -423,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-size", type=int, default=250,
         help="per-shard controller window (ops)",
     )
+    _add_resilience_flags(serve)
     _add_obs_dir(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -1,0 +1,83 @@
+"""Seeded, bounded retry policy for fault-absorbing read paths.
+
+Every retry loop in the simulator must satisfy two disciplines (lint
+rule EXC002 enforces them statically):
+
+* **bounded** — a retry loop without an attempt budget turns a
+  persistent fault into a hang; the policy owns the budget and the
+  caller re-raises when :meth:`RetryPolicy.should_retry` says no.
+* **sim-clock charged** — a retry's backoff is *simulated* latency; it
+  must be charged to the sim clock's accounting (never ``time.sleep``),
+  so faulted runs cost latency the bench/serve clocks can see while the
+  host never stalls.
+
+Backoff is exponential with optional *seeded* jitter: a private
+``random.Random`` makes the stall sequence a pure function of
+``(seed, attempt sequence)``, so two same-seed runs reproduce identical
+retry latency byte for byte.  ``jitter_frac=0`` (the default) reproduces
+the historical deterministic ``backoff * 2**attempt`` schedule exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Retries allowed after the first try (0 disables retrying).
+    backoff_us:
+        Simulated stall charged for the first retry.
+    multiplier:
+        Growth factor between consecutive stalls (2.0 = doubling).
+    jitter_frac:
+        Fraction of each stall drawn as symmetric seeded jitter; a
+        stall becomes ``base * (1 + U(-jitter_frac, +jitter_frac))``.
+        0 keeps the schedule fully deterministic per attempt index.
+    seed:
+        Seed for the jitter stream (unused when ``jitter_frac`` is 0,
+        but always seeded so enabling jitter never reshuffles other
+        RNG consumers).
+    """
+
+    max_attempts: int = 4
+    backoff_us: float = 50.0
+    multiplier: float = 2.0
+    jitter_frac: float = 0.0
+    seed: int = 0
+    _rng: Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ConfigError("max_attempts must be >= 0")
+        if self.backoff_us < 0 or not math.isfinite(self.backoff_us):
+            raise ConfigError("backoff_us must be finite and >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigError("jitter_frac must lie in [0, 1)")
+        self._rng = Random(self.seed ^ 0x5E77)
+
+    def should_retry(self, attempts_so_far: int) -> bool:
+        """Whether another retry fits the budget after ``attempts_so_far``."""
+        return attempts_so_far < self.max_attempts
+
+    def stall_us(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (0-based).
+
+        The caller charges this to its sim-clock accounting; the policy
+        never sleeps.
+        """
+        base = self.backoff_us * self.multiplier**attempt
+        if self.jitter_frac:
+            base *= 1.0 + self.jitter_frac * (2.0 * self._rng.random() - 1.0)
+        return base

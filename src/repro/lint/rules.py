@@ -278,6 +278,114 @@ def check_bare_except(tree: ast.Module, path: str) -> Iterator[Violation]:
             )
 
 
+#: Accumulator-name pattern that counts as charging simulated time
+#: (EXC002): latency/stall counters in simulated microseconds.
+_SIM_CHARGE_RE = re.compile(r"(_us\b|_us_|latency|stall)")
+
+
+def _charges_sim_time(loop: ast.While) -> bool:
+    """Whether ``loop`` accumulates simulated time anywhere in its body.
+
+    Charging = augmented assignment to a ``*_us``/``*latency*``/
+    ``*stall*`` counter, or a ``.charge(...)`` method call.
+    """
+    for sub in ast.walk(loop):
+        if isinstance(sub, ast.AugAssign):
+            target = sub.target
+            name = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else ""
+            )
+            if _SIM_CHARGE_RE.search(name):
+                return True
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr.startswith("charge"):
+                return True
+    return False
+
+
+def _handler_retries(handler: ast.ExceptHandler) -> bool:
+    """Whether ``handler`` can fall through and re-run the loop body.
+
+    A handler whose *last* statement unconditionally leaves the loop
+    (``raise``/``return``/``break``) is an escape hatch, not a retry.
+    """
+    if not handler.body:
+        return True
+    last = handler.body[-1]
+    return not isinstance(last, (ast.Raise, ast.Return, ast.Break))
+
+
+def _handler_is_bounded(handler: ast.ExceptHandler) -> bool:
+    """Whether a retrying handler carries a conditional escape.
+
+    The bounded form is a budget check that re-raises (or returns or
+    breaks) when attempts are exhausted — i.e. the
+    :class:`~repro.faults.retry.RetryPolicy` shape.  Statically: some
+    ``raise``/``return``/``break`` must exist inside the handler.
+    """
+    return any(
+        isinstance(sub, (ast.Raise, ast.Return, ast.Break))
+        for sub in ast.walk(handler)
+    )
+
+
+@rule("EXC002")
+def check_retry_loop_discipline(tree: ast.Module, path: str) -> Iterator[Violation]:
+    """Retry loops must be bounded and sim-clock charged.
+
+    A ``while True`` loop that catches an exception and goes around
+    again is a retry loop.  Two failure modes hide there: an *unbounded*
+    loop turns a persistent fault into a hang, and an *uncharged* one
+    retries for free in simulated time, hiding fault latency from every
+    histogram downstream.  Each retrying handler must therefore contain
+    a conditional escape (``raise``/``return``/``break`` behind an
+    attempt-budget check — the :class:`~repro.faults.retry.RetryPolicy`
+    shape), and the loop must charge simulated time (an accumulating
+    ``*_us``/``*latency*``/``*stall*`` counter or a ``.charge()`` call).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While):
+            continue
+        test = node.test
+        infinite = isinstance(test, ast.Constant) and bool(test.value)
+        if not infinite:
+            continue  # a real condition bounds the loop on its own terms
+        retrying = [
+            handler
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Try)
+            for handler in sub.handlers
+            if _handler_retries(handler)
+        ]
+        if not retrying:
+            continue
+        for handler in retrying:
+            if not _handler_is_bounded(handler):
+                caught = ast.unparse(handler.type) if handler.type else "Exception"
+                yield Violation(
+                    path,
+                    handler.lineno,
+                    handler.col_offset,
+                    "EXC002",
+                    f"retry loop swallows {caught} with no raise/return/"
+                    f"break escape; retries must be bounded by an attempt "
+                    f"budget (see repro.faults.retry.RetryPolicy)",
+                )
+        if not _charges_sim_time(node):
+            yield Violation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "EXC002",
+                "retry loop never charges simulated time (no *_us/"
+                "*latency*/*stall* accumulation or .charge() call); "
+                "free retries hide fault latency from the sim clock",
+            )
+
+
 def _hot_path_functions(
     tree: ast.Module, source_lines: List[str]
 ) -> Iterator[ast.FunctionDef]:

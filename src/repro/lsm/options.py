@@ -64,6 +64,11 @@ class LSMOptions:
         Simulated latency charged for the first retry; each further
         retry doubles it (exponential backoff).  Charged to the bench
         clock, not host time.
+    retry_jitter_frac:
+        Fraction of each retry stall drawn as symmetric *seeded* jitter
+        (see :class:`~repro.faults.retry.RetryPolicy`).  0 (default)
+        keeps the historical deterministic doubling schedule byte for
+        byte.
     max_corruption_repairs:
         How many corrupted-block repairs one logical read may attempt
         before escalating (guards against a fault storm re-corrupting
@@ -87,6 +92,7 @@ class LSMOptions:
     auto_compact: bool = True
     max_read_retries: int = 4
     retry_backoff_us: float = 50.0
+    retry_jitter_frac: float = 0.0
     max_corruption_repairs: int = 3
     seed: int = field(default=0x5EED)
 
@@ -114,6 +120,8 @@ class LSMOptions:
             raise ConfigError("max_read_retries must be >= 0")
         if self.retry_backoff_us < 0:
             raise ConfigError("retry_backoff_us must be >= 0")
+        if not 0.0 <= self.retry_jitter_frac < 1.0:
+            raise ConfigError("retry_jitter_frac must lie in [0, 1)")
         if self.max_corruption_repairs < 0:
             raise ConfigError("max_corruption_repairs must be >= 0")
         if self.entries_per_sstable % self.entries_per_block:

@@ -31,6 +31,7 @@ from repro.errors import (
     TransientIOError,
     WriteStallError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.lsm.block import BlockHandle, DataBlock, Entry
 from repro.lsm.compaction import CompactionListener, Compactor
 from repro.lsm.iterator import (
@@ -95,6 +96,13 @@ class LSMTree:
         self.wal_records_lost_total = 0
         self.fault_injector = None
         self.recorder: Recorder = NULL_RECORDER
+        # Seeded, bounded backoff schedule for transient read faults.
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.options.max_read_retries,
+            backoff_us=self.options.retry_backoff_us,
+            jitter_frac=self.options.retry_jitter_frac,
+            seed=self.options.seed,
+        )
 
     # -- wiring -----------------------------------------------------------------
 
@@ -126,10 +134,12 @@ class LSMTree:
         """Fetch one data block through the configured ``block_fetch``,
         absorbing storage faults.
 
-        * :class:`TransientIOError` — retried up to
-          ``options.max_read_retries`` times with exponential backoff;
-          the backoff is charged to :attr:`retry_latency_us_total` so the
-          bench clock sees the stall without the host sleeping.
+        * :class:`TransientIOError` — retried under the seeded, bounded
+          :class:`~repro.faults.retry.RetryPolicy` (budget
+          ``options.max_read_retries``, exponential backoff, optional
+          seeded jitter); each stall is charged to
+          :attr:`retry_latency_us_total` so the bench clock sees the
+          stall without the host sleeping.
         * :class:`CorruptionError` — the block failed checksum
           verification; the disk repairs it from its redundant clean
           copy and the read is re-issued (never serving bad payloads).
@@ -143,9 +153,9 @@ class LSMTree:
             try:
                 return self._block_fetch(handle)
             except TransientIOError:
-                if transient_attempts >= self.options.max_read_retries:
+                if not self.retry_policy.should_retry(transient_attempts):
                     raise
-                stall = self.options.retry_backoff_us * (2.0**transient_attempts)
+                stall = self.retry_policy.stall_us(transient_attempts)
                 self.retry_latency_us_total += stall
                 self.retry_stalls_us.append(stall)
                 transient_attempts += 1

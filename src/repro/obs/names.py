@@ -136,6 +136,36 @@ ENGINE_CRASHES = register(
     "engine.crashes", COUNTER, "simulated crash/recover cycles"
 )
 
+# -- fleet-resilience counters (serving layer) -------------------------------
+
+SERVE_SHED_DEADLINE = register(
+    "serve.shed.deadline", COUNTER, "sub-requests shed expired on dequeue"
+)
+SERVE_SHED_BREAKER = register(
+    "serve.shed.breaker", COUNTER, "sub-requests refused by an open circuit breaker"
+)
+SERVE_SHED_DEGRADED = register(
+    "serve.shed.degraded", COUNTER, "requests shed by the degradation ladder"
+)
+SERVE_CRASHES = register(
+    "serve.shard.crashes", COUNTER, "shard executors killed by the fleet fault plan"
+)
+SERVE_PROMOTIONS = register(
+    "serve.shard.promotions", COUNTER, "replicas promoted to primary"
+)
+SERVE_HEDGES = register(
+    "serve.hedge.issued", COUNTER, "hedged reads issued to replicas"
+)
+SERVE_HEDGE_WINS = register(
+    "serve.hedge.wins", COUNTER, "requests completed by the hedge first"
+)
+SERVE_SCANS_PARTIAL = register(
+    "serve.scan.partial", COUNTER, "scans completed with explicitly partial results"
+)
+SERVE_BREAKER_TRANSITIONS = register(
+    "serve.breaker.transitions", COUNTER, "circuit-breaker state changes"
+)
+
 # -- controller counters ------------------------------------------------------
 
 CTRL_DECISIONS = register("controller.decisions", COUNTER, "controller windows processed")
@@ -165,6 +195,9 @@ G_POINT_THRESHOLD = register(
 )
 G_SCAN_A = register("gauge.controller.scan_a", GAUGE, "applied partial-admission a")
 G_SCAN_B = register("gauge.controller.scan_b", GAUGE, "applied partial-admission b")
+G_DEGRADE_LEVEL = register(
+    "gauge.serve.degrade_level", GAUGE, "degradation-ladder level in force"
+)
 
 # -- histograms (log-bucketed) ------------------------------------------------
 
@@ -179,6 +212,9 @@ H_RETRY_STALL_US = register(
 )
 H_WINDOW_IO_MISS = register(
     "hist.window.io_miss", HISTOGRAM, "disk reads per sealed window"
+)
+H_FAILOVER_US = register(
+    "hist.serve.failover_us", HISTOGRAM, "crash-to-promotion recovery time (us)"
 )
 
 # -- event kinds (structured trace ring buffer) ------------------------------
@@ -205,6 +241,11 @@ EV_DEGRADED_ENTER = "degraded_enter"
 EV_DEGRADED_EXIT = "degraded_exit"
 EV_DECISION = "decision"
 EV_REBALANCE = "rebalance"
+EV_SHARD_CRASH = "shard_crash"
+EV_SHARD_PROMOTE = "shard_promote"
+EV_BREAKER = "breaker"
+EV_HEDGE = "hedge"
+EV_DEGRADE = "degrade"
 
 #: The closed set of event kinds a trace line may carry.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -228,4 +269,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     EV_DEGRADED_EXIT,
     EV_DECISION,
     EV_REBALANCE,
+    EV_SHARD_CRASH,
+    EV_SHARD_PROMOTE,
+    EV_BREAKER,
+    EV_HEDGE,
+    EV_DEGRADE,
 )

@@ -7,12 +7,22 @@ backpressure and shed excess (with full accounting), a global budget
 arbiter re-splits the fleet cache budget from per-shard window exports,
 and every request's latency — queue wait plus cost-model service time —
 lands in mergeable log-bucketed histograms with per-tenant breakdowns.
+
+The resilience layer (:mod:`repro.serve.resilience`) adds a fleet
+failure model on the same deterministic event loop: WAL-shipped passive
+replicas with crash failover, per-shard circuit breakers, hedged point
+reads, per-op deadlines, and a graceful-degradation ladder.
 """
 
 from repro.serve.arbiter import BudgetArbiter
 from repro.serve.base import ServeComponent
-from repro.serve.events import EventLoop
+from repro.serve.events import EventLoop, Timer
 from repro.serve.queueing import Request, RequestQueue, SubRequest
+from repro.serve.resilience import (
+    CircuitBreaker,
+    DegradationLadder,
+    ResilienceConfig,
+)
 from repro.serve.router import ShardRouter, fnv1a_64
 from repro.serve.session import ClientSession, TenantConfig
 from repro.serve.simulator import (
@@ -25,10 +35,13 @@ from repro.serve.simulator import (
 
 __all__ = [
     "BudgetArbiter",
+    "CircuitBreaker",
     "ClientSession",
+    "DegradationLadder",
     "EventLoop",
     "Request",
     "RequestQueue",
+    "ResilienceConfig",
     "ServeComponent",
     "ServeConfig",
     "ServeResult",
@@ -37,6 +50,7 @@ __all__ = [
     "SubRequest",
     "TenantConfig",
     "TenantResult",
+    "Timer",
     "fnv1a_64",
     "run_serve",
 ]

@@ -93,6 +93,24 @@ class BudgetArbiter(ServeComponent):
             evicted += engine.set_cache_budget(budget)
         return evicted
 
+    def replace_engine(self, index: int, engine: KVEngine) -> None:
+        """Swap in a promoted replica engine at ``index``.
+
+        The newcomer inherits the dead primary's current budget share
+        (its caches are resized to realise it exactly, keeping the
+        fleet-budget invariant) and its miss mark is re-based so the
+        next rebalance sees only post-promotion misses.
+        """
+        if not 0 <= index < len(self._engines):
+            raise ConfigError(
+                f"replace_engine index {index} out of range "
+                f"[0, {len(self._engines)})"
+            )
+        self._engines[index] = engine
+        self._miss_marks[index] = engine.collector.lifetime.io_miss
+        engine.set_cache_budget(self.budgets()[index])
+        self._after_mutation()
+
     def rebalance(self, now_us: float = 0.0) -> int:
         """One arbitration round; returns evictions the moves forced."""
         marks = [e.collector.lifetime.io_miss for e in self._engines]

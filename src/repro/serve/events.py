@@ -18,6 +18,26 @@ from repro.errors import ConfigError
 Action = Callable[[], None]
 
 
+class Timer:
+    """Handle for a cancellable scheduled action.
+
+    Cancellation is *lazy*: the heap entry stays put and the wrapper
+    checks the flag at fire time, so cancelling never perturbs heap
+    order (and thus never perturbs determinism) — a hedge timer whose
+    primary answered first simply fires as a no-op.
+    """
+
+    __slots__ = ("cancelled", "fired")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Suppress the action if it has not fired yet."""
+        self.cancelled = True
+
+
 class EventLoop:
     """Minimal deterministic event loop over simulated microseconds."""
 
@@ -53,6 +73,18 @@ class EventLoop:
         if delay_us < 0:
             raise ConfigError(f"delay must be >= 0, got {delay_us}")
         self.at(self._now + delay_us, action)
+
+    def after_cancellable(self, delay_us: float, action: Action) -> Timer:
+        """Like :meth:`after`, returning a :class:`Timer` handle."""
+        timer = Timer()
+
+        def fire() -> None:
+            timer.fired = True
+            if not timer.cancelled:
+                action()
+
+        self.after(delay_us, fire)
+        return timer
 
     def step(self) -> bool:
         """Dispatch the earliest event; False when the heap is empty."""

@@ -6,6 +6,15 @@ several (scatter-gather scans); each shard-level unit of work is a
 Admission is all-or-nothing per request: if any target queue is full the
 whole request is *shed* — counted against both the tenant and the full
 queue, never silently dropped.
+
+Two further exits joined admission-time shedding with the resilience
+layer, both equally accounted:
+
+* **deadline expiry** — a request can carry a deadline; sub-requests
+  whose wait has already blown it are dropped *at dequeue* (executing
+  them would burn shard time on an answer the client gave up on), and
+* **crash drain** — when a shard executor dies, everything waiting in
+  its queue is drained and the affected requests fail over or fail fast.
 """
 
 from __future__ import annotations
@@ -23,10 +32,26 @@ Entry = Tuple[str, str]
 class Request:
     """One client-issued operation, possibly fanned out across shards."""
 
-    __slots__ = ("seq", "tenant", "op", "arrival_us", "remaining", "parts")
+    __slots__ = (
+        "seq",
+        "tenant",
+        "op",
+        "arrival_us",
+        "remaining",
+        "parts",
+        "deadline_us",
+        "done",
+        "parts_dropped",
+    )
 
     def __init__(
-        self, seq: int, tenant: str, op: Operation, arrival_us: float, fanout: int
+        self,
+        seq: int,
+        tenant: str,
+        op: Operation,
+        arrival_us: float,
+        fanout: int,
+        deadline_us: float = 0.0,
     ) -> None:
         self.seq = seq
         self.tenant = tenant
@@ -36,15 +61,31 @@ class Request:
         self.remaining = fanout
         #: Per-shard scan results awaiting the scatter-gather merge.
         self.parts: Optional[List[List[Entry]]] = [] if op.kind == "scan" else None
+        #: Absolute latest useful completion time (0 = no deadline).
+        self.deadline_us = deadline_us
+        #: Set once the request has been answered (normally, partially,
+        #: or by a winning hedge); late sub-results are then discarded.
+        self.done = False
+        #: Sub-requests lost to crashes, breakers, or expiry.
+        self.parts_dropped = 0
+
+    def expired(self, now_us: float) -> bool:
+        """Whether ``now_us`` is past this request's deadline."""
+        return bool(self.deadline_us) and now_us > self.deadline_us
 
 
 class SubRequest:
     """The unit of work one shard's server queues and executes."""
 
-    __slots__ = ("request", "shard", "op", "enqueue_us", "start_us")
+    __slots__ = ("request", "shard", "op", "enqueue_us", "start_us", "epoch")
 
     def __init__(
-        self, request: Request, shard: int, op: Operation, enqueue_us: float
+        self,
+        request: Request,
+        shard: int,
+        op: Operation,
+        enqueue_us: float,
+        epoch: int = 0,
     ) -> None:
         self.request = request
         self.shard = shard
@@ -52,6 +93,9 @@ class SubRequest:
         self.enqueue_us = enqueue_us
         #: Set when service begins; queue wait = start - enqueue.
         self.start_us = 0.0
+        #: Shard incarnation this sub was issued against; a crash bumps
+        #: the shard's epoch, marking in-flight results as dead.
+        self.epoch = epoch
 
 
 class RequestQueue(ServeComponent):
@@ -70,6 +114,8 @@ class RequestQueue(ServeComponent):
         "accepted",
         "served",
         "rejected",
+        "expired",
+        "drained",
         "peak_depth",
     )
 
@@ -83,6 +129,10 @@ class RequestQueue(ServeComponent):
         self.accepted = 0
         self.served = 0
         self.rejected = 0
+        #: Sub-requests dropped at dequeue because their deadline passed.
+        self.expired = 0
+        #: Sub-requests drained by a shard crash.
+        self.drained = 0
         self.peak_depth = 0
 
     @property
@@ -124,23 +174,66 @@ class RequestQueue(ServeComponent):
         self._after_mutation()
         return sub
 
+    def pop_live(
+        self, now_us: float
+    ) -> Tuple[Optional[SubRequest], List[SubRequest]]:
+        """Dequeue the oldest *unexpired* sub-request.
+
+        Sub-requests whose deadline has already passed while queued are
+        dropped here — charging their wait against the deadline — and
+        returned so the caller can account the request-level failure.
+        Returns ``(live_sub_or_None, expired_subs)``.
+        """
+        dropped: List[SubRequest] = []
+        while self._items:
+            sub = self._items.popleft()
+            if sub.request.expired(now_us) and not sub.request.done:
+                self.expired += 1
+                dropped.append(sub)
+                continue
+            self.served += 1
+            self._after_mutation()
+            return sub, dropped
+        if dropped:
+            self._after_mutation()
+        return None, dropped
+
+    def drain(self) -> List[SubRequest]:
+        """Remove everything waiting (shard crash); returns the victims."""
+        victims = list(self._items)
+        self._items.clear()
+        self.drained += len(victims)
+        if victims:
+            self._after_mutation()
+        return victims
+
     # -- sanitizer protocol -----------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Depth bound plus flow conservation (accepted = served + waiting)."""
+        """Depth bound plus flow conservation across all four exits."""
         depth = len(self._items)
         if depth > self.capacity:
             raise InvariantError(
                 f"RequestQueue shard {self.shard_id}: depth {depth} exceeds "
                 f"capacity {self.capacity}"
             )
-        if self.accepted - self.served != depth:
+        if self.accepted - self.served - self.expired - self.drained != depth:
             raise InvariantError(
                 f"RequestQueue shard {self.shard_id}: flow imbalance — "
-                f"accepted {self.accepted} - served {self.served} != "
+                f"accepted {self.accepted} - served {self.served} - "
+                f"expired {self.expired} - drained {self.drained} != "
                 f"depth {depth}"
             )
-        if min(self.accepted, self.served, self.rejected) < 0:
+        if (
+            min(
+                self.accepted,
+                self.served,
+                self.rejected,
+                self.expired,
+                self.drained,
+            )
+            < 0
+        ):
             raise InvariantError(
                 f"RequestQueue shard {self.shard_id}: negative counter"
             )

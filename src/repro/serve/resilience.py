@@ -1,0 +1,386 @@
+"""Fleet-resilience primitives: circuit breakers and the degradation ladder.
+
+Both are pure, deterministic state machines over *simulated* time — no
+wall clock, no ambient randomness — so two same-seed runs drive them
+through identical transition sequences.  Every transition is appended
+to an audit log the simulator folds into the fleet fingerprint and
+mirrors into the obs trace, making breaker flaps and degradation steps
+first-class reproducible decisions, like cache admissions.
+
+* :class:`CircuitBreaker` — one per shard, classic closed / open /
+  half-open.  Failures (timeouts, crash-killed sub-requests) trip it
+  open; after a cooldown it half-opens and a probe budget decides
+  whether to close again.  The router consults ``allow()`` before
+  dispatching point ops; scans route past an open breaker only as
+  explicitly-partial results.
+* :class:`DegradationLadder` — fleet-wide overload response.  Driven by
+  aggregate queue pressure (and forced non-zero while any shard is
+  down), it sheds progressively: scans first (L1), then non-resident
+  point reads (L2), then everything but owner-tenant traffic (L3) —
+  replacing the blunt everything-or-nothing queue shed with a policy
+  that keeps the cheapest, most-valuable work flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError, InvariantError
+from repro.faults.fleet import FleetFaultConfig
+from repro.serve.base import ServeComponent
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: Degradation-ladder levels, lowest to highest severity.
+LEVEL_NORMAL = 0
+LEVEL_SHED_SCANS = 1
+LEVEL_SHED_COLD_READS = 2
+LEVEL_OWNERS_ONLY = 3
+
+_MAX_LEVEL = LEVEL_OWNERS_ONLY
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs for the serving fleet's failure handling.
+
+    Attaching one of these to :class:`~repro.serve.simulator.ServeConfig`
+    switches the resilience layer on; ``None`` (the default) keeps the
+    legacy byte-identical behaviour.
+
+    Attributes
+    ----------
+    replicas:
+        Maintain a passive WAL-shipping replica per shard; required for
+        crash failover and hedged reads.
+    fleet_faults:
+        Seeded shard-crash schedule (None = no crashes; breakers,
+        hedging, and the ladder still run).
+    breaker_window:
+        Rolling outcome-window length per shard breaker.
+    breaker_failure_threshold:
+        Failure fraction over the window that trips the breaker.
+    breaker_min_samples:
+        Outcomes required before the threshold is consulted.
+    breaker_open_us:
+        Cooldown before an open breaker half-opens.
+    breaker_half_open_probes:
+        Consecutive successes required to close from half-open.
+    op_timeout_us:
+        Service time above which a sub-request counts as a breaker
+        failure (0 disables; crashes still count).
+    hedge_quantile:
+        Per-tenant latency quantile after which a point read is hedged
+        to the replica (0 disables hedging).
+    hedge_floor_us:
+        Lower bound on the hedge delay, guarding cold histograms.
+    hedge_min_samples:
+        Completed ops a tenant needs before its quantile is trusted.
+    degrade_enter_frac / degrade_exit_frac:
+        Fleet queue-pressure hysteresis band for stepping the ladder up
+        / down (fractions of total queue capacity).
+    degrade_dwell_us:
+        Minimum simulated time between ladder moves (anti-flap).
+    owner_tenants:
+        The first N sessions are *owners* — the traffic L3 protects.
+    """
+
+    replicas: bool = True
+    fleet_faults: Optional[FleetFaultConfig] = None
+    breaker_window: int = 16
+    breaker_failure_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_open_us: float = 20_000.0
+    breaker_half_open_probes: int = 4
+    op_timeout_us: float = 0.0
+    hedge_quantile: float = 0.0
+    hedge_floor_us: float = 500.0
+    hedge_min_samples: int = 32
+    degrade_enter_frac: float = 0.75
+    degrade_exit_frac: float = 0.40
+    degrade_dwell_us: float = 5_000.0
+    owner_tenants: int = 1
+
+    def __post_init__(self) -> None:
+        if self.breaker_window <= 0:
+            raise ConfigError("breaker_window must be positive")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ConfigError("breaker_failure_threshold must lie in (0, 1]")
+        if self.breaker_min_samples <= 0:
+            raise ConfigError("breaker_min_samples must be positive")
+        if self.breaker_open_us < 0:
+            raise ConfigError("breaker_open_us must be >= 0")
+        if self.breaker_half_open_probes <= 0:
+            raise ConfigError("breaker_half_open_probes must be positive")
+        if self.op_timeout_us < 0:
+            raise ConfigError("op_timeout_us must be >= 0")
+        if not 0.0 <= self.hedge_quantile < 1.0:
+            raise ConfigError("hedge_quantile must lie in [0, 1)")
+        if self.hedge_floor_us < 0:
+            raise ConfigError("hedge_floor_us must be >= 0")
+        if self.hedge_min_samples <= 0:
+            raise ConfigError("hedge_min_samples must be positive")
+        if not 0.0 < self.degrade_enter_frac <= 1.0:
+            raise ConfigError("degrade_enter_frac must lie in (0, 1]")
+        if not 0.0 <= self.degrade_exit_frac < self.degrade_enter_frac:
+            raise ConfigError(
+                "degrade_exit_frac must lie in [0, degrade_enter_frac)"
+            )
+        if self.degrade_dwell_us < 0:
+            raise ConfigError("degrade_dwell_us must be >= 0")
+        if self.owner_tenants < 0:
+            raise ConfigError("owner_tenants must be >= 0")
+
+
+class CircuitBreaker(ServeComponent):
+    """Per-shard health gate: closed / open / half-open.
+
+    All transitions are functions of recorded outcomes and simulated
+    time passed in by the caller; the breaker never looks at a clock of
+    its own.  The audit log (``transitions``) is part of the run's
+    deterministic output.
+    """
+
+    __slots__ = (
+        "_sanitizer",
+        "shard_id",
+        "config",
+        "state",
+        "_window",
+        "_reopen_at_us",
+        "_probes_left",
+        "successes",
+        "failures",
+        "refusals",
+        "transitions",
+    )
+
+    def __init__(self, shard_id: int, config: ResilienceConfig) -> None:
+        super().__init__()
+        self.shard_id = shard_id
+        self.config = config
+        self.state = CLOSED
+        #: Rolling outcome window: True = failure.
+        self._window: List[bool] = []
+        self._reopen_at_us = 0.0
+        self._probes_left = 0
+        self.successes = 0
+        self.failures = 0
+        self.refusals = 0
+        #: Audit log of ``(time_us, from, to, reason)``.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, now_us: float, to: str, reason: str) -> None:
+        self.transitions.append((now_us, self.state, to, reason))
+        self.state = to
+        if to == OPEN:
+            self._reopen_at_us = now_us + self.config.breaker_open_us
+            self._window.clear()
+        elif to == HALF_OPEN:
+            self._probes_left = self.config.breaker_half_open_probes
+        elif to == CLOSED:
+            self._window.clear()
+        self._after_mutation()
+
+    def _tick(self, now_us: float) -> None:
+        """Lazy time-driven transition: open cools down to half-open."""
+        if self.state == OPEN and now_us >= self._reopen_at_us:
+            self._transition(now_us, HALF_OPEN, "cooldown")
+
+    def force_open(self, now_us: float, reason: str) -> None:
+        """Trip the breaker immediately (shard crash)."""
+        if self.state != OPEN:
+            self._transition(now_us, OPEN, reason)
+        else:
+            self._reopen_at_us = now_us + self.config.breaker_open_us
+
+    def half_open(self, now_us: float, reason: str) -> None:
+        """Move straight to half-open (replica promoted; probe it)."""
+        if self.state != HALF_OPEN:
+            self._transition(now_us, HALF_OPEN, reason)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record_success(self, now_us: float) -> None:
+        """One sub-request served within its timeout."""
+        self._tick(now_us)
+        self.successes += 1
+        if self.state == HALF_OPEN:
+            self._probes_left -= 1
+            if self._probes_left <= 0:
+                self._transition(now_us, CLOSED, "probes_passed")
+            return
+        self._push(False, now_us)
+
+    def record_failure(self, now_us: float, reason: str = "timeout") -> None:
+        """One sub-request timed out or died with its shard."""
+        self._tick(now_us)
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self._transition(now_us, OPEN, f"probe_{reason}")
+            return
+        self._push(True, now_us)
+
+    def _push(self, failed: bool, now_us: float) -> None:
+        cfg = self.config
+        window = self._window
+        window.append(failed)
+        if len(window) > cfg.breaker_window:
+            del window[0]
+        if (
+            self.state == CLOSED
+            and len(window) >= cfg.breaker_min_samples
+            and sum(window) / len(window) >= cfg.breaker_failure_threshold
+        ):
+            self._transition(now_us, OPEN, "failure_rate")
+        else:
+            self._after_mutation()
+
+    # -- gate --------------------------------------------------------------
+
+    def allow(self, now_us: float) -> bool:
+        """Whether the router may dispatch a point op to this shard."""
+        self._tick(now_us)
+        if self.state == OPEN:
+            self.refusals += 1
+            return False
+        return True
+
+    # -- sanitizer protocol ------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """State is legal and the audit log is a connected chain."""
+        if self.state not in _STATES:
+            raise InvariantError(
+                f"CircuitBreaker shard {self.shard_id}: unknown state "
+                f"{self.state!r}"
+            )
+        if len(self._window) > self.config.breaker_window:
+            raise InvariantError(
+                f"CircuitBreaker shard {self.shard_id}: window overflow"
+            )
+        if min(self.successes, self.failures, self.refusals) < 0:
+            raise InvariantError(
+                f"CircuitBreaker shard {self.shard_id}: negative counter"
+            )
+        prev = CLOSED
+        for time_us, src, dst, _reason in self.transitions:
+            if src != prev or dst not in _STATES or src == dst:
+                raise InvariantError(
+                    f"CircuitBreaker shard {self.shard_id}: broken audit "
+                    f"chain at {time_us} ({src} -> {dst})"
+                )
+            prev = dst
+        if prev != self.state:
+            raise InvariantError(
+                f"CircuitBreaker shard {self.shard_id}: audit tail {prev} "
+                f"!= state {self.state}"
+            )
+
+
+class DegradationLadder(ServeComponent):
+    """Fleet-wide graceful-degradation state machine (levels 0-3).
+
+    ``observe()`` is called at every arrival with the current fleet
+    queue pressure; levels move one step at a time through a hysteresis
+    band with a minimum dwell between moves.  While any shard is down
+    the ladder is floored at L1 (scans shed), since scatter-gather over
+    a dead shard could only ever be partial.
+    """
+
+    __slots__ = (
+        "_sanitizer",
+        "config",
+        "level",
+        "_last_move_us",
+        "shed_scans",
+        "shed_cold_reads",
+        "shed_non_owner",
+        "transitions",
+    )
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.level = LEVEL_NORMAL
+        self._last_move_us = float("-inf")
+        self.shed_scans = 0
+        self.shed_cold_reads = 0
+        self.shed_non_owner = 0
+        #: Audit log of ``(time_us, from_level, to_level, pressure)``.
+        self.transitions: List[Tuple[float, int, int, float]] = []
+
+    def observe(self, pressure: float, any_down: bool, now_us: float) -> None:
+        """Re-evaluate the level from fleet queue pressure.
+
+        ``pressure`` is waiting sub-requests over total queue capacity.
+        """
+        cfg = self.config
+        floor = LEVEL_SHED_SCANS if any_down else LEVEL_NORMAL
+        target = self.level
+        if now_us - self._last_move_us >= cfg.degrade_dwell_us:
+            if pressure >= cfg.degrade_enter_frac and self.level < _MAX_LEVEL:
+                target = self.level + 1
+            elif pressure <= cfg.degrade_exit_frac and self.level > floor:
+                target = self.level - 1
+        target = max(target, floor)
+        if target != self.level:
+            self.transitions.append((now_us, self.level, target, pressure))
+            self.level = target
+            self._last_move_us = now_us
+            self._after_mutation()
+
+    def admits(self, kind: str, owner: bool, resident: bool) -> Optional[str]:
+        """Gate one arriving request; returns a drop reason or None.
+
+        Owner-tenant traffic is never degraded below the L1 scan shed:
+        protecting it is the entire point of L3.
+        """
+        level = self.level
+        if level == LEVEL_NORMAL:
+            return None
+        effective = min(level, LEVEL_SHED_SCANS) if owner else level
+        if kind == "scan" and effective >= LEVEL_SHED_SCANS:
+            self.shed_scans += 1
+            self._after_mutation()
+            return "degraded_scan"
+        if effective >= LEVEL_OWNERS_ONLY:
+            self.shed_non_owner += 1
+            self._after_mutation()
+            return "degraded_non_owner"
+        if kind == "get" and effective >= LEVEL_SHED_COLD_READS and not resident:
+            self.shed_cold_reads += 1
+            self._after_mutation()
+            return "degraded_cold_read"
+        return None
+
+    # -- sanitizer protocol ------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Level is in range; the audit log is a stepwise chain."""
+        if not LEVEL_NORMAL <= self.level <= _MAX_LEVEL:
+            raise InvariantError(
+                f"DegradationLadder: level {self.level} out of range"
+            )
+        if min(self.shed_scans, self.shed_cold_reads, self.shed_non_owner) < 0:
+            raise InvariantError("DegradationLadder: negative shed counter")
+        prev = LEVEL_NORMAL
+        for time_us, src, dst, _pressure in self.transitions:
+            if src != prev or not LEVEL_NORMAL <= dst <= _MAX_LEVEL:
+                raise InvariantError(
+                    f"DegradationLadder: broken audit chain at {time_us} "
+                    f"({src} -> {dst})"
+                )
+            prev = dst
+        if prev != self.level:
+            raise InvariantError(
+                f"DegradationLadder: audit tail {prev} != level {self.level}"
+            )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import islice
-from typing import List, Tuple
+from typing import AbstractSet, List, Tuple
 
 from repro.core.engine import KVEngine
 from repro.errors import ConfigError
@@ -126,6 +126,26 @@ class ShardRouter:
                 (shard, Operation("scan", key_of(sub_start), length=op.length))
             )
         return plan
+
+    def plan_healthy(
+        self, op: Operation, unavailable: AbstractSet[int]
+    ) -> Tuple[List[Tuple[int, Operation]], List[int]]:
+        """Plan around shards the health layer marked unavailable.
+
+        Returns ``(live_plan, dropped_shards)``.  Scans degrade to the
+        surviving shards — the gather then carries an explicit *partial*
+        marker; a point op whose owner is unavailable gets an empty plan
+        (the caller fails it fast instead of stalling on a dead queue).
+        The split is a pure function of the plan and the unavailable
+        set, so identical health histories re-target identically in
+        both partition modes.
+        """
+        plan = self.plan(op)
+        if not unavailable:
+            return plan, []
+        live = [(shard, sub) for shard, sub in plan if shard not in unavailable]
+        dropped = [shard for shard, _ in plan if shard in unavailable]
+        return live, dropped
 
     def merge_scan(self, parts: List[List[Entry]], length: int) -> List[Entry]:
         """Gather: merge per-shard sorted results, truncate to ``length``.

@@ -9,6 +9,20 @@ work, in simulated microseconds.  A global budget arbiter periodically
 re-splits the fleet cache budget across shards from their window
 exports.
 
+With a :class:`~repro.serve.resilience.ResilienceConfig` attached, the
+fleet also has a failure model: each primary ships its framed WAL to a
+passive replica; a seeded :class:`~repro.faults.fleet.FleetFaultPlan`
+kills shard executors mid-run and the replica is promoted through the
+engine's crash-recovery (torn-tail WAL replay) path with the recovery
+time charged to the sim clock; per-shard circuit breakers stop point
+routing to sick shards while scans degrade to explicitly *partial*
+results; slow point reads are hedged to the replica at a per-tenant
+latency quantile; and a degradation ladder sheds scans, then
+non-resident reads, then non-owner traffic under sustained overload.
+All of it is scheduled on the same event loop and folded into the
+fleet fingerprint — byte-for-byte reproducible under a seed, and
+byte-identical to the legacy simulator when disabled.
+
 Everything is event-driven off one :class:`~repro.serve.events.EventLoop`
 and every random draw comes from per-component seeded generators, so a
 configuration reproduces byte-for-byte: the event trace digest, the
@@ -21,7 +35,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro import sanitize
 from repro.bench.report import LatencyHistogram, format_table, latency_table
@@ -30,8 +44,10 @@ from repro.bench.strategies import build_engine
 from repro.core.engine import KVEngine
 from repro.core.stats import WindowStats, merge_windows
 from repro.errors import ConfigError, ObsError
+from repro.faults.fleet import FleetFaultPlan
 from repro.lsm.options import LSMOptions
 from repro.lsm.tree import LSMTree
+from repro.obs import names as N
 from repro.obs.metrics import (
     WindowSnapshot,
     export_fleet_metrics,
@@ -47,6 +63,11 @@ from repro.obs.trace import export_fleet_events
 from repro.serve.arbiter import BudgetArbiter
 from repro.serve.events import EventLoop
 from repro.serve.queueing import Request, RequestQueue, SubRequest
+from repro.serve.resilience import (
+    CircuitBreaker,
+    DegradationLadder,
+    ResilienceConfig,
+)
 from repro.serve.router import ShardRouter
 from repro.serve.session import ClientSession, TenantConfig
 from repro.workloads.generator import (
@@ -80,6 +101,11 @@ class ServeConfig:
     entries_per_sstable: int = 64
     keep_trace: bool = True
     cost_model: Optional[CostModel] = None
+    #: Per-op completion deadline charged against queue wait; expired
+    #: sub-requests are shed at dequeue (0 disables).
+    op_deadline_us: float = 0.0
+    #: Fleet failure handling; None keeps the legacy byte-identical run.
+    resilience: Optional[ResilienceConfig] = None
     #: Attach an ObsRecorder to every shard engine.  Off by default so
     #: the golden fingerprints and the perf gate see an untouched run.
     obs: bool = False
@@ -98,11 +124,24 @@ class ServeConfig:
             raise ConfigError("rebalance_every must be >= 0")
         if self.window_size <= 0:
             raise ConfigError("window_size must be positive")
+        if self.op_deadline_us < 0:
+            raise ConfigError("op_deadline_us must be >= 0")
+        res = self.resilience
+        if res is not None and res.fleet_faults is not None and not res.replicas:
+            raise ConfigError(
+                "fleet faults require replicas: a crashed shard with no "
+                "replica to promote loses its keyspace for the whole run"
+            )
 
     @property
     def spec(self) -> WorkloadSpec:
         """The workload spec (defaults to the balanced mix)."""
         return self.workload or balanced_workload(self.num_keys)
+
+    @property
+    def resilience_active(self) -> bool:
+        """Whether any non-legacy behaviour (and trace records) can occur."""
+        return self.resilience is not None or self.op_deadline_us > 0
 
 
 @dataclass
@@ -129,6 +168,11 @@ class ShardResult:
     peak_queue_depth: int
     rejected_at: int
     busy_us: float
+    #: Resilience extras (zero / False on legacy runs).
+    crashed: bool = False
+    promoted: bool = False
+    failover_us: float = 0.0
+    wal_replayed: int = 0
 
 
 @dataclass
@@ -150,6 +194,20 @@ class ServeResult:
     evictions_forced: int
     trace_digest: str
     trace: List[str] = field(default_factory=list)
+    #: Requests shed per distinct reason (queue_full, deadline, ...).
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Circuit-breaker transition audit, one rendered line per change.
+    breaker_log: List[str] = field(default_factory=list)
+    #: Degradation-ladder transition audit.
+    degrade_log: List[str] = field(default_factory=list)
+    crashes: int = 0
+    promotions: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    scans_partial: int = 0
+    #: Acknowledged writes whose durable value could not be read back.
+    lost_acked_writes: int = 0
+    acked_writes_checked: int = 0
     #: Per-shard recorders (``config.obs`` runs only; empty otherwise).
     obs_recorders: List[ObsRecorder] = field(default_factory=list, repr=False)
     #: Fleet-wide reduction of the per-shard metric windows.
@@ -202,7 +260,12 @@ class ServeResult:
         return paths
 
     def fingerprint(self) -> str:
-        """One hash covering the trace, histograms, and counters."""
+        """One hash covering the trace, histograms, and counters.
+
+        Resilience outputs (shed reasons, breaker/ladder audits,
+        failover accounting) are folded in only when the feature is
+        active, so legacy configurations keep their golden hashes.
+        """
         h = hashlib.sha256()
         h.update(self.trace_digest.encode())
         h.update(repr(self.latency.fingerprint()).encode())
@@ -218,6 +281,23 @@ class ServeResult:
                 f"{s.budget_bytes}:{s.peak_queue_depth}:{s.rejected_at}".encode()
             )
         h.update(f"{self.duration_us:.3f}:{self.rebalances}".encode())
+        if self.config.resilience_active:
+            for reason in sorted(self.shed_by_reason):
+                h.update(f"{reason}={self.shed_by_reason[reason]}".encode())
+            for line in self.breaker_log:
+                h.update(line.encode())
+            for line in self.degrade_log:
+                h.update(line.encode())
+            h.update(
+                f"{self.crashes}:{self.promotions}:{self.hedges}:"
+                f"{self.hedge_wins}:{self.scans_partial}:"
+                f"{self.lost_acked_writes}".encode()
+            )
+            for s in self.shards:
+                h.update(
+                    f"{int(s.crashed)}:{int(s.promoted)}:"
+                    f"{s.failover_us:.3f}:{s.wal_replayed}".encode()
+                )
         return h.hexdigest()
 
     def format_report(self) -> str:
@@ -290,15 +370,55 @@ class ServeResult:
             f"rebalances={self.rebalances} "
             f"evictions_forced={self.evictions_forced}"
         )
+        if self.config.resilience_active:
+            sheds = " ".join(
+                f"{reason}={self.shed_by_reason[reason]}"
+                for reason in sorted(self.shed_by_reason)
+            )
+            lines.append(
+                f"resilience: crashes={self.crashes} "
+                f"promotions={self.promotions} hedges={self.hedges} "
+                f"hedge_wins={self.hedge_wins} "
+                f"scans_partial={self.scans_partial} "
+                f"lost_acked_writes={self.lost_acked_writes}/"
+                f"{self.acked_writes_checked}"
+            )
+            if sheds:
+                lines.append(f"shed by reason: {sheds}")
+            for line in self.breaker_log:
+                lines.append(f"breaker: {line}")
+            for line in self.degrade_log:
+                lines.append(f"degrade: {line}")
         lines.append(f"trace digest: {self.trace_digest}")
         return "\n".join(lines)
 
 
 class _Shard:
-    """One shard's engine, queue, clock, and single logical server."""
+    """One shard's engine, queue, clock, and single logical server.
 
-    __slots__ = ("shard_id", "engine", "queue", "clock", "busy", "busy_us",
-                 "keys_owned")
+    With resilience enabled the shard also carries a passive replica
+    engine (WAL-shipped), a circuit breaker, and an epoch counter that
+    invalidates in-flight work when the executor crashes.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "engine",
+        "queue",
+        "clock",
+        "busy",
+        "busy_us",
+        "keys_owned",
+        "replica_engine",
+        "replica_clock",
+        "breaker",
+        "down",
+        "epoch",
+        "crashed",
+        "promoted",
+        "failover_us",
+        "wal_replayed",
+    )
 
     def __init__(
         self,
@@ -315,11 +435,21 @@ class _Shard:
         self.busy = False
         self.busy_us = 0.0
         self.keys_owned = keys_owned
+        self.replica_engine: Optional[KVEngine] = None
+        self.replica_clock: Optional[SimClock] = None
+        self.breaker: Optional[CircuitBreaker] = None
+        self.down = False
+        self.epoch = 0
+        self.crashed = False
+        self.promoted = False
+        self.failover_us = 0.0
+        self.wal_replayed = 0
 
 
 def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
     per_shard_ids = router.shard_ids()
     base = config.cache_bytes // config.num_shards
+    res = config.resilience
     shards: List[_Shard] = []
     for shard_id, ids in enumerate(per_shard_ids):
         tree = LSMTree(
@@ -343,15 +473,40 @@ def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
         engine.window_size = config.window_size
         queue = RequestQueue(shard_id, config.queue_depth)
         queue.sanitize_from_env(seed=config.seed + 31 + shard_id)
-        shards.append(
-            _Shard(
-                shard_id,
-                engine,
-                queue,
-                SimClock(engine, config.cost_model),
-                len(ids),
-            )
+        shard = _Shard(
+            shard_id,
+            engine,
+            queue,
+            SimClock(engine, config.cost_model),
+            len(ids),
         )
+        if res is not None and res.replicas:
+            # Passive replica: same durable base (identical bulk-load
+            # seed), its own engine seed stream.  The primary ships
+            # every write into the replica's framed WAL; promotion
+            # replays it through the normal crash-recovery path.
+            replica_tree = LSMTree(
+                LSMOptions(
+                    memtable_entries=config.memtable_entries,
+                    entries_per_sstable=config.entries_per_sstable,
+                )
+            )
+            replica_tree.bulk_load(
+                ((key_of(i), value_of(i)) for i in ids), seed=7 + shard_id
+            )
+            replica = build_engine(
+                config.strategy,
+                replica_tree,
+                share,
+                seed=config.seed + 7919 * (shard_id + 1),
+            )
+            replica.window_size = config.window_size
+            shard.replica_engine = replica
+            shard.replica_clock = SimClock(replica, config.cost_model)
+        if res is not None:
+            shard.breaker = CircuitBreaker(shard_id, res)
+            shard.breaker.sanitize_from_env(seed=config.seed + 53 + shard_id)
+        shards.append(shard)
     return shards
 
 
@@ -383,6 +538,8 @@ class _Simulation:
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
         self.spec = config.spec
+        self.res = config.resilience
+        self.active = config.resilience_active
         self.router = ShardRouter(
             config.num_shards, self.spec.num_keys, config.partition
         )
@@ -404,10 +561,29 @@ class _Simulation:
                 [s.engine for s in self.shards], config.cache_bytes
             )
             self.arbiter.sanitize_from_env(seed=config.seed + 17)
+        self.ladder: Optional[DegradationLadder] = None
+        self._owner_names: Set[str] = set()
+        if self.res is not None:
+            self.ladder = DegradationLadder(self.res)
+            self.ladder.sanitize_from_env(seed=config.seed + 71)
+            self._owner_names = {
+                s.name for s in self.sessions[: self.res.owner_tenants]
+            }
+        self._queue_capacity_total = config.num_shards * config.queue_depth
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
         self.completed_total = 0
         self.rejected_total = 0
+        self.crashes = 0
+        self.promotions = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.scans_partial = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        #: Durability ledger: key -> (owner shard, last acked value).
+        self._acked: Dict[str, tuple] = {}
+        self._breaker_emitted = [0] * config.num_shards
+        self._ladder_emitted = 0
         self._next_seq = 0
         self._hasher = hashlib.sha256()
         self.trace: List[str] = []
@@ -423,6 +599,91 @@ class _Simulation:
         if self.config.keep_trace:
             self.trace.append(record)
 
+    def _shed(self, reason: str) -> None:
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+
+    def _record(self, shard_id: int, metric: str) -> None:
+        """Bump a serve counter on a shard's recorder (obs runs only)."""
+        if self.obs_recorders:
+            recorder = self.obs_recorders[shard_id]
+            recorder.advance_to(self.loop.now)
+            recorder.inc(metric)
+
+    def _flush_breaker_trace(self, shard_id: int) -> None:
+        """Emit (and record) breaker transitions since the last check."""
+        breaker = self.shards[shard_id].breaker
+        if breaker is None:
+            return
+        start = self._breaker_emitted[shard_id]
+        for time_us, src, dst, reason in breaker.transitions[start:]:
+            self.emit("breaker", shard_id, f"{src}->{dst}", reason)
+            if self.obs_recorders:
+                recorder = self.obs_recorders[shard_id]
+                recorder.advance_to(self.loop.now)
+                recorder.inc(N.SERVE_BREAKER_TRANSITIONS)
+                recorder.event(
+                    N.EV_BREAKER,
+                    shard=shard_id,
+                    src=src,
+                    dst=dst,
+                    reason=reason,
+                )
+        self._breaker_emitted[shard_id] = len(breaker.transitions)
+
+    def _flush_ladder_trace(self) -> None:
+        ladder = self.ladder
+        if ladder is None:
+            return
+        for time_us, src, dst, pressure in ladder.transitions[
+            self._ladder_emitted:
+        ]:
+            self.emit("degrade", src, dst, f"{pressure:.4f}")
+            if self.obs_recorders:
+                recorder = self.obs_recorders[0]
+                recorder.advance_to(self.loop.now)
+                recorder.set_gauge(N.G_DEGRADE_LEVEL, float(dst))
+                recorder.event(
+                    N.EV_DEGRADE, src=src, dst=dst, pressure=pressure
+                )
+        self._ladder_emitted = len(ladder.transitions)
+
+    # -- resilience helpers ------------------------------------------------
+
+    def _queue_pressure(self) -> float:
+        waiting = sum(len(s.queue) for s in self.shards)
+        return waiting / self._queue_capacity_total
+
+    def _resident(self, key: str, shard: _Shard) -> bool:
+        """Best-effort residency probe for the ladder's L2 gate."""
+        engine = shard.engine
+        probed = False
+        for cache in (engine.range_cache, engine.kv_cache, engine.kp_cache):
+            if cache is not None:
+                probed = True
+                if cache.contains(key):
+                    return True
+        # Engines with no probe-capable cache (pure block strategy)
+        # cannot distinguish cold keys; treat reads as resident.
+        return not probed
+
+    def _ship_to_replica(self, shard: _Shard, sub: SubRequest) -> None:
+        """Synchronously replicate a write into the replica's framed WAL.
+
+        Shipping happens before the ack completes, so an acknowledged
+        write is always either in a live primary or replayable from the
+        replica's log — the no-lost-acked-writes guarantee.
+        """
+        if sub.op.kind not in ("put", "delete"):
+            return
+        value = (sub.op.value or "") if sub.op.kind == "put" else None
+        replica = shard.replica_engine
+        if replica is not None:
+            replica.tree.wal.append(sub.op.key, value)
+        # The durability ledger tracks the last acked value per key even
+        # after a promotion consumed the replica: the promoted engine is
+        # then the (sole) durable home of subsequent writes.
+        self._acked[sub.op.key] = (shard.shard_id, value)
+
     # -- issue / service / complete ---------------------------------------
 
     def issue(self, session: ClientSession) -> None:
@@ -434,10 +695,20 @@ class _Simulation:
             self.loop.after(
                 session.next_delay_us(), lambda: self.issue(session)
             )
+        if self.res is not None:
+            self._issue_resilient(session, op)
+            return
         plan = self.router.plan(op)
         seq = self._next_seq
         self._next_seq += 1
-        request = Request(seq, session.name, op, self.loop.now, len(plan))
+        deadline = (
+            self.loop.now + self.config.op_deadline_us
+            if self.config.op_deadline_us
+            else 0.0
+        )
+        request = Request(
+            seq, session.name, op, self.loop.now, len(plan), deadline
+        )
         self.emit("arrive", seq, session.name, op.kind)
         queues = [self.shards[shard_id].queue for shard_id, _ in plan]
         if any(not q.has_room() for q in queues):
@@ -445,6 +716,8 @@ class _Simulation:
             for q in queues:
                 if not q.has_room():
                     q.note_rejected()
+            if self.active:
+                self._shed("queue_full")
             session.rejected += 1
             self.rejected_total += 1
             self.emit("shed", seq, session.name)
@@ -454,15 +727,114 @@ class _Simulation:
                 )
             return
         for shard_id, sub_op in plan:
-            sub = SubRequest(request, shard_id, sub_op, self.loop.now)
-            self.shards[shard_id].queue.push(sub)
+            shard = self.shards[shard_id]
+            sub = SubRequest(request, shard_id, sub_op, self.loop.now, shard.epoch)
+            shard.queue.push(sub)
             self.maybe_start(shard_id)
+
+    def _issue_resilient(self, session: ClientSession, op) -> None:
+        """Arrival path with the full failure model in front of the queues."""
+        res = self.res
+        assert res is not None and self.ladder is not None
+        seq = self._next_seq
+        self._next_seq += 1
+        self.emit("arrive", seq, session.name, op.kind)
+        # 1. Degradation ladder: re-evaluate, then gate this arrival.
+        self.ladder.observe(
+            self._queue_pressure(),
+            any(s.down for s in self.shards),
+            self.loop.now,
+        )
+        self._flush_ladder_trace()
+        owner = session.name in self._owner_names
+        resident = True
+        if op.kind == "get" and self.ladder.level >= 2:
+            target = self.shards[self.router.shard_of_key(op.key)]
+            resident = not target.down and self._resident(op.key, target)
+        reason = self.ladder.admits(op.kind, owner, resident)
+        if reason is not None:
+            self._record(0, N.SERVE_SHED_DEGRADED)
+            self._reject_at_issue(session, seq, reason)
+            return
+        # 2. Health-aware planning: route around dead / open shards.
+        unavailable = {s.shard_id for s in self.shards if s.down}
+        for shard in self.shards:
+            if shard.breaker is not None and not shard.down:
+                if not shard.breaker.allow(self.loop.now):
+                    unavailable.add(shard.shard_id)
+                self._flush_breaker_trace(shard.shard_id)
+        plan, dropped = self.router.plan_healthy(op, unavailable)
+        if not plan:
+            for shard_id in dropped:
+                self._record(shard_id, N.SERVE_SHED_BREAKER)
+            reason = (
+                "shard_down"
+                if any(self.shards[i].down for i in dropped)
+                else "breaker_open"
+            )
+            self._reject_at_issue(session, seq, reason)
+            return
+        deadline = (
+            self.loop.now + self.config.op_deadline_us
+            if self.config.op_deadline_us
+            else 0.0
+        )
+        request = Request(
+            seq, session.name, op, self.loop.now, len(plan), deadline
+        )
+        if dropped:
+            # Scatter-gather minus the dead shards: the eventual result
+            # carries an explicit partial marker.
+            request.parts_dropped += len(dropped)
+            self.emit("drop", seq, " ".join(str(i) for i in dropped), "unplanned")
+        queues = [self.shards[shard_id].queue for shard_id, _ in plan]
+        if any(not q.has_room() for q in queues):
+            for q in queues:
+                if not q.has_room():
+                    q.note_rejected()
+            self._shed("queue_full")
+            session.rejected += 1
+            self.rejected_total += 1
+            self.emit("shed", seq, session.name)
+            if session.mode == "closed":
+                self.loop.after(
+                    session.next_delay_us(), lambda: self.issue(session)
+                )
+            return
+        for shard_id, sub_op in plan:
+            shard = self.shards[shard_id]
+            sub = SubRequest(request, shard_id, sub_op, self.loop.now, shard.epoch)
+            shard.queue.push(sub)
+            self.maybe_start(shard_id)
+        self._maybe_hedge(request, plan)
+
+    def _reject_at_issue(
+        self, session: ClientSession, seq: int, reason: str
+    ) -> None:
+        """Fail a request fast at arrival with an explicit reason."""
+        self._shed(reason)
+        session.rejected += 1
+        self.rejected_total += 1
+        self.emit("shedr", seq, session.name, reason)
+        if session.mode == "closed":
+            self.loop.after(
+                session.next_delay_us(), lambda: self.issue(session)
+            )
 
     def maybe_start(self, shard_id: int) -> None:
         shard = self.shards[shard_id]
-        if shard.busy or len(shard.queue) == 0:
+        if shard.down or shard.busy or len(shard.queue) == 0:
             return
-        sub = shard.queue.pop()
+        if self.active:
+            sub, expired = shard.queue.pop_live(self.loop.now)
+            for dead in expired:
+                self._record(shard_id, N.SERVE_SHED_DEADLINE)
+                self.emit("expire", dead.request.seq, shard_id)
+                self._sub_dropped(dead, "deadline")
+            if sub is None:
+                return
+        else:
+            sub = shard.queue.pop()
         shard.busy = True
         sub.start_us = self.loop.now
         self.queue_wait.record(sub.start_us - sub.enqueue_us)
@@ -476,6 +848,8 @@ class _Simulation:
         entries = self.router.execute(shard.engine, sub.op)
         if sub.request.parts is not None:
             sub.request.parts.append(entries)
+        if self.res is not None:
+            self._ship_to_replica(shard, sub)
         service_us = max(0.0, shard.clock.charge())
         shard.busy_us += service_us
         self.emit("start", sub.request.seq, shard_id)
@@ -483,20 +857,75 @@ class _Simulation:
 
     def complete(self, sub: SubRequest) -> None:
         shard = self.shards[sub.shard]
+        if sub.epoch != shard.epoch:
+            # The executor died while this result was in flight; its
+            # incarnation is gone and the result with it.
+            self.emit("drop", sub.request.seq, sub.shard, "crash_inflight")
+            self._sub_dropped(sub, "crash_inflight")
+            return
         shard.busy = False
         request = sub.request
         request.remaining -= 1
         self.emit("finish", request.seq, sub.shard)
+        if shard.breaker is not None:
+            service_us = self.loop.now - sub.start_us
+            timeout = self.res.op_timeout_us if self.res else 0.0
+            if timeout and service_us > timeout:
+                shard.breaker.record_failure(self.loop.now, "timeout")
+            else:
+                shard.breaker.record_success(self.loop.now)
+            self._flush_breaker_trace(sub.shard)
         if request.remaining == 0:
             self.finish_request(request)
         self.maybe_start(sub.shard)
 
+    def _sub_dropped(self, sub: SubRequest, reason: str) -> None:
+        """Account one sub-request that will never produce a result."""
+        self._shed(reason)
+        request = sub.request
+        request.remaining -= 1
+        request.parts_dropped += 1
+        if request.remaining == 0:
+            self.finish_request(request)
+
     def finish_request(self, request: Request) -> None:
+        if request.done:
+            # A winning hedge (or an earlier finalisation) already
+            # answered this request; late results are discarded.
+            return
+        request.done = True
+        if request.parts_dropped and (
+            request.parts is None or not request.parts
+        ):
+            # Every part died (crash / expiry): the request fails.
+            session = self._session_of(request.tenant)
+            session.rejected += 1
+            self.rejected_total += 1
+            self.emit("fail", request.seq, request.tenant)
+            if session.mode == "closed":
+                self.loop.after(
+                    session.next_delay_us(), lambda: self.issue(session)
+                )
+            return
         if request.parts is not None:
             # The gather half of scatter-gather; the merged result is the
             # request's answer (dropped here — correctness is unit-tested
             # against an unsharded oracle).
             self.router.merge_scan(request.parts, request.op.length)
+            if request.parts_dropped:
+                # Explicitly partial: some shards contributed nothing.
+                self.scans_partial += 1
+                self._record(0, N.SERVE_SCANS_PARTIAL)
+                self.emit(
+                    "partial",
+                    request.seq,
+                    len(request.parts),
+                    request.parts_dropped,
+                )
+        self._complete_request(request)
+
+    def _complete_request(self, request: Request) -> None:
+        """Common completion accounting (normal, partial, or hedge win)."""
         session = self._session_of(request.tenant)
         latency_us = self.loop.now - request.arrival_us
         self.latency.record(latency_us)
@@ -518,12 +947,152 @@ class _Simulation:
                 session.next_delay_us(), lambda: self.issue(session)
             )
 
+    # -- hedged reads -------------------------------------------------------
+
+    def _maybe_hedge(self, request: Request, plan) -> None:
+        """Arm a replica hedge for a slow point read."""
+        res = self.res
+        if (
+            res is None
+            or res.hedge_quantile <= 0.0
+            or request.op.kind != "get"
+            or len(plan) != 1
+        ):
+            return
+        shard = self.shards[plan[0][0]]
+        if shard.replica_engine is None or shard.down:
+            return
+        session = self._session_of(request.tenant)
+        if session.latency.count < res.hedge_min_samples:
+            return
+        delay = max(
+            res.hedge_floor_us, session.latency.quantile(res.hedge_quantile)
+        )
+        self.loop.after(
+            delay, lambda: self._fire_hedge(request, shard.shard_id)
+        )
+
+    def _fire_hedge(self, request: Request, shard_id: int) -> None:
+        shard = self.shards[shard_id]
+        replica = shard.replica_engine
+        if request.done or shard.down or replica is None:
+            return
+        assert shard.replica_clock is not None
+        self.hedges += 1
+        self._record(shard_id, N.SERVE_HEDGES)
+        self.emit("hedge", request.seq, shard_id)
+        if self.obs_recorders:
+            recorder = self.obs_recorders[shard_id]
+            recorder.advance_to(self.loop.now)
+            recorder.event(
+                N.EV_HEDGE, seq=request.seq, shard=shard_id, key=request.op.key
+            )
+        # The hedge reads the replica's durable state (its unreplayed
+        # WAL may hold newer writes — hedged reads are allowed to be
+        # stale, which the docs call out).  Replica time is charged on
+        # the replica's own clock: hedges never consume primary service.
+        replica.get(request.op.key)
+        service_us = max(0.0, shard.replica_clock.charge())
+        self.loop.after(
+            service_us, lambda: self._complete_hedge(request, shard_id)
+        )
+
+    def _complete_hedge(self, request: Request, shard_id: int) -> None:
+        if request.done:
+            return
+        request.done = True
+        self.hedge_wins += 1
+        self._record(shard_id, N.SERVE_HEDGE_WINS)
+        self.emit("hedge_win", request.seq, shard_id)
+        self._complete_request(request)
+
+    # -- shard crash / failover --------------------------------------------
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Kill one shard executor: volatile state gone, queue drained."""
+        shard = self.shards[shard_id]
+        res = self.res
+        assert res is not None and res.fleet_faults is not None
+        if shard.down or shard.replica_engine is None:
+            return
+        shard.down = True
+        shard.crashed = True
+        shard.busy = False
+        shard.epoch += 1
+        self.crashes += 1
+        self.emit("crash", shard_id)
+        self._record(shard_id, N.SERVE_CRASHES)
+        if self.obs_recorders:
+            recorder = self.obs_recorders[shard_id]
+            recorder.advance_to(self.loop.now)
+            recorder.event(N.EV_SHARD_CRASH, shard=shard_id)
+        if shard.breaker is not None:
+            shard.breaker.force_open(self.loop.now, "crash")
+            self._flush_breaker_trace(shard_id)
+        for victim in shard.queue.drain():
+            self.emit("drop", victim.request.seq, shard_id, "shard_down")
+            self._sub_dropped(victim, "shard_down")
+        # Failover: detection delay plus WAL replay proportional to the
+        # replication backlog, all charged to simulated time.
+        faults = res.fleet_faults
+        backlog = len(shard.replica_engine.tree.wal)
+        recovery_us = (
+            faults.failover_detect_us + faults.replay_per_record_us * backlog
+        )
+        shard.failover_us = recovery_us
+        self.loop.after(
+            recovery_us, lambda: self.promote_replica(shard_id)
+        )
+
+    def promote_replica(self, shard_id: int) -> None:
+        """Promote the passive replica through crash recovery."""
+        shard = self.shards[shard_id]
+        replica = shard.replica_engine
+        assert replica is not None and shard.replica_clock is not None
+        # The replica replays its shipped WAL exactly like a restarted
+        # primary: torn-tail verification, fresh MemTable, cold caches.
+        replayed = replica.crash_and_recover()
+        shard.wal_replayed = replayed
+        shard.engine = replica
+        shard.clock = shard.replica_clock
+        shard.clock.charge()  # absorb replay I/O into a fresh baseline
+        shard.replica_engine = None
+        shard.replica_clock = None
+        shard.down = False
+        shard.promoted = True
+        self.promotions += 1
+        self.emit("promote", shard_id, replayed, f"{shard.failover_us:.3f}")
+        if self.obs_recorders:
+            recorder = self.obs_recorders[shard_id]
+            replica.attach_recorder(recorder)
+            recorder.advance_to(self.loop.now)
+            recorder.inc(N.SERVE_PROMOTIONS)
+            recorder.observe(N.H_FAILOVER_US, shard.failover_us)
+            recorder.event(
+                N.EV_SHARD_PROMOTE, shard=shard_id, replayed=replayed
+            )
+        if shard.breaker is not None:
+            # Probe the newcomer before trusting it with full traffic.
+            shard.breaker.half_open(self.loop.now, "promoted")
+            self._flush_breaker_trace(shard_id)
+        if self.arbiter is not None:
+            self.arbiter.replace_engine(shard_id, replica)
+        self.maybe_start(shard_id)
+
     def _session_of(self, name: str) -> ClientSession:
         return self._by_name[name]
 
     # -- run ------------------------------------------------------------
 
     def run(self) -> ServeResult:
+        res = self.res
+        if res is not None and res.fleet_faults is not None:
+            plan = FleetFaultPlan(res.fleet_faults, self.config.num_shards)
+            for crash in plan:
+                self.loop.at(
+                    crash.at_us,
+                    (lambda sid: lambda: self.crash_shard(sid))(crash.shard_id),
+                )
         for session in self.sessions:
             self.loop.after(
                 session.next_delay_us(),
@@ -534,9 +1103,29 @@ class _Simulation:
             # End-of-run full sweep, mirroring window-boundary sweeps.
             for shard in self.shards:
                 shard.queue.check_invariants()
+                if shard.breaker is not None:
+                    shard.breaker.check_invariants()
             if self.arbiter is not None:
                 self.arbiter.check_invariants()
+            if self.ladder is not None:
+                self.ladder.check_invariants()
         return self._result()
+
+    def _check_acked_writes(self) -> tuple:
+        """Read back every acknowledged write from durable fleet state.
+
+        Runs after the per-shard stats snapshots so its reads do not
+        perturb the reported counters.
+        """
+        lost = 0
+        for key in sorted(self._acked):
+            shard_id, value = self._acked[key]
+            shard = self.shards[shard_id]
+            if shard.down:
+                continue  # crashed mid-run with no promotion (run ended)
+            if shard.engine.tree.get(key) != value:
+                lost += 1
+        return lost, len(self._acked)
 
     def _result(self) -> ServeResult:
         duration = self.loop.now
@@ -565,11 +1154,35 @@ class _Simulation:
                     peak_queue_depth=shard.queue.peak_depth,
                     rejected_at=shard.queue.rejected,
                     busy_us=shard.busy_us,
+                    crashed=shard.crashed,
+                    promoted=shard.promoted,
+                    failover_us=shard.failover_us,
+                    wal_replayed=shard.wal_replayed,
                 )
             )
         fleet_window = merge_windows(
             [shard.engine.collector.lifetime for shard in self.shards]
         )
+        lost_acked, acked_checked = 0, 0
+        if self._acked:
+            lost_acked, acked_checked = self._check_acked_writes()
+        breaker_log: List[str] = []
+        degrade_log: List[str] = []
+        if self.res is not None:
+            for shard in self.shards:
+                if shard.breaker is None:
+                    continue
+                for time_us, src, dst, reason in shard.breaker.transitions:
+                    breaker_log.append(
+                        f"{time_us:.3f} shard{shard.shard_id} "
+                        f"{src}->{dst} {reason}"
+                    )
+            breaker_log.sort()
+            assert self.ladder is not None
+            degrade_log = [
+                f"{time_us:.3f} L{src}->L{dst} pressure={pressure:.4f}"
+                for time_us, src, dst, pressure in self.ladder.transitions
+            ]
         obs_fleet_windows: List[WindowSnapshot] = []
         if self.obs_recorders:
             for recorder in self.obs_recorders:
@@ -597,6 +1210,16 @@ class _Simulation:
             ),
             trace_digest=self._hasher.hexdigest(),
             trace=self.trace,
+            shed_by_reason=self.shed_by_reason,
+            breaker_log=breaker_log,
+            degrade_log=degrade_log,
+            crashes=self.crashes,
+            promotions=self.promotions,
+            hedges=self.hedges,
+            hedge_wins=self.hedge_wins,
+            scans_partial=self.scans_partial,
+            lost_acked_writes=lost_acked,
+            acked_writes_checked=acked_checked,
             obs_recorders=self.obs_recorders,
             obs_fleet_windows=obs_fleet_windows,
         )

@@ -1,0 +1,100 @@
+"""RetryPolicy: bounds, schedule, seeded jitter, tree integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, TransientIOError
+from repro.faults import FaultConfig, FaultInjector, RetryPolicy
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.keys import key_of, value_of
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_us=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_frac=1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_frac=-0.1)
+
+
+class TestSchedule:
+    def test_bounded(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(0)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not RetryPolicy(max_attempts=0).should_retry(0)
+
+    def test_default_matches_historical_doubling(self):
+        policy = RetryPolicy(max_attempts=4, backoff_us=50.0)
+        assert [policy.stall_us(a) for a in range(4)] == [
+            50.0,
+            100.0,
+            200.0,
+            400.0,
+        ]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(backoff_us=100.0, jitter_frac=0.5, seed=9)
+        b = RetryPolicy(backoff_us=100.0, jitter_frac=0.5, seed=9)
+        stalls_a = [a.stall_us(i) for i in range(6)]
+        stalls_b = [b.stall_us(i) for i in range(6)]
+        assert stalls_a == stalls_b  # same seed, same bytes
+        for i, stall in enumerate(stalls_a):
+            base = 100.0 * 2.0**i
+            assert 0.5 * base <= stall <= 1.5 * base
+        c = RetryPolicy(backoff_us=100.0, jitter_frac=0.5, seed=10)
+        assert [c.stall_us(i) for i in range(6)] != stalls_a
+
+
+def _faulted_tree(**options) -> LSMTree:
+    tree = LSMTree(LSMOptions(memtable_entries=16, **options))
+    for i in range(200):
+        tree.put(key_of(i), value_of(i))
+    tree.attach_fault_injector(
+        FaultInjector(FaultConfig(transient_read_rate=0.1, seed=3))
+    )
+    return tree
+
+
+class TestTreeIntegration:
+    def test_stalls_follow_policy_schedule(self):
+        tree = _faulted_tree()
+        for i in range(200):
+            tree.get(key_of(i))
+        assert tree.read_retries_total > 0
+        schedule = {50.0 * 2.0**a for a in range(4)}
+        assert set(tree.retry_stalls_us) <= schedule
+        assert tree.retry_latency_us_total == pytest.approx(
+            sum(tree.retry_stalls_us)
+        )
+
+    def test_jitter_option_flows_through_and_reproduces(self):
+        def stalls(seed: int):
+            tree = _faulted_tree(retry_jitter_frac=0.25, seed=seed)
+            for i in range(200):
+                tree.get(key_of(i))
+            return list(tree.retry_stalls_us)
+
+        first, second = stalls(0x5EED), stalls(0x5EED)
+        assert first and first == second
+        assert any(s not in (50.0, 100.0, 200.0, 400.0) for s in first)
+
+    def test_exhausted_budget_escalates(self):
+        tree = LSMTree(LSMOptions(memtable_entries=16, max_read_retries=0))
+        for i in range(64):
+            tree.put(key_of(i), value_of(i))
+        tree.attach_fault_injector(
+            FaultInjector(FaultConfig(transient_read_rate=1.0, seed=1))
+        )
+        with pytest.raises(TransientIOError):
+            for i in range(64):
+                tree.get(key_of(i))

@@ -185,6 +185,115 @@ def test_slot001_accepts_slotted_node(tmp_path):
     assert _lint_source(tmp_path, source, ["SLOT001"]) == []
 
 
+# -- EXC002 ------------------------------------------------------------------
+
+
+_RETRY_UNBOUNDED = (
+    "def fetch(self):\n"
+    "    while True:\n"
+    "        try:\n"
+    "            return self._read()\n"
+    "        except IOError:\n"
+    "            self.retry_latency_us_total += 50.0\n"
+)
+
+_RETRY_UNCHARGED = (
+    "def fetch(self):\n"
+    "    attempts = 0\n"
+    "    while True:\n"
+    "        try:\n"
+    "            return self._read()\n"
+    "        except IOError:\n"
+    "            if attempts >= 4:\n"
+    "                raise\n"
+    "            attempts += 1\n"
+)
+
+_RETRY_GOOD = (
+    "def fetch(self):\n"
+    "    attempts = 0\n"
+    "    while True:\n"
+    "        try:\n"
+    "            return self._read()\n"
+    "        except IOError:\n"
+    "            if not self.policy.should_retry(attempts):\n"
+    "                raise\n"
+    "            self.retry_latency_us_total += self.policy.stall_us(attempts)\n"
+    "            attempts += 1\n"
+)
+
+
+def test_exc002_flags_unbounded_retry_handler(tmp_path):
+    findings = _lint_source(tmp_path, _RETRY_UNBOUNDED, ["EXC002"])
+    assert _rule_ids(findings) == ["EXC002"]
+    assert "bounded" in findings[0].message
+    assert "RetryPolicy" in findings[0].message
+
+
+def test_exc002_flags_uncharged_retry_loop(tmp_path):
+    findings = _lint_source(tmp_path, _RETRY_UNCHARGED, ["EXC002"])
+    assert _rule_ids(findings) == ["EXC002"]
+    assert "charges simulated time" in findings[0].message
+
+
+def test_exc002_accepts_bounded_charged_policy_form(tmp_path):
+    assert _lint_source(tmp_path, _RETRY_GOOD, ["EXC002"]) == []
+
+
+def test_exc002_accepts_charge_call_as_accounting(tmp_path):
+    source = (
+        "def fetch(self):\n"
+        "    attempts = 0\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return self._read()\n"
+        "        except IOError:\n"
+        "            if attempts >= 4:\n"
+        "                raise\n"
+        "            self.clock.charge()\n"
+        "            attempts += 1\n"
+    )
+    assert _lint_source(tmp_path, source, ["EXC002"]) == []
+
+
+def test_exc002_ignores_escaping_handlers_and_bounded_loops(tmp_path):
+    source = (
+        # Handler always re-raises: an escape hatch, not a retry loop.
+        "def a(self):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return self._read()\n"
+        "        except IOError:\n"
+        "            raise\n"
+        # Conditioned while: bounded on its own terms.
+        "def b(self):\n"
+        "    attempts = 0\n"
+        "    while attempts < 4:\n"
+        "        try:\n"
+        "            return self._read()\n"
+        "        except IOError:\n"
+        "            attempts += 1\n"
+        # No exception handling at all: an event loop, not a retry loop.
+        "def c(self):\n"
+        "    while True:\n"
+        "        self.step()\n"
+    )
+    assert _lint_source(tmp_path, source, ["EXC002"]) == []
+
+
+def test_exc002_flags_both_defects_at_once(tmp_path):
+    source = (
+        "def fetch(self):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return self._read()\n"
+        "        except IOError:\n"
+        "            pass\n"
+    )
+    findings = _lint_source(tmp_path, source, ["EXC002"])
+    assert _rule_ids(findings) == ["EXC002", "EXC002"]
+
+
 # -- PERF001 -----------------------------------------------------------------
 
 
@@ -310,7 +419,8 @@ def test_list_rules_documents_every_rule(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in (
-        "SIM001", "SIM002", "CACHE001", "MUT001", "EXC001", "OBS001", "SLOT001"
+        "SIM001", "SIM002", "CACHE001", "MUT001", "EXC001", "EXC002",
+        "OBS001", "SLOT001",
     ):
         assert rule_id in out
         assert ALL_RULES[rule_id].__doc__  # every rule is documented

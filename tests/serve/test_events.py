@@ -74,3 +74,41 @@ class TestScheduling:
         loop.run()
         assert chain == [1, 2]
         assert loop.now == 10.0
+
+
+class TestCancellableTimers:
+    def test_timer_fires_when_not_cancelled(self):
+        from repro.serve.events import EventLoop as _Loop
+
+        loop = _Loop()
+        fired = []
+        timer = loop.after_cancellable(10.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [10.0]
+        assert timer.fired and not timer.cancelled
+
+    def test_cancelled_timer_is_a_no_op(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.after_cancellable(10.0, lambda: fired.append(1))
+        timer.cancel()
+        loop.run()
+        assert fired == []
+        assert timer.fired  # the heap entry still dispatched
+
+    def test_cancellation_preserves_dispatch_order(self):
+        # Lazy cancellation must not perturb the heap: other events at
+        # the same timestamps dispatch in unchanged order.
+        def trace(cancel_second):
+            loop = EventLoop()
+            order = []
+            loop.at(5.0, lambda: order.append("a"))
+            timer = loop.after_cancellable(5.0, lambda: order.append("x"))
+            loop.at(5.0, lambda: order.append("b"))
+            if cancel_second:
+                timer.cancel()
+            loop.run()
+            return order
+
+        assert trace(cancel_second=False) == ["a", "x", "b"]
+        assert trace(cancel_second=True) == ["a", "b"]

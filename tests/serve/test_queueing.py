@@ -98,3 +98,81 @@ class TestRequest:
     def test_point_requests_have_no_parts(self):
         request = Request(0, "t", Operation("get", "k"), 0.0, fanout=1)
         assert request.parts is None
+
+
+class TestDeadlineAndDrain:
+    def _sub_with_deadline(self, seq, deadline_us, t=0.0):
+        op = Operation("get", "key000000000000000000001")
+        request = Request(seq, "tenant", op, t, fanout=1, deadline_us=deadline_us)
+        return SubRequest(request, 0, op, t)
+
+    def test_requests_without_deadline_never_expire(self):
+        request = Request(0, "t", Operation("get", "k"), 0.0, fanout=1)
+        assert not request.expired(1e12)
+
+    def test_deadline_expiry_is_strict(self):
+        request = Request(
+            0, "t", Operation("get", "k"), 0.0, fanout=1, deadline_us=100.0
+        )
+        assert not request.expired(100.0)
+        assert request.expired(100.1)
+
+    def test_pop_live_skips_expired_heads(self):
+        q = RequestQueue(0, 8)
+        q.push(self._sub_with_deadline(0, deadline_us=10.0))
+        q.push(self._sub_with_deadline(1, deadline_us=10.0))
+        q.push(self._sub_with_deadline(2, deadline_us=500.0))
+        live, dropped = q.pop_live(now_us=100.0)
+        assert live is not None and live.request.seq == 2
+        assert [d.request.seq for d in dropped] == [0, 1]
+        assert q.expired == 2
+        assert q.served == 1
+        q.check_invariants()
+
+    def test_pop_live_on_all_expired_returns_none(self):
+        q = RequestQueue(0, 4)
+        q.push(self._sub_with_deadline(0, deadline_us=1.0))
+        live, dropped = q.pop_live(now_us=50.0)
+        assert live is None
+        assert len(dropped) == 1
+        assert q.expired == 1
+        q.check_invariants()
+
+    def test_pop_live_without_deadlines_behaves_like_pop(self):
+        q = RequestQueue(0, 4)
+        q.push(sub(seq=0))
+        q.push(sub(seq=1))
+        live, dropped = q.pop_live(now_us=1e9)
+        assert live is not None and live.request.seq == 0
+        assert dropped == []
+        assert q.expired == 0
+
+    def test_done_requests_are_not_double_expired(self):
+        q = RequestQueue(0, 4)
+        s = self._sub_with_deadline(0, deadline_us=1.0)
+        s.request.done = True  # e.g. a hedge already answered it
+        q.push(s)
+        live, dropped = q.pop_live(now_us=50.0)
+        assert live is s
+        assert dropped == []
+
+    def test_drain_empties_and_accounts(self):
+        q = RequestQueue(0, 8)
+        for i in range(3):
+            q.push(sub(seq=i))
+        victims = q.drain()
+        assert [v.request.seq for v in victims] == [0, 1, 2]
+        assert q.drained == 3
+        assert len(q) == 0
+        assert q.drain() == []  # idempotent on empty
+        q.check_invariants()
+
+    def test_flow_invariant_covers_all_exits(self):
+        q = RequestQueue(0, 8)
+        q.push(self._sub_with_deadline(0, deadline_us=1.0))
+        q.push(sub(seq=1))
+        q.push(sub(seq=2))
+        q.pop_live(now_us=10.0)  # expires 0, serves 1
+        q.drain()  # drains 2
+        assert (q.accepted, q.served, q.expired, q.drained) == (3, 1, 1, 1)
+        q.check_invariants()

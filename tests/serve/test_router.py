@@ -153,3 +153,69 @@ class TestScatterGatherOracle:
         merged = router.merge_scan(parts, op.length)
         assert merged == oracle.scan(op.key, op.length)
         assert len(merged) == 5  # keyspace exhausted, not padded
+
+
+class TestHealthAwarePlanning:
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_empty_unavailable_set_is_the_full_plan(self, partition):
+        router = ShardRouter(4, 100, partition)
+        op = Operation("scan", key_of(10), length=20)
+        live, dropped = router.plan_healthy(op, frozenset())
+        assert live == router.plan(op)
+        assert dropped == []
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_point_op_with_dead_owner_fails_fast(self, partition):
+        router = ShardRouter(4, 100, partition)
+        op = Operation("get", key_of(42))
+        owner = router.shard_of_key(op.key)
+        live, dropped = router.plan_healthy(op, {owner})
+        assert live == []
+        assert dropped == [owner]
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_point_op_with_other_shard_dead_is_unaffected(self, partition):
+        router = ShardRouter(4, 100, partition)
+        op = Operation("get", key_of(42))
+        owner = router.shard_of_key(op.key)
+        dead = (owner + 1) % 4
+        live, dropped = router.plan_healthy(op, {dead})
+        assert live == [(owner, op)]
+        assert dropped == []
+
+    def test_hash_scan_drops_exactly_the_dead_shards(self):
+        router = ShardRouter(4, 100, "hash")
+        op = Operation("scan", key_of(0), length=50)
+        live, dropped = router.plan_healthy(op, {1, 3})
+        assert [shard for shard, _ in live] == [0, 2]
+        assert dropped == [1, 3]
+
+    def test_range_scan_drops_only_overlapping_dead_shards(self):
+        router = ShardRouter(4, 100, "range")
+        # Keys 10..29 live on shards 0 (0-24) and 1 (25-49).
+        op = Operation("scan", key_of(10), length=20)
+        full = [shard for shard, _ in router.plan(op)]
+        assert full == [0, 1]
+        live, dropped = router.plan_healthy(op, {1, 3})
+        assert [shard for shard, _ in live] == [0]
+        assert dropped == [1]
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_retargeting_is_deterministic(self, partition):
+        """Identical health histories re-target identically (both modes)."""
+        router = ShardRouter(4, 200, partition)
+        generator = WorkloadGenerator(
+            WorkloadSpec(
+                num_keys=200, get_ratio=0.5, short_scan_ratio=0.3,
+                write_ratio=0.15, delete_ratio=0.05, name="mix",
+            ),
+            seed=77,
+        )
+        ops = list(generator.ops(300))
+        unavailable = {2}
+        first = [router.plan_healthy(op, unavailable) for op in ops]
+        second = [router.plan_healthy(op, unavailable) for op in ops]
+        assert first == second
+        assert all(
+            shard != 2 for live, _ in first for shard, _ in live
+        )
