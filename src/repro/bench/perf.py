@@ -31,6 +31,7 @@ import io
 import json
 import pstats
 import time  # lint: disable=SIM001  # wall-clock timing is this module's subject
+# lint: disable-file=DET001  # run_* entry points here time the host on purpose
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -425,7 +425,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the repo's AST lint pass (delegates to :mod:`repro.lint`)."""
+    """Run the repo's static-analysis engine (delegates to :mod:`repro.lint`)."""
     from repro.lint.runner import main as lint_main
 
     argv: List[str] = list(args.paths)
@@ -433,6 +433,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.changed is not None:
+        argv.append(
+            "--changed" if args.changed == "" else f"--changed={args.changed}"
+        )
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.stats:
+        argv.append("--stats")
     return lint_main(argv)
 
 
@@ -661,11 +679,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint pass (see docs/static_analysis.md)"
+        "lint",
+        help="run the whole-program static-analysis engine "
+        "(see docs/static_analysis.md)",
     )
     lint.add_argument("paths", nargs="*", help="files/dirs (default: the repro package)")
-    lint.add_argument("--select", help="comma-separated rule ids to run")
-    lint.add_argument("--list-rules", action="store_true", help="describe every rule")
+    lint.add_argument(
+        "--select", "--rules", dest="select",
+        help="comma-separated rule ids and/or families (e.g. DET,OWN002)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue grouped by family",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="primary report format",
+    )
+    lint.add_argument("--output", help="write the report to this file")
+    lint.add_argument("--sarif", help="additionally write a SARIF report here")
+    lint.add_argument(
+        "--baseline", help="suppress findings recorded in this baseline file"
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from current findings",
+    )
+    lint.add_argument(
+        "--changed", nargs="?", const="", default=None, metavar="REF",
+        help="lint only files modified vs a git ref (default origin/main)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true", help="disable the AST cache"
+    )
+    lint.add_argument(
+        "--stats", action="store_true", help="print cache statistics"
+    )
     lint.set_defaults(func=cmd_lint)
 
     return parser

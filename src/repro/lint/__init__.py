@@ -1,24 +1,61 @@
-"""repro-lint: repo-specific static analysis for the simulator.
+"""repro-lint: whole-program static analysis for the simulator.
 
-A small AST lint pass (stdlib :mod:`ast` only — no third-party
-dependency) that enforces the repository's simulation discipline on top
-of what generic linters check:
+A multi-pass lint engine (stdlib :mod:`ast` only — no third-party
+dependency) enforcing the repository's simulation discipline on top of
+what generic linters check.  Pass 1 parses every file (through a
+content-hash AST cache) into a project-wide symbol table and call
+graph; pass 2 runs two rule sets over it:
 
-* determinism — randomness must flow through injected seeded
-  ``random.Random`` instances and time through the sim clock (SIM001);
-* metering — every simulated-disk read path must charge the I/O
-  counters the sim clock's cost model consumes (SIM002);
-* sanitizer coverage — every cache container must implement the
-  runtime invariant protocol (CACHE001);
+* **syntactic, per-module** (:mod:`repro.lint.rules`) — determinism
+  imports (SIM001), metered disk reads (SIM002), sanitizer coverage
+  (CACHE001), retry discipline (EXC002), hot-path numpy use (PERF001),
+  metric-name constants (OBS001), plus generic hygiene (MUT001,
+  EXC001, SLOT001, DET003, OWN003);
+* **whole-program, flow-aware** (:mod:`repro.lint.passes`) — ambient
+  nondeterminism reachable from serve/engine entry points through any
+  number of cross-module calls (DET001), unordered set iteration
+  flowing into ordering-sensitive sinks (DET002), module-level mutable
+  state shared across serving components (OWN001), and global
+  single-writer metric-counter ownership (OWN002).
 
-plus a few generic hygiene rules (MUT001, EXC001, SLOT001).
-
-Run it with ``python -m repro.lint [paths]`` or ``repro lint``; suppress
-a single finding with a ``# lint: disable=RULE`` comment on the
-offending line.
+Run it with ``python -m repro.lint [paths]`` or ``repro lint``.
+Suppress findings with ``# lint: disable=RULE`` (same line),
+``# lint: disable-next=RULE`` (following line), or
+``# lint: disable-file=RULE``; accept a legacy backlog with a
+checked-in baseline (``--baseline lint-baseline.json``).  Reports are
+text, ``--format json``, or SARIF (``--sarif lint.sarif``); see
+``docs/static_analysis.md`` for the full catalogue and workflow.
 """
 
-from repro.lint.rules import ALL_RULES, Violation
-from repro.lint.runner import lint_paths, main
+from repro.lint.callgraph import CallGraph, build_call_graph
+from repro.lint.passes import (
+    WHOLE_PROGRAM_RULES,
+    Project,
+    build_project,
+    run_whole_program_rules,
+)
+from repro.lint.rules import ALL_RULES, RULE_METADATA, Violation
+from repro.lint.runner import LintEngine, lint_file, lint_paths, main
+from repro.lint.sarif import to_sarif, validate_sarif
+from repro.lint.symbols import AstCache, SymbolTable, build_symbol_table
 
-__all__ = ["ALL_RULES", "Violation", "lint_paths", "main"]
+__all__ = [
+    "ALL_RULES",
+    "AstCache",
+    "CallGraph",
+    "LintEngine",
+    "Project",
+    "RULE_METADATA",
+    "SymbolTable",
+    "Violation",
+    "WHOLE_PROGRAM_RULES",
+    "build_call_graph",
+    "build_project",
+    "build_symbol_table",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "run_whole_program_rules",
+    "to_sarif",
+    "validate_sarif",
+]

@@ -1,0 +1,179 @@
+"""Pass 1b of the lint engine: the project-wide call graph.
+
+Edges connect :class:`~repro.lint.symbols.FunctionInfo` qualnames.
+Call sites are resolved through each module's import-alias map
+(``import x as y``, ``from x import f as g``, re-exports), ``self.``
+method calls bind through the class hierarchy, and calls made inside
+lambdas or nested ``def`` closures are charged to the enclosing named
+function — a closure's behavior is its owner's behavior as far as
+determinism taint is concerned.
+
+Besides edges, the graph records *ambient calls*: call sites that
+resolve to wall-clock/entropy sources (``random.*``, ``time.*``,
+``os.urandom``, ``uuid.uuid4``, ...).  The DET passes combine those
+with reachability to flag serve/engine paths that are only
+nondeterministic several hops away.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.symbols import FunctionInfo, SymbolTable, dotted_name
+
+#: Resolved call targets that read ambient entropy or the wall clock.
+#: ``random.Random`` is excluded: constructing a *seeded* generator is
+#: the sanctioned form (SIM001's contract).
+_AMBIENT_PREFIXES: Tuple[str, ...] = ("random.", "time.", "secrets.")
+_AMBIENT_EXACT: Tuple[str, ...] = (
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.datetime.utcnow",
+)
+_AMBIENT_SANCTIONED: Tuple[str, ...] = ("random.Random",)
+
+
+def is_ambient_target(target: str) -> bool:
+    """Whether a resolved dotted call target is a nondeterminism source."""
+    if target in _AMBIENT_SANCTIONED:
+        return False
+    if target in _AMBIENT_EXACT:
+        return True
+    return any(target.startswith(prefix) for prefix in _AMBIENT_PREFIXES)
+
+
+@dataclass(frozen=True)
+class AmbientCall:
+    """One call site resolving to an ambient nondeterminism source."""
+
+    target: str
+    path: str
+    line: int
+    col: int
+
+
+class CallGraph:
+    """Directed function-call edges plus per-function ambient call sites."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, Set[str]] = {}
+        self.ambient: Dict[str, List[AmbientCall]] = {}
+        for info in table.functions.values():
+            self._index_function(info)
+
+    # -- construction --------------------------------------------------
+
+    def _index_function(self, info: FunctionInfo) -> None:
+        edges: Set[str] = set()
+        ambient: List[AmbientCall] = []
+        for call in _calls_in(info.node):
+            target = self.resolve_call(info, call)
+            if target is None:
+                continue
+            if is_ambient_target(target):
+                ambient.append(
+                    AmbientCall(target, info.path, call.lineno, call.col_offset)
+                )
+                continue
+            callee = self.table.lookup_function(target)
+            if callee is not None:
+                edges.add(callee.qualname)
+        self.edges[info.qualname] = edges
+        if ambient:
+            self.ambient[info.qualname] = ambient
+
+    def resolve_call(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """The canonical dotted target of a call site, if resolvable."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head == "self" and info.classname is not None:
+            rest = dotted.split(".")[1:]
+            if len(rest) != 1:
+                return None  # attribute-of-attribute: not a method bind
+            bound = self.table.resolve_method(
+                f"{info.modname}.{info.classname}", rest[0]
+            )
+            return bound.qualname if bound is not None else None
+        if head == "self":
+            return None
+        return self.table.resolve(info.modname, dotted)
+
+    # -- queries -------------------------------------------------------
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def reachable_from(self, roots: List[str]) -> Set[str]:
+        """Every function reachable from the roots (roots included)."""
+        seen: Set[str] = set()
+        queue = deque(roots)
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.edges.get(current, ()))
+        return seen
+
+    def reaching(self, targets: Set[str]) -> Set[str]:
+        """Every function from which some target is reachable."""
+        reverse: Dict[str, Set[str]] = {}
+        for src, dsts in self.edges.items():
+            for dst in dsts:
+                reverse.setdefault(dst, set()).add(src)
+        seen: Set[str] = set(targets)
+        queue = deque(targets)
+        while queue:
+            current = queue.popleft()
+            for pred in reverse.get(current, ()):
+                if pred not in seen:
+                    seen.add(pred)
+                    queue.append(pred)
+        return seen
+
+    def shortest_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """BFS call chain from ``src`` to ``dst`` (inclusive), if any."""
+        if src == dst:
+            return [src]
+        parents: Dict[str, str] = {}
+        queue = deque([src])
+        seen = {src}
+        while queue:
+            current = queue.popleft()
+            for callee in sorted(self.edges.get(current, ())):
+                if callee in seen:
+                    continue
+                parents[callee] = current
+                if callee == dst:
+                    chain = [dst]
+                    while chain[-1] != src:
+                        chain.append(parents[chain[-1]])
+                    chain.reverse()
+                    return chain
+                seen.add(callee)
+                queue.append(callee)
+        return None
+
+
+def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every Call in a function body, including inside nested closures."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    return CallGraph(table)

@@ -1,0 +1,481 @@
+"""Pass 2 of the lint engine: flow-aware whole-program rules.
+
+These rules run over the :class:`Project` — the symbol table plus call
+graph pass 1 built — instead of one module at a time, which is what
+lets them see the defects the per-module pass structurally cannot:
+
+* **DET001** — a serve/engine entry point that *transitively* reaches
+  an ambient entropy/wall-clock source, even when the offending call
+  hides two imports away behind clean-looking helpers;
+* **DET002** — unordered ``set`` iteration whose results flow into an
+  ordering-sensitive sink (fingerprints, WAL framing, scatter-gather
+  merges) anywhere down the call chain;
+* **OWN001** — module-level mutable state shared by more than one
+  ``ServeComponent``, exactly the aliasing that silently diverges once
+  shards run in separate processes;
+* **OWN002** — a registered metric counter incremented by more than
+  one owning class anywhere in the program (the single-writer rule,
+  enforced globally rather than per call site).
+
+The sibling syntactic members of these families (DET003 unordered
+float accumulation, OWN003 callback capture after handoff) live in
+:mod:`repro.lint.rules` — they need no cross-module context.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, build_call_graph
+from repro.lint.rules import (
+    SCOPE_WHOLE_PROGRAM,
+    Violation,
+    register_meta,
+    unordered_set_locals,
+)
+from repro.lint.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    build_symbol_table,
+    dotted_name,
+)
+
+#: Serving-layer base classes whose subclasses own shard-visible state.
+_COMPONENT_BASES: Tuple[str, ...] = ("ServeComponent",)
+
+#: Entry-point heuristics: functions on these name shapes are treated
+#: as serve/engine roots for determinism taint (DET001).
+_ROOT_NAME_PREFIXES: Tuple[str, ...] = ("serve", "run_", "main")
+_ROOT_CLASS_RE = re.compile(r"Engine$")
+
+#: Function names that make a callee ordering-sensitive (DET002):
+#: anything hashing, framing WAL records, or merging shard results.
+_ORDER_SINK_RE = re.compile(
+    r"(fingerprint|digest|checksum|frame|merge|hexdigest)", re.IGNORECASE
+)
+
+#: Metric constants look like ``N.WINDOW_OPS`` (OWN002).
+_CONST_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+@dataclass
+class Project:
+    """The whole-program view pass 1 produces: symbols + call graph."""
+
+    table: SymbolTable
+    graph: CallGraph
+
+
+def build_project(modules: List[ModuleInfo]) -> Project:
+    table = build_symbol_table(modules)
+    return Project(table, build_call_graph(table))
+
+
+WholeProgramRule = Callable[[Project], Iterator[Violation]]
+
+#: Registry of whole-program checkers (id -> rule function).
+WHOLE_PROGRAM_RULES: Dict[str, WholeProgramRule] = {}
+
+
+def whole_program_rule(
+    rule_id: str,
+) -> Callable[[WholeProgramRule], WholeProgramRule]:
+    """Register a whole-program checker under ``rule_id``."""
+
+    def register(func: WholeProgramRule) -> WholeProgramRule:
+        WHOLE_PROGRAM_RULES[rule_id] = func
+        register_meta(rule_id, SCOPE_WHOLE_PROGRAM, func.__doc__ or "")
+        return func
+
+    return register
+
+
+def run_whole_program_rules(
+    project: Project, rule_ids: Optional[List[str]] = None
+) -> List[Violation]:
+    """Run the (selected) whole-program rules over a built project."""
+    selected = (
+        [r for r in rule_ids if r in WHOLE_PROGRAM_RULES]
+        if rule_ids is not None
+        else list(WHOLE_PROGRAM_RULES)
+    )
+    findings: List[Violation] = []
+    for rule_id in selected:
+        findings.extend(WHOLE_PROGRAM_RULES[rule_id](project))
+    return findings
+
+
+# -- entry-point/root detection ----------------------------------------------
+
+
+def serve_engine_roots(project: Project) -> List[str]:
+    """Functions that count as serve/engine entry points, sorted.
+
+    A root is a method of a ``ServeComponent`` subclass or an
+    ``*Engine`` class, any function defined in a ``serve`` package, or
+    a function named ``serve*``/``run_*``/``main*`` — the surfaces a
+    multi-process executor would call into.
+    """
+    components = project.table.subclasses_of(_COMPONENT_BASES)
+    roots: Set[str] = set()
+    for info in project.table.functions.values():
+        if info.classname is not None:
+            class_qual = f"{info.modname}.{info.classname}"
+            if class_qual in components or _ROOT_CLASS_RE.search(info.classname):
+                roots.add(info.qualname)
+                continue
+        if any(info.name.startswith(p) for p in _ROOT_NAME_PREFIXES):
+            roots.add(info.qualname)
+            continue
+        if "serve" in info.modname.split("."):
+            roots.add(info.qualname)
+    return sorted(roots)
+
+
+# -- DET001: transitive ambient nondeterminism -------------------------------
+
+
+@whole_program_rule("DET001")
+def check_ambient_taint(project: Project) -> Iterator[Violation]:
+    """Serve/engine paths must not transitively reach ambient entropy.
+
+    SIM001 bans importing ``random``/``time``/``datetime`` in the file
+    it lints, but a serve path that calls a helper that calls
+    ``os.urandom()`` two modules away passes every per-module check
+    while still diverging run-to-run.  This pass resolves the project
+    call graph (imports, aliases, re-exports, ``self.`` method binds)
+    and flags every ambient call site — ``random.*``, ``time.*``,
+    ``os.urandom``, ``uuid.uuid4``, ``secrets.*``, wall-clock
+    ``datetime`` constructors — reachable from a serve/engine entry
+    point, naming one offending call chain.  Fix by injecting a seeded
+    ``random.Random`` (or routing time through the sim clock) at the
+    entry point and threading it down.
+    """
+    graph = project.graph
+    if not graph.ambient:
+        return
+    tainted = graph.reaching(set(graph.ambient))
+    claimed: Dict[str, str] = {}
+    for root in serve_engine_roots(project):
+        if root not in tainted:
+            continue
+        for reached in graph.reachable_from([root]):
+            if reached in graph.ambient and reached not in claimed:
+                claimed[reached] = root
+    for func_qual in sorted(claimed):
+        root = claimed[func_qual]
+        chain = graph.shortest_path(root, func_qual) or [root, func_qual]
+        shown = " -> ".join(part.rpartition(".")[2] + "()" for part in chain)
+        for site in graph.ambient[func_qual]:
+            yield Violation(
+                site.path,
+                site.line,
+                site.col,
+                "DET001",
+                f"ambient {site.target}() is reachable from serve/engine "
+                f"entry {root} (call chain {shown}); inject a seeded "
+                f"Random or sim-clock time at the entry point instead",
+            )
+
+
+# -- DET002: unordered iteration into ordering-sensitive sinks ---------------
+
+
+def _order_sensitive_functions(project: Project) -> Set[str]:
+    """Functions that are, or transitively feed, an ordering sink."""
+    sinks = {
+        qual
+        for qual, info in project.table.functions.items()
+        if _ORDER_SINK_RE.search(info.name)
+    }
+    if not sinks:
+        return set()
+    return project.graph.reaching(sinks)
+
+
+def _call_is_order_sensitive(
+    project: Project,
+    info: FunctionInfo,
+    call: ast.Call,
+    sensitive: Set[str],
+) -> bool:
+    dotted = dotted_name(call.func)
+    if dotted is not None and _ORDER_SINK_RE.search(dotted.rpartition(".")[2]):
+        return True
+    target = project.graph.resolve_call(info, call)
+    return target is not None and target in sensitive
+
+
+@whole_program_rule("DET002")
+def check_unordered_flow_into_sinks(project: Project) -> Iterator[Violation]:
+    """No ``set`` iteration order may flow into an ordering-sensitive
+    sink (fingerprints, WAL framing, scatter-gather merges).
+
+    Python ``set`` iteration order depends on insertion history and
+    string-hash randomization; feeding it into anything that frames
+    bytes or folds a digest makes the artifact differ across processes
+    even on identical inputs — the exact property multi-process shard
+    merge must preserve.  Using the whole-program call graph, a sink
+    is any function whose name says it orders bytes (``*fingerprint*``,
+    ``*digest*``, ``*frame*``, ``*merge*``, ...) *or any function that
+    transitively calls one*.  Flagged: a ``for`` loop over a set whose
+    body calls a sink, passing a set expression directly to a sink, or
+    iterating a set inside a sink-named function.  Fix with
+    ``sorted(...)`` at the iteration point.
+    """
+    sensitive = _order_sensitive_functions(project)
+    for qual in sorted(project.table.functions):
+        info = project.table.functions[qual]
+        func_node = info.node
+        if not isinstance(func_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        unordered = unordered_set_locals(func_node)
+        self_is_sink = bool(_ORDER_SINK_RE.search(info.name))
+        for sub in ast.walk(func_node):
+            if isinstance(sub, ast.For) and _is_unordered_expr(
+                sub.iter, unordered
+            ):
+                body_calls_sink = any(
+                    isinstance(inner, ast.Call)
+                    and _call_is_order_sensitive(project, info, inner, sensitive)
+                    for stmt in sub.body
+                    for inner in ast.walk(stmt)
+                )
+                if body_calls_sink or self_is_sink:
+                    yield Violation(
+                        info.path,
+                        sub.lineno,
+                        sub.col_offset,
+                        "DET002",
+                        f"set iteration order flows into an "
+                        f"ordering-sensitive sink in {info.qualname}; "
+                        f"iterate sorted(...) so the framed/merged bytes "
+                        f"are reproducible",
+                    )
+            elif isinstance(sub, ast.Call) and _call_is_order_sensitive(
+                project, info, sub, sensitive
+            ):
+                for arg in sub.args:
+                    if _is_unordered_expr(arg, unordered):
+                        yield Violation(
+                            info.path,
+                            arg.lineno,
+                            arg.col_offset,
+                            "DET002",
+                            f"unordered set passed directly to an "
+                            f"ordering-sensitive sink in {info.qualname}; "
+                            f"pass sorted(...) instead",
+                        )
+
+
+def _is_unordered_expr(node: ast.expr, unordered_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in unordered_names
+    return False
+
+
+# -- OWN001: shared mutable module state across components -------------------
+
+
+def _bound_names(target: ast.expr) -> Iterator[str]:
+    """Names a target expression *binds* (not container mutations)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _bound_names(el)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _global_refs_in(
+    project: Project, info: FunctionInfo
+) -> Set[str]:
+    """Qualnames of module-level mutables a function touches."""
+    func_node = info.node
+    locals_: Set[str] = set()
+    if isinstance(func_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func_node.args
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            locals_.add(a.arg)
+        for sub in ast.walk(func_node):
+            # Only *binding* targets make a name local; a subscript or
+            # attribute store (``registry[k] = v``) mutates an existing
+            # object and must still resolve as a global reference.
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    locals_.update(_bound_names(target))
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                locals_.update(_bound_names(sub.target))
+            elif isinstance(sub, (ast.For, ast.comprehension)):
+                locals_.update(_bound_names(sub.target))
+    all_globals = {
+        g.qualname
+        for per_mod in project.table.globals.values()
+        for g in per_mod.values()
+    }
+    touched: Set[str] = set()
+    for sub in ast.walk(info.node):
+        dotted: Optional[str] = None
+        if isinstance(sub, ast.Attribute):
+            dotted = dotted_name(sub)
+        elif isinstance(sub, ast.Name) and sub.id not in locals_:
+            dotted = sub.id
+        if dotted is None:
+            continue
+        head = dotted.split(".", 1)[0]
+        if head in locals_ or head == "self":
+            continue
+        resolved = project.table.resolve(info.modname, dotted)
+        for qual in all_globals:
+            if resolved == qual or resolved.startswith(qual + "."):
+                touched.add(qual)
+    return touched
+
+
+@whole_program_rule("OWN001")
+def check_shared_mutable_state(project: Project) -> Iterator[Violation]:
+    """Module-level mutable state must not be shared across serving
+    components.
+
+    A module-level ``list``/``dict``/``set`` touched by methods of two
+    different ``ServeComponent`` subclasses is invisible coupling: in
+    one process it makes shard runs order-dependent, and under a
+    multi-process executor the copies silently diverge (each worker
+    mutates its own import).  The pass resolves every global reference
+    through import aliases across the whole program and flags any
+    mutable module global reachable from more than one component
+    class.  Fix by moving the state into the owning component (or an
+    explicitly passed context object).
+    """
+    components = project.table.subclasses_of(_COMPONENT_BASES)
+    if not components:
+        return
+    touches: Dict[str, Set[str]] = {}
+    for qual in sorted(project.table.functions):
+        info = project.table.functions[qual]
+        if info.classname is None:
+            continue
+        class_qual = f"{info.modname}.{info.classname}"
+        if class_qual not in components:
+            continue
+        for global_qual in _global_refs_in(project, info):
+            touches.setdefault(global_qual, set()).add(class_qual)
+    for per_mod in project.table.globals.values():
+        for g in per_mod.values():
+            sharers = touches.get(g.qualname, set())
+            if len(sharers) >= 2:
+                shown = ", ".join(sorted(sharers))
+                yield Violation(
+                    g.path,
+                    g.line,
+                    g.col,
+                    "OWN001",
+                    f"module-level mutable {g.name!r} ({g.kind}) is shared "
+                    f"by {len(sharers)} serving components ({shown}); "
+                    f"under process executors each worker would mutate its "
+                    f"own copy — give it a single owner",
+                )
+
+
+# -- OWN002: global single-writer metric counters ----------------------------
+
+
+@dataclass(frozen=True)
+class _IncSite:
+    metric: str
+    writer: str
+    path: str
+    line: int
+    col: int
+
+
+def _is_test_module(modname: str) -> bool:
+    """Test modules may poke counters freely; ownership is a
+    production-code property."""
+    last = modname.rpartition(".")[2]
+    return last.startswith("test_") or last == "conftest"
+
+
+def _metric_inc_sites(project: Project) -> List[_IncSite]:
+    sites: List[_IncSite] = []
+    for qual in sorted(project.table.functions):
+        info = project.table.functions[qual]
+        if _is_test_module(info.modname):
+            continue
+        for sub in ast.walk(info.node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "inc"
+                and sub.args
+            ):
+                continue
+            dotted = dotted_name(sub.args[0])
+            if dotted is None:
+                continue
+            resolved = project.table.resolve(info.modname, dotted)
+            const = resolved.rpartition(".")[2]
+            if not _CONST_RE.match(const):
+                continue
+            writer = (
+                f"{info.modname}.{info.classname}"
+                if info.classname is not None
+                else info.qualname
+            )
+            sites.append(
+                _IncSite(resolved, writer, info.path, sub.lineno, sub.col_offset)
+            )
+    return sites
+
+
+@whole_program_rule("OWN002")
+def check_metric_single_writer(project: Project) -> Iterator[Violation]:
+    """Each registered metric counter must have exactly one writer
+    class, program-wide.
+
+    Fleet metric reduction assumes per-shard counters are owned: when
+    two classes both ``inc()`` the same constant, merged windows
+    double-count and — once shards execute in parallel processes — the
+    interleaving becomes racy and the audited totals nondeterministic.
+    PR 5 established the single-writer convention per call site; this
+    pass enforces it globally by resolving every ``.inc(N.CONST)``
+    first argument across the call graph's modules and flagging any
+    constant with more than one distinct owning class.  Test modules
+    (``test_*``/``conftest``) are exempt — exercising the registry is
+    not ownership.  Fix by routing the increment through the owning
+    component (or splitting the metric).
+    """
+    by_metric: Dict[str, List[_IncSite]] = {}
+    for site in _metric_inc_sites(project):
+        by_metric.setdefault(site.metric, []).append(site)
+    for metric in sorted(by_metric):
+        sites = by_metric[metric]
+        writers = sorted({site.writer for site in sites})
+        if len(writers) < 2:
+            continue
+        shown = ", ".join(writers)
+        for site in sites:
+            yield Violation(
+                site.path,
+                site.line,
+                site.col,
+                "OWN002",
+                f"metric {metric.rpartition('.')[2]} has {len(writers)} "
+                f"writers across the program ({shown}); window counters "
+                f"need a single owning writer to merge deterministically",
+            )

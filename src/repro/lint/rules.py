@@ -1,9 +1,16 @@
-"""Lint rules: repo-specific simulation discipline plus generic hygiene.
+"""Syntactic lint rules: per-module simulation discipline + hygiene.
 
 Each rule is a function from a parsed module to an iterator of
 :class:`Violation` s, registered under a stable rule id via the
 :func:`rule` decorator.  Rule docstrings are the user-facing
 documentation (``python -m repro.lint --list-rules`` prints them).
+
+These rules see one file at a time.  The whole-program rule families
+(DET0xx nondeterminism taint, OWN0xx shared-state ownership) live in
+:mod:`repro.lint.passes` and run over the project symbol table and
+call graph instead; both registries share the :class:`RuleMeta`
+catalogue here so ``--list-rules`` and ``--select`` treat them
+uniformly.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Modules whose ambient state would break run-to-run determinism.
 _NONDETERMINISTIC_MODULES = ("random", "time", "datetime")
@@ -50,15 +57,52 @@ class Violation:
 
 RuleFunc = Callable[[ast.Module, str], Iterator[Violation]]
 
-#: Registry of ``rule_id -> checker`` in registration order.
+#: Registry of ``rule_id -> checker`` in registration order (the
+#: per-module, syntactic rules only).
 ALL_RULES: Dict[str, RuleFunc] = {}
+
+#: Analysis scope markers shown by ``--list-rules``.
+SCOPE_SYNTACTIC = "syntactic"
+SCOPE_WHOLE_PROGRAM = "whole-program"
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Catalogue entry for one rule, syntactic or whole-program."""
+
+    rule_id: str
+    family: str
+    scope: str
+    doc: str
+
+    @property
+    def summary(self) -> str:
+        """First docstring line, for compact listings."""
+        return self.doc.strip().splitlines()[0] if self.doc else ""
+
+
+#: Every known rule's metadata, both registries (id -> meta).
+RULE_METADATA: Dict[str, RuleMeta] = {}
+
+
+def rule_family(rule_id: str) -> str:
+    """``DET001`` -> ``DET``: the catalogue family prefix."""
+    return rule_id.rstrip("0123456789")
+
+
+def register_meta(rule_id: str, scope: str, doc: str) -> None:
+    """Add a rule to the shared catalogue (used by both registries)."""
+    RULE_METADATA[rule_id] = RuleMeta(
+        rule_id, rule_family(rule_id), scope, (doc or "").strip()
+    )
 
 
 def rule(rule_id: str) -> Callable[[RuleFunc], RuleFunc]:
-    """Register a checker under ``rule_id``."""
+    """Register a syntactic (per-module) checker under ``rule_id``."""
 
     def register(func: RuleFunc) -> RuleFunc:
         ALL_RULES[rule_id] = func
+        register_meta(rule_id, SCOPE_SYNTACTIC, func.__doc__ or "")
         return func
 
     return register
@@ -503,6 +547,261 @@ def check_obs_metric_constants(tree: ast.Module, path: str) -> Iterator[Violatio
                 f"instrumentation must use the registered constants in "
                 f"repro.obs.names",
             )
+
+
+def unordered_set_locals(func: ast.AST) -> "set[str]":
+    """Local names bound to unordered set expressions in a function.
+
+    Tracks ``x = {...}`` set displays, set comprehensions, and
+    ``set(...)``/``frozenset(...)`` constructor calls.  Shared with the
+    whole-program DET002 pass.
+    """
+    names: set[str] = set()
+    for sub in ast.walk(func):
+        if not isinstance(sub, ast.Assign):
+            continue
+        value = sub.value
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+        if not is_set:
+            continue
+        for target in sub.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+#: Accumulator names that look like audited statistics (DET003).
+_STAT_ACC_RE = re.compile(r"(total|sum|acc|stat|mean|mass|weight)", re.IGNORECASE)
+
+
+@rule("DET003")
+def check_unordered_float_accumulation(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """No float accumulation over unordered ``set`` iteration on
+    audited statistics.
+
+    Float addition is not associative: summing the same values in a
+    different order produces different low bits, and ``set`` iteration
+    order varies with insertion history and hash randomization.  An
+    audited stat (``*_total``, ``*_sum``, ``*_mean``, ...) accumulated
+    with ``+=`` inside a ``for`` over a set — or built with ``sum()``
+    over a set expression — can therefore differ bit-for-bit between
+    two runs that touched identical data.  Iterate ``sorted(...)`` so
+    the reduction order is pinned.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        unordered = unordered_set_locals(node)
+
+        def _is_unordered(expr: ast.expr) -> bool:
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+                return expr.func.id in ("set", "frozenset")
+            return isinstance(expr, ast.Name) and expr.id in unordered
+
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.For) and _is_unordered(sub.iter):
+                for inner in ast.walk(sub):
+                    if not isinstance(inner, ast.AugAssign):
+                        continue
+                    if not isinstance(inner.op, (ast.Add, ast.Sub)):
+                        continue
+                    target = inner.target
+                    name = (
+                        target.attr
+                        if isinstance(target, ast.Attribute)
+                        else target.id if isinstance(target, ast.Name) else ""
+                    )
+                    if _STAT_ACC_RE.search(name):
+                        yield Violation(
+                            path,
+                            inner.lineno,
+                            inner.col_offset,
+                            "DET003",
+                            f"float accumulation onto {name!r} iterates a "
+                            f"set in unspecified order; sum in sorted() "
+                            f"order so audited stats reproduce bit-for-bit",
+                        )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "sum"
+                and sub.args
+                and _is_unordered(sub.args[0])
+            ):
+                yield Violation(
+                    path,
+                    sub.lineno,
+                    sub.col_offset,
+                    "DET003",
+                    "sum() over an unordered set accumulates floats in "
+                    "unspecified order; sum over sorted(...) instead",
+                )
+
+
+#: Attribute names that hand a callback to a timer/scheduler (OWN003).
+_HANDOFF_ATTRS = ("after", "after_cancellable", "call_later", "call_at", "defer")
+_HANDOFF_ATTR_RE = re.compile(r"(schedule|timer|hedge)", re.IGNORECASE)
+
+#: Method calls that mutate their receiver in place (OWN003).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "update",
+        "add", "discard", "setdefault", "popitem", "appendleft", "popleft",
+        "sort", "reverse",
+    }
+)
+
+
+def _is_handoff_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    return func.attr in _HANDOFF_ATTRS or bool(_HANDOFF_ATTR_RE.search(func.attr))
+
+
+def _callback_free_names(callback: ast.AST) -> "set[str]":
+    """Names a lambda/nested-def reads that it does not itself bind."""
+    if isinstance(callback, ast.Lambda):
+        params = {a.arg for a in callback.args.args + callback.args.kwonlyargs}
+        body: List[ast.AST] = [callback.body]
+    elif isinstance(callback, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        params = {a.arg for a in callback.args.args + callback.args.kwonlyargs}
+        body = list(callback.body)
+    else:
+        return set()
+    bound = set(params)
+    loads: "set[str]" = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Store):
+                    bound.add(sub.id)
+                elif isinstance(sub.ctx, ast.Load):
+                    loads.add(sub.id)
+    return {name for name in loads - bound if name != "self"}
+
+
+def _nested_node_ids(func: ast.AST) -> "set[int]":
+    """ids of every node living inside a nested def/lambda of ``func``."""
+    nested: "set[int]" = set()
+    for sub in ast.walk(func):
+        if sub is func:
+            continue
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            nested.update(id(n) for n in ast.walk(sub) if n is not sub)
+    return nested
+
+
+def _mutations_after(
+    func: ast.AST, names: "set[str]", after_line: int
+) -> Iterator[Tuple[str, int]]:
+    """(name, line) pairs where a captured name is mutated past handoff.
+
+    Only the enclosing function's own straight-line code counts:
+    mutations inside *other* nested callbacks are their own handoff's
+    concern, not evidence that this caller races its timer.
+    """
+    nested = _nested_node_ids(func)
+    for sub in ast.walk(func):
+        if id(sub) in nested:
+            continue
+        line = getattr(sub, "lineno", 0)
+        if line <= after_line:
+            continue
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = (
+                list(sub.targets)
+                if isinstance(sub, ast.Assign)
+                else [sub.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in names:
+                    yield target.id, line
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield target.value.id, line
+        elif (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _MUTATOR_METHODS
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id in names
+        ):
+            yield sub.func.value.id, line
+
+
+@rule("OWN003")
+def check_callback_capture_after_handoff(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """Callbacks handed to timers/hedges must not capture state the
+    caller keeps mutating.
+
+    A lambda or closure passed to ``after()``/``after_cancellable()``/
+    ``schedule*``/``*timer*``/``*hedge*`` runs later, on the event
+    loop's schedule — but it closes over the caller's variables by
+    *reference*.  If the caller rebinds or mutates a captured variable
+    after the handoff, the callback observes whichever state the race
+    happens to produce; under process executors the copies additionally
+    diverge.  Pass a snapshot (bind current values as defaults or
+    arguments) instead of mutating a captured object.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local_defs = {
+            stmt.name: stmt
+            for stmt in ast.walk(node)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt is not node
+        }
+        nested = _nested_node_ids(node)
+        for sub in ast.walk(node):
+            if id(sub) in nested:
+                continue  # a nested def owns its own handoffs
+            if not (isinstance(sub, ast.Call) and _is_handoff_call(sub)):
+                continue
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                callback: Optional[ast.AST] = None
+                if isinstance(arg, ast.Lambda):
+                    callback = arg
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    callback = local_defs[arg.id]
+                if callback is None:
+                    continue
+                free = _callback_free_names(callback)
+                if not free:
+                    continue
+                end_line = max(
+                    (getattr(s, "lineno", sub.lineno) for s in ast.walk(sub)),
+                    default=sub.lineno,
+                )
+                flagged: set[str] = set()
+                for name, line in _mutations_after(node, free, end_line):
+                    if name in flagged:
+                        continue
+                    flagged.add(name)
+                    yield Violation(
+                        path,
+                        sub.lineno,
+                        sub.col_offset,
+                        "OWN003",
+                        f"callback handed off at line {sub.lineno} captures "
+                        f"{name!r}, which is mutated afterwards (line "
+                        f"{line}); the timer observes racy state — pass a "
+                        f"snapshot instead",
+                    )
 
 
 @rule("SLOT001")

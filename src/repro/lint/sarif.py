@@ -1,0 +1,245 @@
+"""Machine-readable lint output: JSON findings and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what CI
+annotation surfaces and editors ingest; :func:`to_sarif` emits the
+minimal conforming document — tool driver with the rule catalogue,
+one ``result`` per violation with a physical location — and
+:func:`validate_sarif` is the hand-rolled structural validator the
+tests (and ``repro report``-style tooling) check the output against,
+mirroring the repo's schema-validator convention in
+:mod:`repro.obs.schema` (no third-party dependency).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.lint.rules import RULE_METADATA, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+_TOOL_INFO_URI = "https://github.com/adcache/repro/blob/main/docs/static_analysis.md"
+
+
+def _relative_uri(path: str, base: Optional[str]) -> str:
+    """A forward-slash, preferably base-relative URI for one file."""
+    if base:
+        try:
+            rel = os.path.relpath(path, base)
+            if not rel.startswith(".."):
+                return rel.replace(os.sep, "/")
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def violation_to_dict(violation: Violation, base: Optional[str] = None) -> Dict[str, Any]:
+    """The plain-JSON shape of one finding (``--format json``)."""
+    meta = RULE_METADATA.get(violation.rule_id)
+    return {
+        "path": _relative_uri(violation.path, base),
+        "line": violation.line,
+        "col": violation.col,
+        "rule": violation.rule_id,
+        "family": meta.family if meta else violation.rule_id,
+        "scope": meta.scope if meta else "syntactic",
+        "message": violation.message,
+    }
+
+
+def to_json(
+    violations: Iterable[Violation], base: Optional[str] = None
+) -> str:
+    """The full findings list as a deterministic JSON document."""
+    payload = {
+        "tool": _TOOL_NAME,
+        "findings": [violation_to_dict(v, base) for v in violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    meta = RULE_METADATA.get(rule_id)
+    descriptor: Dict[str, Any] = {"id": rule_id}
+    if meta is not None:
+        descriptor["shortDescription"] = {"text": meta.summary or rule_id}
+        descriptor["fullDescription"] = {"text": meta.doc or meta.summary}
+        descriptor["properties"] = {"family": meta.family, "scope": meta.scope}
+    else:
+        descriptor["shortDescription"] = {"text": rule_id}
+    return descriptor
+
+
+def to_sarif(
+    violations: Iterable[Violation], base: Optional[str] = None
+) -> Dict[str, Any]:
+    """A SARIF 2.1.0 document for the given findings.
+
+    Every rule that fired is described in the tool driver's ``rules``
+    array and referenced by index from its results, which is what lets
+    SARIF viewers show the full rule documentation inline.
+    """
+    findings = list(violations)
+    fired = sorted({v.rule_id for v in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    results: List[Dict[str, Any]] = []
+    for violation in findings:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "ruleIndex": rule_index[violation.rule_id],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(violation.path, base),
+                            },
+                            "region": {
+                                "startLine": max(violation.line, 1),
+                                "startColumn": max(violation.col + 1, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_INFO_URI,
+                        "rules": [_rule_descriptor(r) for r in fired],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Iterable[Violation], base: Optional[str] = None
+) -> str:
+    return json.dumps(to_sarif(violations, base), indent=2, sort_keys=True) + "\n"
+
+
+def validate_sarif(doc: Mapping[str, Any]) -> List[str]:
+    """Structural validation against the SARIF 2.1.0 shape.
+
+    Returns human-readable problems (empty list = valid).  Checks the
+    required top-level members, per-run tool driver, rule references,
+    and that every result's location carries a positive line/column —
+    the constraints the official JSON schema enforces on the subset of
+    SARIF this tool emits.
+    """
+    problems: List[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    if not isinstance(doc.get("$schema"), str):
+        problems.append("$schema must be a string URI")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}.tool.driver.name must be a string")
+            rules: List[Any] = []
+        else:
+            rules = driver.get("rules", [])
+            if not isinstance(rules, list):
+                problems.append(f"{where}.tool.driver.rules must be an array")
+                rules = []
+            for i, rule_desc in enumerate(rules):
+                if not isinstance(rule_desc, dict) or not isinstance(
+                    rule_desc.get("id"), str
+                ):
+                    problems.append(
+                        f"{where}.tool.driver.rules[{i}].id must be a string"
+                    )
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        rule_ids = [
+            r.get("id") for r in rules if isinstance(r, dict)
+        ]
+        for i, result in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere} must be an object")
+                continue
+            if not isinstance(result.get("ruleId"), str):
+                problems.append(f"{rwhere}.ruleId must be a string")
+            index = result.get("ruleIndex")
+            if index is not None and (
+                not isinstance(index, int)
+                or index < 0
+                or index >= len(rule_ids)
+                or rule_ids[index] != result.get("ruleId")
+            ):
+                problems.append(
+                    f"{rwhere}.ruleIndex must point at the matching "
+                    f"driver rule"
+                )
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{rwhere}.message.text must be a string")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{rwhere}.locations must be non-empty")
+                continue
+            for j, location in enumerate(locations):
+                lwhere = f"{rwhere}.locations[{j}]"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    problems.append(f"{lwhere}.physicalLocation missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str
+                ):
+                    problems.append(
+                        f"{lwhere}.physicalLocation.artifactLocation.uri "
+                        f"must be a string"
+                    )
+                region = physical.get("region")
+                if not isinstance(region, dict):
+                    problems.append(f"{lwhere}.physicalLocation.region missing")
+                    continue
+                for field in ("startLine", "startColumn"):
+                    value = region.get(field)
+                    if field == "startColumn" and value is None:
+                        continue
+                    if not isinstance(value, int) or value < 1:
+                        problems.append(
+                            f"{lwhere}.physicalLocation.region.{field} "
+                            f"must be a positive integer"
+                        )
+    return problems

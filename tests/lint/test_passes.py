@@ -1,0 +1,370 @@
+"""Whole-program DET/OWN rules: every rule catches a seeded violation
+and stays quiet on the corrected form.
+
+The centerpiece is the cross-module DET001 fixture: ambient entropy
+reachable from a serve entry only through a 2-hop call chain spanning
+three files — flagged by the whole-program pass, and provably
+invisible to the old per-module pass (linting each file alone finds
+nothing).
+"""
+
+from repro.lint.runner import LintEngine, lint_file
+
+
+def _write(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def _run(root, rules):
+    return LintEngine([str(root)], rules).run().findings
+
+
+# -- DET001: transitive ambient nondeterminism -------------------------------
+
+_DET001_FILES = {
+    "util.py": ("import os\n\n\ndef token():\n    return os.urandom(8)\n"),
+    "shaping.py": (
+        "from util import token as fresh_token\n\n\n"
+        "def helper():\n    return fresh_token()\n"
+    ),
+    "serve_entry.py": (
+        "from shaping import helper\n\n\n"
+        "def serve_requests():\n    return helper()\n"
+    ),
+}
+
+
+def test_det001_flags_two_hop_cross_module_chain(tmp_path):
+    root = _write(tmp_path, _DET001_FILES)
+    findings = _run(root, ["DET001"])
+    assert [f.rule_id for f in findings] == ["DET001"]
+    violation = findings[0]
+    # Reported at the ambient call site, two modules from the root.
+    assert violation.path.endswith("util.py")
+    assert violation.line == 5
+    assert "os.urandom" in violation.message
+    assert "serve_entry.serve_requests" in violation.message
+    assert "serve_requests() -> helper() -> token()" in violation.message
+
+
+def test_det001_chain_is_invisible_to_per_module_pass(tmp_path):
+    """The old single-file pass cannot see this defect: linting each
+    module alone — all rules enabled — reports nothing at all."""
+    root = _write(tmp_path, _DET001_FILES)
+    for rel in _DET001_FILES:
+        assert lint_file(str(root / rel)) == []
+
+
+def test_det001_quiet_when_rng_is_injected(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "util.py": ("def token(rng):\n    return rng.getrandbits(64)\n"),
+            "shaping.py": (
+                "from util import token as fresh_token\n\n\n"
+                "def helper(rng):\n    return fresh_token(rng)\n"
+            ),
+            "serve_entry.py": (
+                "from shaping import helper\n\n\n"
+                "def serve_requests(rng):\n    return helper(rng)\n"
+            ),
+        },
+    )
+    assert _run(root, ["DET001"]) == []
+
+
+def test_det001_ambient_without_serve_root_is_quiet(tmp_path):
+    # Entropy in a module no serve/engine entry reaches is not DET001's
+    # business (SIM001 governs the import site in repo code).
+    root = _write(
+        tmp_path,
+        {"offline.py": "import os\n\n\ndef fill():\n    return os.urandom(4)\n"},
+    )
+    assert _run(root, ["DET001"]) == []
+
+
+# -- DET002: unordered iteration into ordering-sensitive sinks ---------------
+
+
+def test_det002_flags_set_loop_feeding_sink_via_call_graph(tmp_path):
+    # `emit` is not sink-named; it is order-sensitive only because the
+    # call graph shows it transitively calls `frame_record`.
+    root = _write(
+        tmp_path,
+        {
+            "sink.py": (
+                "def frame_record(item):\n"
+                "    return ('%s' % item).encode()\n"
+                "\n\n"
+                "def emit(item):\n"
+                "    return frame_record(item)\n"
+            ),
+            "writer.py": (
+                "from sink import emit\n\n\n"
+                "def flush(batch):\n"
+                "    pending = set(batch)\n"
+                "    out = []\n"
+                "    for item in pending:\n"
+                "        out.append(emit(item))\n"
+                "    return out\n"
+            ),
+        },
+    )
+    findings = _run(root, ["DET002"])
+    assert [f.rule_id for f in findings] == ["DET002"]
+    assert findings[0].path.endswith("writer.py")
+    assert findings[0].line == 7
+    assert "sorted" in findings[0].message
+
+
+def test_det002_quiet_when_iteration_is_sorted(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "sink.py": (
+                "def frame_record(item):\n"
+                "    return ('%s' % item).encode()\n"
+            ),
+            "writer.py": (
+                "from sink import frame_record\n\n\n"
+                "def flush(batch):\n"
+                "    pending = set(batch)\n"
+                "    out = []\n"
+                "    for item in sorted(pending):\n"
+                "        out.append(frame_record(item))\n"
+                "    return out\n"
+            ),
+        },
+    )
+    assert _run(root, ["DET002"]) == []
+
+
+def test_det002_flags_set_passed_directly_to_sink(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "m.py": (
+                "def merge_shards(parts):\n"
+                "    pass\n"
+                "\n\n"
+                "def collect(results):\n"
+                "    return merge_shards(set(results))\n"
+            ),
+        },
+    )
+    findings = _run(root, ["DET002"])
+    assert [f.rule_id for f in findings] == ["DET002"]
+    assert "pass sorted(...)" in findings[0].message
+
+
+# -- DET003: unordered float accumulation (syntactic sibling) ----------------
+
+
+def test_det003_flags_accumulation_over_set(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "stats.py": (
+                "def audit(samples):\n"
+                "    vals = set(samples)\n"
+                "    total_mass = 0.0\n"
+                "    for v in vals:\n"
+                "        total_mass += v\n"
+                "    return total_mass\n"
+            ),
+        },
+    )
+    findings = _run(root, ["DET003"])
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert "total_mass" in findings[0].message
+
+
+def test_det003_quiet_when_sorted(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "stats.py": (
+                "def audit(samples):\n"
+                "    vals = set(samples)\n"
+                "    total_mass = 0.0\n"
+                "    for v in sorted(vals):\n"
+                "        total_mass += v\n"
+                "    return total_mass\n"
+            ),
+        },
+    )
+    assert _run(root, ["DET003"]) == []
+
+
+def test_det003_flags_sum_over_set_display(tmp_path):
+    root = _write(
+        tmp_path,
+        {"s.py": "def f(xs):\n    return sum({x * 0.5 for x in xs})\n"},
+    )
+    findings = _run(root, ["DET003"])
+    assert [f.rule_id for f in findings] == ["DET003"]
+
+
+# -- OWN001: shared mutable module state across components -------------------
+
+_OWN001_FILES = {
+    "state.py": "live_keys = {}\n",
+    "comp_a.py": (
+        "from state import live_keys\n\n\n"
+        "class AShard(ServeComponent):\n"
+        "    def note(self, key):\n"
+        "        live_keys[key] = True\n"
+    ),
+    "comp_b.py": (
+        "import state\n\n\n"
+        "class BShard(ServeComponent):\n"
+        "    def seen(self, key):\n"
+        "        return key in state.live_keys\n"
+    ),
+}
+
+
+def test_own001_flags_global_shared_by_two_components(tmp_path):
+    root = _write(tmp_path, _OWN001_FILES)
+    findings = _run(root, ["OWN001"])
+    assert [f.rule_id for f in findings] == ["OWN001"]
+    violation = findings[0]
+    # Reported where the global is defined, naming both sharers.
+    assert violation.path.endswith("state.py")
+    assert violation.line == 1
+    assert "comp_a.AShard" in violation.message
+    assert "comp_b.BShard" in violation.message
+
+
+def test_own001_quiet_with_single_owner(tmp_path):
+    files = dict(_OWN001_FILES)
+    files["comp_b.py"] = (
+        "class BShard(ServeComponent):\n"
+        "    def seen(self, key):\n"
+        "        return False\n"
+    )
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN001"]) == []
+
+
+def test_own001_ignores_non_component_sharers(tmp_path):
+    files = dict(_OWN001_FILES)
+    files["comp_b.py"] = (
+        "import state\n\n\n"
+        "class PlainHelper:\n"
+        "    def seen(self, key):\n"
+        "        return key in state.live_keys\n"
+    )
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN001"]) == []
+
+
+# -- OWN002: global single-writer metric counters ----------------------------
+
+_OWN002_FILES = {
+    "names.py": "WINDOW_OPS = 'window_ops'\nEVICTIONS = 'evictions'\n",
+    "ma.py": (
+        "import names as N\n\n\n"
+        "class AEngine:\n"
+        "    def tick(self, rec):\n"
+        "        rec.inc(N.WINDOW_OPS)\n"
+    ),
+    "mb.py": (
+        "import names as N\n\n\n"
+        "class BEngine:\n"
+        "    def tick(self, rec):\n"
+        "        rec.inc(N.WINDOW_OPS)\n"
+    ),
+}
+
+
+def test_own002_flags_metric_with_two_writer_classes(tmp_path):
+    root = _write(tmp_path, _OWN002_FILES)
+    findings = _run(root, ["OWN002"])
+    # Every inc site of the doubly-owned metric is flagged.
+    assert [f.rule_id for f in findings] == ["OWN002", "OWN002"]
+    assert {f.path.rsplit("/", 1)[-1] for f in findings} == {"ma.py", "mb.py"}
+    assert "ma.AEngine" in findings[0].message
+    assert "mb.BEngine" in findings[0].message
+
+
+def test_own002_quiet_with_distinct_metrics(tmp_path):
+    files = dict(_OWN002_FILES)
+    files["mb.py"] = files["mb.py"].replace("N.WINDOW_OPS", "N.EVICTIONS")
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN002"]) == []
+
+
+def test_own002_exempts_test_modules(tmp_path):
+    files = dict(_OWN002_FILES)
+    # The second writer lives in a test module: exercising the registry
+    # in tests is not ownership.
+    files["test_metrics.py"] = files.pop("mb.py")
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN002"]) == []
+
+
+# -- OWN003: callback capture after handoff (syntactic sibling) --------------
+
+
+def test_own003_flags_mutation_after_timer_handoff(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "t.py": (
+                "def arm(loop):\n"
+                "    pending = []\n"
+                "    loop.call_later(5.0, lambda: pending.append(1))\n"
+                "    pending.append(2)\n"
+            ),
+        },
+    )
+    findings = _run(root, ["OWN003"])
+    assert [f.rule_id for f in findings] == ["OWN003"]
+    assert findings[0].line == 3
+    assert "'pending'" in findings[0].message
+    assert "snapshot" in findings[0].message
+
+
+def test_own003_quiet_when_mutation_precedes_handoff(tmp_path):
+    root = _write(
+        tmp_path,
+        {
+            "t.py": (
+                "def arm(loop):\n"
+                "    pending = []\n"
+                "    pending.append(2)\n"
+                "    loop.call_later(5.0, lambda: pending.append(1))\n"
+            ),
+        },
+    )
+    assert _run(root, ["OWN003"]) == []
+
+
+# -- selection plumbing ------------------------------------------------------
+
+
+def test_unknown_rule_selection_runs_nothing(tmp_path):
+    root = _write(tmp_path, _DET001_FILES)
+    assert _run(root, ["NOPE999"]) == []
+
+
+def test_rules_compose_across_scopes(tmp_path):
+    # One engine run executes syntactic and whole-program rules
+    # together and orders findings deterministically by location.
+    files = dict(_DET001_FILES)
+    files["stats.py"] = (
+        "def audit(samples):\n"
+        "    vals = set(samples)\n"
+        "    total_mass = 0.0\n"
+        "    for v in vals:\n"
+        "        total_mass += v\n"
+        "    return total_mass\n"
+    )
+    root = _write(tmp_path, files)
+    findings = _run(root, ["DET001", "DET003"])
+    assert sorted(f.rule_id for f in findings) == ["DET001", "DET003"]
