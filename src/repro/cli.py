@@ -359,6 +359,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_atlas(args: argparse.Namespace) -> int:
+    """Run the scenarios × strategies matrix over the serving fleet."""
+    from repro.workloads.atlas import (
+        AtlasConfig,
+        experiments_section,
+        run_atlas,
+    )
+    from repro.workloads.scenarios import describe_scenarios
+
+    if args.list_scenarios:
+        print(describe_scenarios())
+        return 0
+    config = AtlasConfig(
+        scenarios=tuple(args.scenarios.split(",")) if args.scenarios else (),
+        strategies=tuple(args.strategies.split(",")),
+        seed=args.seed,
+        num_keys=args.num_keys,
+        tenants=args.tenants,
+        phase_ops=args.phase_ops,
+        arrival_rate_ops_s=args.arrival_rate,
+        num_shards=args.shards,
+        cache_kb=args.cache_kb,
+        window_size=args.window_size,
+        double_run=not args.single_run,
+    )
+    result = run_atlas(config, progress=print)
+    print()
+    print(result.to_markdown())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        print(f"wrote JSON matrix to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(result.to_markdown())
+        print(f"wrote markdown report to {args.markdown}")
+    if args.append_experiments:
+        with open(args.append_experiments, "a", encoding="utf-8") as fh:
+            fh.write(experiments_section(result))
+        print(f"appended atlas section to {args.append_experiments}")
+    failures = result.failures()
+    if failures:
+        for cell in failures:
+            print(
+                f"FAIL: {cell.scenario} x {cell.strategy} double run "
+                f"diverged (determinism regression)"
+            )
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the host-side perf microbenchmarks (see docs/performance.md)."""
     import json
@@ -617,6 +668,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(serve)
     _add_obs_dir(serve)
     serve.set_defaults(func=cmd_serve)
+
+    atlas = sub.add_parser(
+        "atlas",
+        help="sweep the scenario atlas against the cache strategies "
+        "(see docs/workloads.md)",
+    )
+    atlas.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the registered scenarios with their intents and exit",
+    )
+    atlas.add_argument(
+        "--scenarios",
+        help="comma-separated scenario names (default: all registered)",
+    )
+    atlas.add_argument(
+        "--strategies", default="adcache,range-lecar,range-cacheus,block",
+        help="comma-separated strategy names",
+    )
+    atlas.add_argument("--seed", type=int, default=0)
+    atlas.add_argument(
+        "--num-keys", type=int, default=3000,
+        help="base keyspace per scenario (growth scenarios scale it up)",
+    )
+    atlas.add_argument("--tenants", type=int, default=4)
+    atlas.add_argument(
+        "--phase-ops", type=int, default=800,
+        help="nominal per-tenant op budget per full-intensity phase",
+    )
+    atlas.add_argument("--arrival-rate", type=float, default=2000.0)
+    atlas.add_argument("--shards", type=int, default=2)
+    atlas.add_argument("--cache-kb", type=int, default=256)
+    atlas.add_argument("--window-size", type=int, default=250)
+    atlas.add_argument(
+        "--single-run", action="store_true",
+        help="skip the double-run fingerprint check (faster, less safe)",
+    )
+    atlas.add_argument("--json", help="write the machine-readable matrix here")
+    atlas.add_argument("--markdown", help="write the win/loss report here")
+    atlas.add_argument(
+        "--append-experiments", metavar="PATH",
+        help="append the atlas section to this markdown file "
+        "(e.g. EXPERIMENTS.md)",
+    )
+    atlas.set_defaults(func=cmd_atlas)
 
     report = sub.add_parser(
         "report", help="render/validate an exported obs directory"

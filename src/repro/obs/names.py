@@ -165,6 +165,9 @@ SERVE_SCANS_PARTIAL = register(
 SERVE_BREAKER_TRANSITIONS = register(
     "serve.breaker.transitions", COUNTER, "circuit-breaker state changes"
 )
+SERVE_PHASE_TRANSITIONS = register(
+    "serve.phase.transitions", COUNTER, "scenario-schedule phase boundaries crossed"
+)
 
 # -- controller counters ------------------------------------------------------
 
@@ -197,6 +200,9 @@ G_SCAN_A = register("gauge.controller.scan_a", GAUGE, "applied partial-admission
 G_SCAN_B = register("gauge.controller.scan_b", GAUGE, "applied partial-admission b")
 G_DEGRADE_LEVEL = register(
     "gauge.serve.degrade_level", GAUGE, "degradation-ladder level in force"
+)
+G_SCENARIO_PHASE = register(
+    "gauge.serve.scenario_phase", GAUGE, "index of the scenario phase in force"
 )
 
 # -- histograms (log-bucketed) ------------------------------------------------
@@ -246,6 +252,7 @@ EV_SHARD_PROMOTE = "shard_promote"
 EV_BREAKER = "breaker"
 EV_HEDGE = "hedge"
 EV_DEGRADE = "degrade"
+EV_PHASE = "phase_change"
 
 #: The closed set of event kinds a trace line may carry.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -274,4 +281,5 @@ EVENT_KINDS: Tuple[str, ...] = (
     EV_BREAKER,
     EV_HEDGE,
     EV_DEGRADE,
+    EV_PHASE,
 )

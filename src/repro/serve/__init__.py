@@ -24,7 +24,12 @@ from repro.serve.resilience import (
     ResilienceConfig,
 )
 from repro.serve.router import ShardRouter, fnv1a_64
-from repro.serve.session import ClientSession, TenantConfig
+from repro.serve.session import (
+    ClientSession,
+    PhaseSlot,
+    ScriptedSession,
+    TenantConfig,
+)
 from repro.serve.simulator import (
     ServeConfig,
     ServeResult,
@@ -39,9 +44,11 @@ __all__ = [
     "ClientSession",
     "DegradationLadder",
     "EventLoop",
+    "PhaseSlot",
     "Request",
     "RequestQueue",
     "ResilienceConfig",
+    "ScriptedSession",
     "ServeComponent",
     "ServeConfig",
     "ServeResult",

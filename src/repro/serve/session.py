@@ -1,4 +1,4 @@
-"""Client sessions: open-loop and closed-loop tenants.
+"""Client sessions: open-loop, closed-loop, and scenario-scripted tenants.
 
 An **open-loop** client issues requests on a Poisson process (seeded
 exponential inter-arrival times) regardless of completions — the
@@ -9,13 +9,20 @@ think time) between completions, so its throughput adapts to service
 latency.  Both draw their operation stream from a deterministic
 :class:`~repro.workloads.generator.WorkloadGenerator` and all timing
 randomness from a per-session seeded ``Random``.
+
+A **scripted** session (:class:`ScriptedSession`) plays a scenario
+schedule: simulated time is divided into phases, each giving the tenant
+its own operation stream, op budget, and arrival-rate scale.  Dormant
+phases (no budget, or the tenant absent from the phase) make the
+session sleep until the phase ends — that is how diurnal waves, flash
+crowds, and tenant arrival/churn are expressed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.bench.report import LatencyHistogram
 from repro.errors import ConfigError
@@ -106,3 +113,114 @@ class ClientSession:
         if self.config.think_time_us <= 0:
             return 0.0
         return self._rng.expovariate(1.0 / self.config.think_time_us)
+
+
+@dataclass
+class PhaseSlot:
+    """One tenant's script for one scenario phase.
+
+    ``stream`` is None for dormant phases; ``ops_left`` counts down as
+    the session consumes the phase's budget.
+    """
+
+    start_us: float
+    end_us: float
+    ops_left: int
+    rate_scale: float
+    stream: Optional[Iterator[Operation]]
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise ConfigError(
+                f"phase slot must have positive duration, got "
+                f"[{self.start_us:g}, {self.end_us:g})"
+            )
+        if self.ops_left < 0:
+            raise ConfigError(f"phase slot ops must be >= 0, got {self.ops_left}")
+
+    @property
+    def dormant(self) -> bool:
+        """Whether this slot can never issue an operation."""
+        return self.stream is None or self.ops_left <= 0 or self.rate_scale <= 0
+
+
+#: ``poll`` outcomes: issue an op now / sleep until a time / stream done.
+PollResult = Tuple[str, float, Optional[Operation]]
+
+
+class ScriptedSession(ClientSession):
+    """A tenant driven by a scenario schedule instead of one stream.
+
+    Always open-loop: the offered load is the script, scaled per phase.
+    The simulator drives it through :meth:`poll` — which either hands
+    over the next operation, asks to sleep until a phase boundary, or
+    reports the script exhausted — and spaces issues with
+    :meth:`arrival_delay_us` (exponential at the phase-scaled rate).
+    """
+
+    __slots__ = ("slots", "_slot_idx")
+
+    def __init__(
+        self, config: TenantConfig, slots: Sequence[PhaseSlot], seed: int = 0
+    ) -> None:
+        if config.mode != "open":
+            raise ConfigError(
+                f"tenant {config.name!r}: scripted sessions are open-loop only"
+            )
+        # Deliberately no super().__init__: the parent couples its op
+        # stream to one generator; a scripted session owns one per slot.
+        self.config = config
+        self.name = config.name
+        self._ops = iter(())  # parent protocol; poll() drives issuance
+        self._rng = Random(seed)
+        self.issued = 0
+        self.completed = 0
+        self.rejected = 0
+        self.latency = LatencyHistogram()
+        self.slots: List[PhaseSlot] = list(slots)
+        self._slot_idx = 0
+        if not self.slots:
+            raise ConfigError(f"tenant {config.name!r}: empty phase script")
+
+    @property
+    def current_slot(self) -> Optional[PhaseSlot]:
+        """The slot the session is in (None once the script is done)."""
+        if self._slot_idx >= len(self.slots):
+            return None
+        return self.slots[self._slot_idx]
+
+    def poll(self, now_us: float) -> PollResult:
+        """Advance the script to ``now_us`` and decide what happens next.
+
+        Returns ``("issue", 0, op)`` when an operation should enter the
+        system now, ``("sleep", wake_us, None)`` when the session is
+        dormant until ``wake_us`` (always > ``now_us``), and
+        ``("done", 0, None)`` once every slot is exhausted.
+        """
+        while self._slot_idx < len(self.slots):
+            slot = self.slots[self._slot_idx]
+            if now_us >= slot.end_us:
+                self._slot_idx += 1
+                continue
+            if now_us < slot.start_us:
+                return ("sleep", slot.start_us, None)
+            if slot.dormant:
+                return ("sleep", slot.end_us, None)
+            assert slot.stream is not None
+            op = next(slot.stream, None)
+            if op is None:
+                slot.ops_left = 0
+                return ("sleep", slot.end_us, None)
+            slot.ops_left -= 1
+            self.issued += 1
+            return ("issue", 0.0, op)
+        return ("done", 0.0, None)
+
+    def arrival_delay_us(self) -> float:
+        """Exponential inter-arrival delay at the phase-scaled rate."""
+        scale = 1.0
+        slot = self.current_slot
+        if slot is not None and slot.rate_scale > 0:
+            scale = slot.rate_scale
+        rate_per_us = self.config.arrival_rate_ops_s * scale / 1e6
+        return self._rng.expovariate(rate_per_us)

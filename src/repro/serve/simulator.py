@@ -69,13 +69,19 @@ from repro.serve.resilience import (
     ResilienceConfig,
 )
 from repro.serve.router import ShardRouter
-from repro.serve.session import ClientSession, TenantConfig
+from repro.serve.session import (
+    ClientSession,
+    PhaseSlot,
+    ScriptedSession,
+    TenantConfig,
+)
 from repro.workloads.generator import (
     WorkloadGenerator,
     WorkloadSpec,
     balanced_workload,
 )
 from repro.workloads.keys import key_of, value_of
+from repro.workloads.scenarios import ScenarioSchedule
 
 
 @dataclass
@@ -110,8 +116,29 @@ class ServeConfig:
     #: the golden fingerprints and the perf gate see an untouched run.
     obs: bool = False
     obs_trace_capacity: int = 4096
+    #: Scenario-atlas mode: play a multi-phase schedule instead of one
+    #: stationary workload.  Adopts the schedule's tenant set, keyspace,
+    #: and op budget; ``workload``/``closed_clients`` must stay default.
+    schedule: Optional[ScenarioSchedule] = None
 
     def __post_init__(self) -> None:
+        if self.schedule is not None:
+            if self.workload is not None:
+                raise ConfigError(
+                    "schedule and workload are mutually exclusive; the "
+                    "schedule carries its own per-phase specs"
+                )
+            if self.closed_clients:
+                raise ConfigError(
+                    "scheduled runs are open-loop only; closed_clients "
+                    "must be 0"
+                )
+            # The schedule defines the population, the work, and the
+            # base offered load its phase durations were sized for.
+            self.num_clients = len(self.schedule.tenant_names)
+            self.num_keys = self.schedule.num_keys
+            self.total_ops = self.schedule.total_ops
+            self.arrival_rate_ops_s = self.schedule.arrival_rate_ops_s
         if self.num_clients <= 0:
             raise ConfigError("num_clients must be positive")
         if self.num_shards <= 0:
@@ -450,6 +477,12 @@ def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
     per_shard_ids = router.shard_ids()
     base = config.cache_bytes // config.num_shards
     res = config.resilience
+    # Key-space-growth schedules preload only a prefix of the keyspace;
+    # the rest comes into existence through the scenario's writes.  The
+    # router still owns the full range (keys_owned is unchanged).
+    preload = config.num_keys
+    if config.schedule is not None:
+        preload = config.schedule.preload_keys
     shards: List[_Shard] = []
     for shard_id, ids in enumerate(per_shard_ids):
         tree = LSMTree(
@@ -459,7 +492,8 @@ def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
             )
         )
         tree.bulk_load(
-            ((key_of(i), value_of(i)) for i in ids), seed=7 + shard_id
+            ((key_of(i), value_of(i)) for i in ids if i < preload),
+            seed=7 + shard_id,
         )
         share = base
         if shard_id == 0:
@@ -492,7 +526,8 @@ def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
                 )
             )
             replica_tree.bulk_load(
-                ((key_of(i), value_of(i)) for i in ids), seed=7 + shard_id
+                ((key_of(i), value_of(i)) for i in ids if i < preload),
+                seed=7 + shard_id,
             )
             replica = build_engine(
                 config.strategy,
@@ -532,6 +567,55 @@ def _build_sessions(config: ServeConfig) -> List[ClientSession]:
     return sessions
 
 
+def _build_scripted_sessions(config: ServeConfig) -> List[ClientSession]:
+    """One :class:`ScriptedSession` per tenant in the scenario schedule.
+
+    Per-slot generators are seeded from ``(run seed, schedule seed,
+    tenant index, phase index)`` so every cell of the scenarios ×
+    strategies matrix is independently reproducible and two phases
+    never share a stream.
+    """
+    schedule = config.schedule
+    assert schedule is not None
+    starts = schedule.phase_starts()
+    sessions: List[ClientSession] = []
+    for t_idx, name in enumerate(schedule.tenant_names):
+        slots: List[PhaseSlot] = []
+        for p_idx, phase in enumerate(schedule.phases):
+            start = starts[p_idx]
+            end = start + phase.duration_us
+            load = phase.tenants.get(name)
+            if load is None or not load.active:
+                slots.append(PhaseSlot(start, end, 0, 0.0, None))
+                continue
+            generator = WorkloadGenerator(
+                load.spec,
+                seed=(
+                    config.seed
+                    + 9973 * schedule.seed
+                    + 1000 * (t_idx + 1)
+                    + 131 * (p_idx + 1)
+                ),
+            )
+            slots.append(
+                PhaseSlot(
+                    start, end, load.ops, load.rate_scale,
+                    generator.ops(load.ops),
+                )
+            )
+        tenant = TenantConfig(
+            name=name,
+            ops=schedule.tenant_total_ops(name),
+            mode="open",
+            arrival_rate_ops_s=config.arrival_rate_ops_s,
+            think_time_us=config.think_time_us,
+        )
+        sessions.append(
+            ScriptedSession(tenant, slots, seed=config.seed + 500 + t_idx)
+        )
+    return sessions
+
+
 class _Simulation:
     """Mutable run state; one instance per :func:`run_serve` call."""
 
@@ -550,7 +634,10 @@ class _Simulation:
                 recorder = ObsRecorder(trace_capacity=config.obs_trace_capacity)
                 shard.engine.attach_recorder(recorder)
                 self.obs_recorders.append(recorder)
-        self.sessions = _build_sessions(config)
+        if config.schedule is not None:
+            self.sessions = _build_scripted_sessions(config)
+        else:
+            self.sessions = _build_sessions(config)
         self._by_name: Dict[str, ClientSession] = {
             s.name: s for s in self.sessions
         }
@@ -695,6 +782,30 @@ class _Simulation:
             self.loop.after(
                 session.next_delay_us(), lambda: self.issue(session)
             )
+        self._dispatch(session, op)
+
+    def issue_scripted(self, session: ScriptedSession) -> None:
+        """Arrival path for scenario-scripted tenants.
+
+        The session's script decides whether an operation enters now,
+        the tenant sleeps through a dormant stretch (to the next phase
+        boundary), or the script is over.  Arrivals stay open-loop:
+        the next issue is scheduled before this op is dispatched, at
+        the current phase's scaled rate.
+        """
+        kind, wake_us, op = session.poll(self.loop.now)
+        if kind == "done":
+            return
+        if kind == "sleep":
+            self.loop.at(wake_us, lambda: self.issue_scripted(session))
+            return
+        assert op is not None
+        self.loop.after(
+            session.arrival_delay_us(), lambda: self.issue_scripted(session)
+        )
+        self._dispatch(session, op)
+
+    def _dispatch(self, session: ClientSession, op) -> None:
         if self.res is not None:
             self._issue_resilient(session, op)
             return
@@ -1082,6 +1193,18 @@ class _Simulation:
     def _session_of(self, name: str) -> ClientSession:
         return self._by_name[name]
 
+    # -- scenario phases ----------------------------------------------------
+
+    def _phase_marker(self, index: int, name: str) -> None:
+        """Trace (and record) a scenario phase boundary crossing."""
+        self.emit("phase", index, name)
+        if self.obs_recorders:
+            recorder = self.obs_recorders[0]
+            recorder.advance_to(self.loop.now)
+            recorder.inc(N.SERVE_PHASE_TRANSITIONS)
+            recorder.set_gauge(N.G_SCENARIO_PHASE, float(index))
+            recorder.event(N.EV_PHASE, index=index, phase=name)
+
     # -- run ------------------------------------------------------------
 
     def run(self) -> ServeResult:
@@ -1093,11 +1216,28 @@ class _Simulation:
                     crash.at_us,
                     (lambda sid: lambda: self.crash_shard(sid))(crash.shard_id),
                 )
+        schedule = self.config.schedule
+        if schedule is not None:
+            for index, (start, phase) in enumerate(
+                zip(schedule.phase_starts(), schedule.phases)
+            ):
+                self.loop.at(
+                    start,
+                    (lambda i, n: lambda: self._phase_marker(i, n))(
+                        index, phase.name
+                    ),
+                )
         for session in self.sessions:
-            self.loop.after(
-                session.next_delay_us(),
-                (lambda s: lambda: self.issue(s))(session),
-            )
+            if isinstance(session, ScriptedSession):
+                self.loop.after(
+                    session.arrival_delay_us(),
+                    (lambda s: lambda: self.issue_scripted(s))(session),
+                )
+            else:
+                self.loop.after(
+                    session.next_delay_us(),
+                    (lambda s: lambda: self.issue(s))(session),
+                )
         self.loop.run()
         if sanitize.env_enabled():
             # End-of-run full sweep, mirroring window-boundary sweeps.

@@ -52,25 +52,60 @@ class WorkloadSpec:
     point_skew: float = 0.9
     scan_skew: float = 0.9
     scrambled: bool = True
+    #: Deterministic hot-set rotation: sampled key ids are remapped to
+    #: ``(id + hot_offset) mod num_keys`` (see ZipfianGenerator.offset).
+    hot_offset: int = 0
     name: str = field(default="workload")
 
     def __post_init__(self) -> None:
         if self.num_keys <= 0:
-            raise ConfigError("num_keys must be positive")
-        ratios = (
-            self.get_ratio,
-            self.short_scan_ratio,
-            self.long_scan_ratio,
-            self.write_ratio,
-            self.delete_ratio,
-        )
-        if any(r < 0 for r in ratios):
-            raise ConfigError("ratios must be non-negative")
-        total = sum(ratios)
+            raise ConfigError(
+                f"workload {self.name!r}: num_keys must be a positive "
+                f"key-space size, got {self.num_keys}"
+            )
+        ratios = {
+            "get_ratio": self.get_ratio,
+            "short_scan_ratio": self.short_scan_ratio,
+            "long_scan_ratio": self.long_scan_ratio,
+            "write_ratio": self.write_ratio,
+            "delete_ratio": self.delete_ratio,
+        }
+        for ratio_name, value in ratios.items():
+            if value < 0:
+                raise ConfigError(
+                    f"workload {self.name!r}: {ratio_name} must be "
+                    f"non-negative, got {value:g}"
+                )
+        total = sum(ratios.values())
         if not 0.999 <= total <= 1.001:
-            raise ConfigError(f"ratios must sum to 1, got {total}")
-        if self.short_scan_length <= 0 or self.long_scan_length <= 0:
-            raise ConfigError("scan lengths must be positive")
+            detail = ", ".join(f"{k}={v:g}" for k, v in ratios.items())
+            raise ConfigError(
+                f"workload {self.name!r}: operation ratios must sum to 1, "
+                f"got {total:g} ({detail})"
+            )
+        for length_name, length in (
+            ("short_scan_length", self.short_scan_length),
+            ("long_scan_length", self.long_scan_length),
+        ):
+            if length <= 0:
+                raise ConfigError(
+                    f"workload {self.name!r}: {length_name} must be "
+                    f"positive, got {length}"
+                )
+        for skew_name, skew in (
+            ("point_skew", self.point_skew),
+            ("scan_skew", self.scan_skew),
+        ):
+            if skew < 0:
+                raise ConfigError(
+                    f"workload {self.name!r}: {skew_name} must be >= 0, "
+                    f"got {skew:g}"
+                )
+        if self.hot_offset < 0:
+            raise ConfigError(
+                f"workload {self.name!r}: hot_offset must be >= 0, "
+                f"got {self.hot_offset}"
+            )
 
     @property
     def scan_ratio(self) -> float:
@@ -102,10 +137,12 @@ class WorkloadGenerator:
         self.spec = spec
         self._rng = np.random.default_rng(seed)
         self._point_keys = ZipfianGenerator(
-            spec.num_keys, spec.point_skew, seed=seed + 1, scrambled=spec.scrambled
+            spec.num_keys, spec.point_skew, seed=seed + 1,
+            scrambled=spec.scrambled, offset=spec.hot_offset,
         )
         self._scan_keys = ZipfianGenerator(
-            spec.num_keys, spec.scan_skew, seed=seed + 2, scrambled=spec.scrambled
+            spec.num_keys, spec.scan_skew, seed=seed + 2,
+            scrambled=spec.scrambled, offset=spec.hot_offset,
         )
         self._probs = np.array(
             [

@@ -13,17 +13,25 @@ Format: one operation per line —
     s <key> <length>     range scan
     p <key> <value>      put
     d <key>              delete
+
+Multi-tenant streams (the serving layer, the scenario atlas) prefix a
+line with a tenant tag: ``@<tenant> g <key>``.  Untagged readers skip
+the tag; :func:`replay_tagged_trace` preserves it, yielding
+``(tenant, op)`` pairs with ``tenant=None`` on untagged lines.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.workloads.generator import Operation
 
 PathLike = Union[str, Path]
+
+#: One ``(tenant, op)`` pair of a tenant-tagged trace.
+TaggedOperation = Tuple[str, Operation]
 
 _KIND_TO_CODE = {"get": "g", "scan": "s", "put": "p", "delete": "d"}
 _CODE_TO_KIND = {v: k for k, v in _KIND_TO_CODE.items()}
@@ -43,6 +51,15 @@ def _encode(op: Operation) -> str:
     return f"{code} {op.key}"
 
 
+def _encode_tagged(tenant: str, op: Operation) -> str:
+    if not tenant or " " in tenant or "\n" in tenant or "\t" in tenant:
+        raise ConfigError(
+            f"trace tenant tags must be non-empty and whitespace-free, "
+            f"got {tenant!r}"
+        )
+    return f"@{tenant} {_encode(op)}"
+
+
 def _decode(line: str, lineno: int) -> Operation:
     parts = line.rstrip("\n").split(" ", 2)
     code = parts[0]
@@ -53,35 +70,78 @@ def _decode(line: str, lineno: int) -> Operation:
     if kind == "scan":
         if len(parts) != 3:
             raise ConfigError(f"bad scan line {lineno}: {line!r}")
-        return Operation("scan", key, length=int(parts[2]))
+        try:
+            length = int(parts[2])
+        except ValueError:
+            raise ConfigError(
+                f"bad scan length on trace line {lineno}: {line!r}"
+            ) from None
+        return Operation("scan", key, length=length)
     if kind == "put":
         value = parts[2] if len(parts) == 3 else ""
         return Operation("put", key, value=value)
     return Operation(kind, key)
 
 
-def record_trace(ops: Iterable[Operation], path: PathLike) -> int:
-    """Write an operation stream to ``path``; returns operations written."""
+def _decode_tagged(line: str, lineno: int) -> Tuple[Optional[str], Operation]:
+    body = line.rstrip("\n")
+    tenant: Optional[str] = None
+    if body.startswith("@"):
+        tag, _, rest = body.partition(" ")
+        tenant = tag[1:]
+        if not tenant or not rest:
+            raise ConfigError(f"bad tenant tag on trace line {lineno}: {line!r}")
+        body = rest
+    return tenant, _decode(body, lineno)
+
+
+def record_trace(
+    ops: Iterable[Union[Operation, TaggedOperation]], path: PathLike
+) -> int:
+    """Write an operation stream to ``path``; returns operations written.
+
+    Items may be bare :class:`Operation` values or ``(tenant, op)``
+    pairs; pairs land as tenant-tagged lines.
+    """
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
-        for op in ops:
-            fh.write(_encode(op))
+        for item in ops:
+            if isinstance(item, Operation):
+                fh.write(_encode(item))
+            else:
+                tenant, op = item
+                fh.write(_encode_tagged(tenant, op))
             fh.write("\n")
             count += 1
     return count
 
 
 def replay_trace(path: PathLike) -> Iterator[Operation]:
-    """Lazily yield the operations recorded at ``path``."""
+    """Lazily yield the operations recorded at ``path`` (tags dropped)."""
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             if line.strip():
-                yield _decode(line, lineno)
+                yield _decode_tagged(line, lineno)[1]
+
+
+def replay_tagged_trace(
+    path: PathLike,
+) -> Iterator[Tuple[Optional[str], Operation]]:
+    """Lazily yield ``(tenant, op)`` pairs; ``tenant`` is None untagged."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.strip():
+                yield _decode_tagged(line, lineno)
 
 
 def load_trace(path: PathLike) -> List[Operation]:
     """Eagerly load a recorded trace."""
     return list(replay_trace(path))
+
+
+def load_tagged_trace(path: PathLike) -> List[Tuple[Optional[str], Operation]]:
+    """Eagerly load a recorded trace with its tenant tags."""
+    return list(replay_tagged_trace(path))
 
 
 class TracingSink:

@@ -45,18 +45,31 @@ class ZipfianGenerator:
         RNG seed.
     scrambled:
         Permute ranks across the key space (YCSB ScrambledZipfian).
+    offset:
+        Deterministic hot-set rotation: every sampled id is remapped to
+        ``(id + offset) mod n``.  The rank distribution is untouched —
+        only *which* keys are hot moves — so time-varying workloads can
+        rotate the hot set mid-run without changing the skew shape.
     """
 
     def __init__(
-        self, n: int, theta: float = 0.9, seed: int = 0, scrambled: bool = True
+        self,
+        n: int,
+        theta: float = 0.9,
+        seed: int = 0,
+        scrambled: bool = True,
+        offset: int = 0,
     ) -> None:
         if n <= 0:
             raise ConfigError("n must be positive")
         if theta < 0.0:
             raise ConfigError("theta must be >= 0")
+        if offset < 0:
+            raise ConfigError(f"offset must be >= 0, got {offset}")
         self.n = n
         self.theta = theta
         self.scrambled = scrambled
+        self.offset = offset % n
         self._rng = np.random.default_rng(seed)
         self._seed = seed
         self._cdf: "np.ndarray | None" = None
@@ -93,15 +106,20 @@ class ZipfianGenerator:
             x = x ^ (x >> np.uint64(31))
         return (x % np.uint64(self.n)).astype(np.int64)
 
+    def _rotate(self, ids: np.ndarray) -> np.ndarray:
+        if not self.offset:
+            return ids
+        return (ids + np.int64(self.offset)) % np.int64(self.n)
+
     def sample(self, size: int) -> np.ndarray:
         """Draw ``size`` key ids."""
         if self.theta == 0.0:
-            return self._rng.integers(0, self.n, size=size)
+            return self._rotate(self._rng.integers(0, self.n, size=size))
         u = self._rng.random(size)
         if self._cdf is not None:
             ranks = np.searchsorted(self._cdf, u).astype(np.int64)
-            return self._scramble(np.clip(ranks, 0, self.n - 1))
-        return self._scramble(self._rank_from_uniform(u))
+            return self._rotate(self._scramble(np.clip(ranks, 0, self.n - 1)))
+        return self._rotate(self._scramble(self._rank_from_uniform(u)))
 
     def next(self) -> int:
         """Draw one key id."""

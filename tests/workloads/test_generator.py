@@ -119,3 +119,47 @@ class TestDynamicPhases:
     def test_subset_selection(self):
         specs = dynamic_phase_specs(1000, phases="CD")
         assert [name for name, _ in specs] == ["C", "D"]
+
+
+class TestSpecValidationMessages:
+    """Satellite: each rejection names the workload, field, and value."""
+
+    def test_zero_key_space(self):
+        with pytest.raises(ConfigError, match=r"'empty'.*num_keys.*got 0"):
+            WorkloadSpec(num_keys=0, get_ratio=1.0, name="empty")
+
+    def test_negative_ratio_names_the_field(self):
+        with pytest.raises(
+            ConfigError, match=r"write_ratio must be non-negative, got -0\.5"
+        ):
+            WorkloadSpec(num_keys=10, get_ratio=1.5, write_ratio=-0.5)
+
+    def test_over_unit_sum_reports_breakdown(self):
+        with pytest.raises(
+            ConfigError, match=r"must sum to 1, got 1\.5 \(get_ratio=1"
+        ):
+            WorkloadSpec(num_keys=10, get_ratio=1.0, write_ratio=0.5)
+
+    def test_under_unit_sum_rejected(self):
+        with pytest.raises(ConfigError, match=r"must sum to 1, got 0\.4"):
+            WorkloadSpec(num_keys=10, get_ratio=0.4)
+
+    def test_scan_length_and_skew_named(self):
+        with pytest.raises(
+            ConfigError, match="long_scan_length must be positive"
+        ):
+            WorkloadSpec(num_keys=10, get_ratio=1.0, long_scan_length=0)
+        with pytest.raises(ConfigError, match="point_skew must be >= 0"):
+            WorkloadSpec(num_keys=10, get_ratio=1.0, point_skew=-0.1)
+
+    def test_negative_hot_offset_rejected(self):
+        with pytest.raises(ConfigError, match="hot_offset must be >= 0"):
+            WorkloadSpec(num_keys=10, get_ratio=1.0, hot_offset=-3)
+
+    def test_hot_offset_reaches_generators(self):
+        spec = WorkloadSpec(
+            num_keys=100, get_ratio=1.0, scrambled=False, hot_offset=40
+        )
+        gen = WorkloadGenerator(spec, seed=1)
+        assert gen._point_keys.offset == 40
+        assert gen._scan_keys.offset == 40

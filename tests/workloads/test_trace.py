@@ -101,3 +101,95 @@ class TestTracingSink:
 
         for i in range(0, 300, 23):
             assert engine_a.get(key_of(i)) == engine_b.get(key_of(i))
+
+
+class TestTaggedTraces:
+    """Satellite: tenant-tagged round trips and malformed-line paths."""
+
+    def test_tagged_roundtrip(self, tmp_path):
+        from repro.workloads.trace import load_tagged_trace
+
+        pairs = [
+            ("client00", Operation("get", "k1")),
+            ("client01", Operation("scan", "k2", length=8)),
+            ("client00", Operation("put", "k3", value="v with spaces")),
+            ("client01", Operation("delete", "k4")),
+        ]
+        path = tmp_path / "tagged.trace"
+        assert record_trace(pairs, path) == 4
+        assert load_tagged_trace(path) == pairs
+
+    def test_mixed_tagged_and_bare_lines(self, tmp_path):
+        from repro.workloads.trace import load_tagged_trace
+
+        path = tmp_path / "mixed.trace"
+        record_trace(
+            [Operation("get", "a"), ("t1", Operation("get", "b"))], path
+        )
+        assert load_tagged_trace(path) == [
+            (None, Operation("get", "a")),
+            ("t1", Operation("get", "b")),
+        ]
+        # The untagged reader sees the same ops with tags dropped.
+        assert load_trace(path) == [
+            Operation("get", "a"), Operation("get", "b")
+        ]
+
+    def test_bad_tenant_tag_reports_lineno(self, tmp_path):
+        from repro.workloads.trace import load_tagged_trace
+
+        path = tmp_path / "badtag.trace"
+        path.write_text("g k1\n@ g k2\n")
+        with pytest.raises(
+            ConfigError, match="bad tenant tag on trace line 2"
+        ):
+            load_tagged_trace(path)
+        path.write_text("g k1\n@lonely\n")
+        with pytest.raises(
+            ConfigError, match="bad tenant tag on trace line 2"
+        ):
+            load_tagged_trace(path)
+
+    def test_whitespace_tenant_rejected_at_record(self, tmp_path):
+        with pytest.raises(ConfigError, match="whitespace-free"):
+            record_trace(
+                [("bad tenant", Operation("get", "k"))], tmp_path / "x.trace"
+            )
+        with pytest.raises(ConfigError, match="whitespace-free"):
+            record_trace([("", Operation("get", "k"))], tmp_path / "y.trace")
+
+
+class TestMalformedLines:
+    """Satellite: every decode error carries the 1-based line number."""
+
+    def test_unknown_code_lineno(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("g k1\ng k2\nx k3\n")
+        with pytest.raises(ConfigError, match="bad trace line 3"):
+            load_trace(path)
+
+    def test_missing_key_lineno(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("g\n")
+        with pytest.raises(ConfigError, match="bad trace line 1"):
+            load_trace(path)
+
+    def test_scan_without_length_lineno(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("g k1\ns k2\n")
+        with pytest.raises(ConfigError, match="bad scan line 2"):
+            load_trace(path)
+
+    def test_non_numeric_scan_length_lineno(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("g k1\ng k2\ns k3 sixteen\n")
+        with pytest.raises(
+            ConfigError, match="bad scan length on trace line 3"
+        ):
+            load_trace(path)
+
+    def test_blank_lines_do_not_shift_linenos(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("g k1\n\n\nx k2\n")
+        with pytest.raises(ConfigError, match="bad trace line 4"):
+            load_trace(path)

@@ -78,3 +78,52 @@ class TestSampling:
         # theta=1.2 is more skewed than theta=0.9.
         mild = ZipfianGenerator(1000, 0.9, seed=1, scrambled=False).sample(20_000)
         assert np.mean(ids < 10) > np.mean(mild < 10)
+
+
+class TestHotSetRotation:
+    """Satellite: the deterministic hot-set rotation offset."""
+
+    def test_rotation_is_elementwise_shift(self):
+        n = 1000
+        base = ZipfianGenerator(n, 0.9, seed=4, scrambled=False).sample(5000)
+        for k in (1, 137, n // 2, n - 1):
+            rotated = ZipfianGenerator(
+                n, 0.9, seed=4, scrambled=False, offset=k
+            ).sample(5000)
+            assert np.array_equal((base + k) % n, rotated)
+
+    def test_rank_distribution_unchanged(self):
+        """The hot set moves; the popularity *shape* does not."""
+        n = 1000
+        base = ZipfianGenerator(n, 0.99, seed=7, scrambled=False).sample(20_000)
+        rotated = ZipfianGenerator(
+            n, 0.99, seed=7, scrambled=False, offset=400
+        ).sample(20_000)
+        counts_base = np.sort(np.bincount(base, minlength=n))
+        counts_rot = np.sort(np.bincount(rotated, minlength=n))
+        assert np.array_equal(counts_base, counts_rot)
+
+    def test_hot_set_actually_moves(self):
+        n = 1000
+        rotated = ZipfianGenerator(
+            n, 0.99, seed=7, scrambled=False, offset=400
+        ).sample(20_000)
+        counts = np.bincount(rotated, minlength=n)
+        assert counts.argmax() == 400  # unscrambled rank 0 lands at offset
+
+    def test_rotation_composes_with_scramble_and_uniform(self):
+        n = 500
+        scrambled = ZipfianGenerator(n, 0.9, seed=2, offset=100).sample(2000)
+        uniform = ZipfianGenerator(n, 0.0, seed=2, offset=100).sample(2000)
+        high = ZipfianGenerator(
+            n, 1.2, seed=2, scrambled=False, offset=100
+        ).sample(2000)
+        for ids in (scrambled, uniform, high):
+            assert ids.min() >= 0 and ids.max() < n
+        assert np.bincount(high, minlength=n).argmax() == 100
+
+    def test_offset_wraps_and_validates(self):
+        gen = ZipfianGenerator(100, 0.9, seed=1, offset=250)
+        assert gen.offset == 50
+        with pytest.raises(ConfigError, match="offset must be >= 0"):
+            ZipfianGenerator(100, 0.9, offset=-1)
