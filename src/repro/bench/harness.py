@@ -78,6 +78,38 @@ def apply_operation(engine: KVEngine, op: Operation) -> None:
         raise ValueError(f"unknown operation kind {op.kind!r}")
 
 
+def apply_batch(engine: KVEngine, ops: List[Operation]) -> None:  # hot-path
+    """Execute one workload batch through the engine's ``multi_*`` API.
+
+    Batches carry client-side batch semantics (the MultiGet/WriteBatch
+    model): every read observes the pre-batch state, then the batch's
+    writes apply in arrival order.  That is a valid serialization of
+    the batch — reads first, writes after — so any result is one a
+    scalar replay of some equivalent order would produce, and it lets
+    every get in the batch share a single :meth:`KVEngine.multi_get`
+    (vectorized bloom/sketch probes, coalesced block fetches) no matter
+    how the generator interleaved kinds.
+    """
+    gets = [op.key for op in ops if op.kind == "get"]
+    if gets:
+        engine.multi_get(gets)
+    scans = [(op.key, op.length) for op in ops if op.kind == "scan"]
+    if scans:
+        engine.multi_scan(scans)
+    writes = [op for op in ops if op.kind in ("put", "delete")]
+    i, n = 0, len(writes)
+    while i < n:
+        if writes[i].kind == "delete":
+            engine.delete(writes[i].key)
+            i += 1
+            continue
+        j = i + 1
+        while j < n and writes[j].kind == "put":
+            j += 1
+        engine.multi_put([(op.key, op.value or "") for op in writes[i:j]])
+        i = j
+
+
 def estimated_hit_rate(
     engine: KVEngine,
     baseline: Optional[ClockReading] = None,
@@ -117,13 +149,18 @@ def run_workload(
     name: str = "run",
     cost_model: Optional[CostModel] = None,
     warmup_ops: int = 0,
+    batch_size: int = 1,
 ) -> RunResult:
     """Drive ``workload`` through ``engine`` and collect metrics.
 
     ``workload`` may be a :class:`WorkloadGenerator` (give ``num_ops``)
     or any iterable of operations.  ``warmup_ops`` are executed first
-    and excluded from every metric.
+    and excluded from every metric.  ``batch_size`` > 1 feeds the
+    measured operations through :func:`apply_batch` in chunks of that
+    size (warmup stays scalar); 1 is the byte-identical scalar loop.
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
     if isinstance(workload, (WorkloadGenerator,)):
         if num_ops is None:
             raise ValueError("num_ops is required with a WorkloadGenerator")
@@ -137,11 +174,24 @@ def run_workload(
     totals_before = engine.collector.totals()
 
     measured = 0
-    for op in ops_iter:
-        apply_operation(engine, op)
-        measured += 1
-        if num_ops is not None and measured >= num_ops:
-            break
+    if batch_size == 1:
+        for op in ops_iter:
+            apply_operation(engine, op)
+            measured += 1
+            if num_ops is not None and measured >= num_ops:
+                break
+    else:
+        while num_ops is None or measured < num_ops:
+            limit = (
+                batch_size
+                if num_ops is None
+                else min(batch_size, num_ops - measured)
+            )
+            batch = list(itertools.islice(ops_iter, limit))
+            if not batch:
+                break
+            apply_batch(engine, batch)
+            measured += len(batch)
 
     after = ClockReading.capture(engine)
     totals_after = engine.collector.totals()

@@ -43,6 +43,7 @@ from repro.workloads.generator import (
     WorkloadGenerator,
     WorkloadSpec,
     balanced_workload,
+    batched_mixed_workload,
     point_lookup_workload,
     short_scan_workload,
 )
@@ -59,6 +60,25 @@ PHASE_SPECS: Dict[str, Callable[[int], WorkloadSpec]] = {
     "scan": short_scan_workload,
     "mixed": balanced_workload,
 }
+
+#: The batched-execution family's phase (run once per ``--batch-size``,
+#: plus a scalar reference run, named ``mixedb`` / ``mixedb@b{N}``).
+BATCHED_PHASE = "mixedb"
+
+#: Every phase :func:`run_phase` accepts, including the batched family.
+ALL_PHASE_SPECS: Dict[str, Callable[[int], WorkloadSpec]] = {
+    **PHASE_SPECS,
+    BATCHED_PHASE: batched_mixed_workload,
+}
+
+#: Fixed configuration for the batched family: a keyspace much larger
+#: than the cache, so most gets miss every cache and reach the
+#: multi-level SSTable walk — the regime the batched path's vectorized
+#: digests and coalesced fetches are built for.  Presets don't rescale
+#: it: the family's speedup claim is tied to this shape.
+BATCHED_NUM_KEYS = 16_000
+BATCHED_CACHE_BYTES = 64 * 1024
+BATCHED_OPS = 6_000
 
 #: Iterations of the fixed calibration loop (host-speed probe).
 _CALIBRATION_OPS = 200_000
@@ -224,6 +244,7 @@ def run_phase(
     seed: int,
     calibration: float,
     repeats: int = 1,
+    batch_size: int = 1,
 ) -> PhaseResult:
     """Build a fresh engine, run one phase's workload, and time it.
 
@@ -235,21 +256,41 @@ def run_phase(
     Repeats are byte-identical simulations, so their fingerprints must
     agree; a mismatch means nondeterminism crept into the op path and
     raises :class:`~repro.errors.InvariantError` immediately.
+
+    ``batch_size`` > 1 drives the workload through the engine's batched
+    entry points (:func:`~repro.bench.harness.run_workload`'s batching)
+    and records the phase as ``{name}@b{batch_size}``; a batch of one
+    is the scalar path and keeps the bare name, so a family sweep's
+    scalar reference and batched runs coexist in one report.
     """
-    if name not in PHASE_SPECS:
-        raise ConfigError(f"unknown bench phase {name!r}; choose from {sorted(PHASE_SPECS)}")
+    if name not in ALL_PHASE_SPECS:
+        raise ConfigError(
+            f"unknown bench phase {name!r}; choose from {sorted(ALL_PHASE_SPECS)}"
+        )
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
-    options = LSMOptions(memtable_entries=32, entries_per_sstable=64)
+    if batch_size < 1:
+        raise ConfigError(f"batch_size must be positive, got {batch_size}")
+    # The standard phases use a deliberately tiny memtable/SSTable shape so
+    # compaction pressure is real at bench key counts; the batched family
+    # uses the library-default shape, whose larger tables give each bloom
+    # probe and block fetch realistic weight (its speedup claim is tied to
+    # this configuration — see BATCHED_NUM_KEYS).
+    if name == BATCHED_PHASE:
+        options = LSMOptions()
+    else:
+        options = LSMOptions(memtable_entries=32, entries_per_sstable=64)
     best_wall: Optional[float] = None
     result: Optional[RunResult] = None
     fingerprint: Optional[str] = None
     for _ in range(repeats):
         tree = seed_database(num_keys, options, seed=7)
         engine = build_engine(strategy, tree, cache_bytes, seed=seed)
-        generator = WorkloadGenerator(PHASE_SPECS[name](num_keys), seed=seed + 1)
+        generator = WorkloadGenerator(ALL_PHASE_SPECS[name](num_keys), seed=seed + 1)
         start = time.perf_counter()
-        this_result = run_workload(engine, generator, num_ops=ops, name=name)
+        this_result = run_workload(
+            engine, generator, num_ops=ops, name=name, batch_size=batch_size
+        )
         wall = time.perf_counter() - start
         this_fingerprint = _phase_fingerprint(this_result)
         if fingerprint is None:
@@ -267,7 +308,7 @@ def run_phase(
     wall = best_wall
     ops_per_sec = ops / wall if wall > 0 else 0.0
     return PhaseResult(
-        name=name,
+        name=name if batch_size == 1 else f"{name}@b{batch_size}",
         ops=ops,
         wall_s=wall,
         ops_per_sec=ops_per_sec,
@@ -289,6 +330,7 @@ def run_perf(
     cache_bytes: Optional[int] = None,
     profile_sort: Optional[str] = None,
     repeats: int = 1,
+    batch_sizes: Optional[List[int]] = None,
 ) -> Tuple[PerfReport, Optional[str]]:
     """Run every phase; returns ``(report, profile_text_or_None)``.
 
@@ -299,6 +341,14 @@ def run_perf(
     returns the formatted top of the profile.  ``repeats`` takes the
     best wall time of N identical runs per phase (see
     :func:`run_phase`); use 3+ when recording a committed baseline.
+
+    ``batch_sizes`` additionally runs the batched family: the ``mixedb``
+    phase once per requested size through the engine's batched entry
+    points, preceded by one scalar (batch-of-1) reference run so every
+    report carries its own denominator.  The family always runs at the
+    fixed :data:`BATCHED_NUM_KEYS` / :data:`BATCHED_CACHE_BYTES` /
+    :data:`BATCHED_OPS` shape regardless of preset — its speedup claim
+    is tied to that configuration.
     """
     keys = num_keys if num_keys is not None else (2_000 if quick else 4_000)
     ops = ops_per_phase if ops_per_phase is not None else (4_000 if quick else 20_000)
@@ -331,6 +381,26 @@ def run_perf(
                 repeats=repeats,
             )
         )
+    if batch_sizes:
+        for size in batch_sizes:
+            if size < 1:
+                raise ConfigError(f"batch_size must be positive, got {size}")
+        # Scalar reference first, then each requested size (deduplicated,
+        # ascending) — so speedup-vs-batch-size reads straight off the table.
+        for size in [1] + sorted(set(batch_sizes) - {1}):
+            report.phases.append(
+                run_phase(
+                    BATCHED_PHASE,
+                    num_keys=BATCHED_NUM_KEYS,
+                    ops=BATCHED_OPS,
+                    cache_bytes=BATCHED_CACHE_BYTES,
+                    strategy=strategy,
+                    seed=seed + 11,
+                    calibration=calibration,
+                    repeats=repeats,
+                    batch_size=size,
+                )
+            )
     profile_text: Optional[str] = None
     if profiler is not None:
         profiler.disable()

@@ -18,6 +18,8 @@ RL-tunable parameters:
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.cache.sketch import CountMinSketch
 from repro.errors import CacheError
 from repro.obs import names as N
@@ -80,6 +82,35 @@ class FrequencyAdmission:
         else:
             self.rejected_total += 1
         return admit
+
+    def observe_and_decide_batch(self, keys: Sequence[str]) -> List[bool]:  # hot-path
+        """Per-key :meth:`observe_and_decide` for a whole miss batch.
+
+        The row hashes for every key are computed in one vectorized
+        pass (:meth:`~repro.cache.sketch.CountMinSketch.columns_batch`,
+        which warms the sketch's column memo); the increments and
+        decisions then replay in arrival order, because each decision
+        divides by the sketch total *as of that key's update* and a
+        mid-batch decay must halve the counters before later keys are
+        judged.  Decisions and admitted/rejected counters are
+        bit-identical to a scalar loop over ``keys``.
+        """
+        sketch = self._sketch
+        sketch.columns_batch(keys)
+        threshold = self._threshold
+        increment = sketch.increment
+        out: List[bool] = []
+        admitted_count = 0
+        for key in keys:
+            count = increment(key)
+            total = max(1, sketch.total)
+            admit = (count / total) >= threshold
+            if admit:
+                admitted_count += 1
+            out.append(admit)
+        self.admitted_total += admitted_count
+        self.rejected_total += len(keys) - admitted_count
+        return out
 
     @property
     def sketch(self) -> CountMinSketch:

@@ -21,6 +21,7 @@ the paper's baseline variants) and works at single-entry granularity.
 from __future__ import annotations
 
 import functools
+import operator
 import threading
 from typing import Any, Callable, List, Optional, Tuple, TypeVar
 
@@ -34,6 +35,10 @@ from repro.obs import names as N
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
 Entry = Tuple[str, str]
+
+#: Stable batch sort key: by key only, so duplicate keys keep arrival
+#: order and the last write wins as in a scalar insert loop.
+_entry_key = operator.itemgetter(0)
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -151,6 +156,41 @@ class RangeCache(CacheBase):
             if self._sanitizer is not None:
                 self._sanitizer.after_mutation(self)
             return admitted
+
+    def insert_points(self, pairs: List[Entry]) -> int:  # hot-path
+        """Admit a batch of point-lookup results in one sorted splice.
+
+        ``pairs`` arrive in admission order; they are sorted by key so
+        the skip list's ascending finger
+        (:meth:`~repro.cache.skiplist.SkipList.insert_ascending`) can
+        splice the whole batch with one full descent plus amortized
+        forward steps, with eviction deferred to the end of the batch.
+        Duplicate keys keep arrival order (stable sort), so the last
+        write wins exactly as a scalar loop's would.  Unlike
+        :meth:`insert_range` no complete interval is recorded — these
+        are isolated keys.  A batch of one is :meth:`insert_point`'s
+        exact effect sequence (same descent, same RNG draws, same
+        eviction timing).  Returns the number of entries admitted
+        (0 when the per-entry charge exceeds the budget).
+        """
+        with self._lock:
+            if len(pairs) == 1:
+                key, value = pairs[0]
+                admitted = self._insert_entry(key, value)
+                if self._sanitizer is not None:
+                    self._sanitizer.after_mutation(self)
+                return 1 if admitted else 0
+            inserted = 0
+            insert_entry = self._insert_entry
+            ascending = False  # first entry needs a full descent
+            for key, value in sorted(pairs, key=_entry_key):
+                if insert_entry(key, value, True, ascending):
+                    inserted += 1
+                ascending = True
+            self._evict_to_fit()
+            if self._sanitizer is not None:
+                self._sanitizer.after_mutation(self)
+            return inserted
 
     # -- range scans -----------------------------------------------------------
 

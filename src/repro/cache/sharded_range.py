@@ -16,7 +16,7 @@ chosen so this is rare when the key space is known).
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import sanitize
 from repro.cache.base import CacheBase, CacheStats, EvictionPolicy
@@ -105,6 +105,24 @@ class ShardedRangeCache(CacheBase):
     def insert_point(self, key: str, value: str) -> bool:
         """Point-result admission routed to the owning shard."""
         return self._shard(key).insert_point(key, value)
+
+    def insert_points(self, pairs: List[Entry]) -> int:
+        """Batch point admission: the batch is split by owning shard
+        (arrival order preserved within each group) and each shard
+        splices its group in one sorted pass — see
+        :meth:`RangeCache.insert_points`.  A batch of one routes
+        through the owning shard's scalar :meth:`insert_point` path."""
+        if len(pairs) == 1:
+            key, value = pairs[0]
+            return 1 if self._shard(key).insert_point(key, value) else 0
+        groups: Dict[int, List[Entry]] = {}
+        shard_index = self.shard_index
+        for pair in pairs:
+            groups.setdefault(shard_index(pair[0]), []).append(pair)
+        shards = self._shards
+        return sum(
+            shards[idx].insert_points(group) for idx, group in groups.items()
+        )
 
     def contains(self, key: str) -> bool:
         """Residency probe."""

@@ -26,13 +26,19 @@ always corrupted bookkeeping, never "decay skew", and is raised as
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import CacheError
-from repro.lsm.bloom import fnv1a
+from repro.lsm.bloom import fnv1a, fnv1a_batch_multi
 
 #: Keys whose row columns are memoized before the FIFO starts evicting.
 _MEMO_LIMIT = 8192
+
+#: Batches at or below this size hash through the scalar loop — numpy's
+#: fixed per-call overhead beats its per-key savings under ~8 keys.
+_SCALAR_BATCH_MAX = 7
 
 
 class CountMinSketch:
@@ -89,6 +95,46 @@ class CountMinSketch:
             memo[key] = cols
         return cols
 
+    def columns_batch(self, keys: Sequence[str]) -> List[Tuple[int, ...]]:
+        """Per-row column indices for a whole key batch.
+
+        Memoized keys are served from the FIFO map; the remainder are
+        hashed in one vectorized numpy pass covering all ``depth`` row
+        salts at once (:func:`~repro.lsm.bloom.fnv1a_batch_multi`)
+        instead of a Python loop per key.  Every tuple equals
+        :meth:`columns` bit-for-bit.
+        """
+        if len(keys) <= _SCALAR_BATCH_MAX:
+            # Below the numpy crossover the scalar loop wins; it also
+            # updates the FIFO memo in the identical order.
+            columns = self.columns
+            return [columns(key) for key in keys]
+        memo = self._memo
+        col_map: Dict[str, Tuple[int, ...]] = {}
+        missing: List[str] = []
+        for key in keys:
+            if key not in col_map:
+                cached = memo.get(key)
+                if cached is None:
+                    col_map[key] = ()  # placeholder; filled below
+                    missing.append(key)
+                else:
+                    col_map[key] = cached
+        if missing:
+            datas = [key.encode("utf-8") for key in missing]
+            width = self.width
+            per_salt = (
+                fnv1a_batch_multi(datas, self._salts) % np.uint64(width)
+            ).tolist()
+            limit = _MEMO_LIMIT
+            for i, key in enumerate(missing):
+                cols = tuple(row_cols[i] for row_cols in per_salt)
+                col_map[key] = cols
+                if len(memo) >= limit:
+                    del memo[next(iter(memo))]
+                memo[key] = cols
+        return [col_map[key] for key in keys]
+
     def estimate(self, key: str) -> int:  # hot-path
         """Frequency estimate for ``key`` (never an underestimate)."""
         rows_tab = self._rows_tab
@@ -123,6 +169,58 @@ class CountMinSketch:
             self._decay()
             new_min //= 2
         return new_min
+
+    def estimate_batch(self, keys: Sequence[str]) -> List[int]:  # hot-path
+        """Frequency estimates for a whole batch of keys.
+
+        Hashing is vectorized (:meth:`columns_batch`); the min-reduce
+        stays a plain-int loop because each key touches exactly
+        ``depth`` scalars.  Element i equals ``estimate(keys[i])``.
+        """
+        cols_list = self.columns_batch(keys)
+        rows_tab = self._rows_tab
+        out: List[int] = []
+        for cols in cols_list:
+            estimate = None
+            for row, col in zip(rows_tab, cols):
+                count = row[col]
+                if estimate is None or count < estimate:
+                    estimate = count
+            out.append(estimate or 0)
+        return out
+
+    def update_batch(self, keys: Sequence[str]) -> List[int]:  # hot-path
+        """Count one occurrence of every key; returns the new estimates.
+
+        Hashing is vectorized across the batch; the counter updates
+        replay strictly in arrival order because conservative update
+        and saturation halving are order-dependent when a batch
+        repeats a key (the second occurrence must see the first's
+        counters, and a mid-batch decay must halve everything before
+        later keys are counted).  The returned list — and every
+        counter, ``total``, and ``decays_total`` — is bit-identical to
+        ``[increment(k) for k in keys]``.
+        """
+        cols_list = self.columns_batch(keys)
+        rows_tab = self._rows_tab
+        saturation = self.saturation
+        out: List[int] = []
+        for cols in cols_list:
+            current = None
+            for row, col in zip(rows_tab, cols):
+                count = row[col]
+                if current is None or count < current:
+                    current = count
+            new_min = (current or 0) + 1
+            for row, col in zip(rows_tab, cols):
+                if row[col] < new_min:
+                    row[col] = new_min
+            self.total += 1
+            if new_min >= saturation:
+                self._decay()
+                new_min //= 2
+            out.append(new_min)
+        return out
 
     def normalized(self, key: str) -> float:
         """``estimate(key) / total`` in [0, 1]; 0 when nothing counted.

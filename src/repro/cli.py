@@ -428,6 +428,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         label=args.label,
         profile_sort=args.profile,
         repeats=args.repeats,
+        batch_sizes=args.batch_sizes,
     )
     print(perf_table(report.to_dict()))
     if profile_text:
@@ -536,6 +537,21 @@ def _add_resilience_flags(
         help="service time that counts as a circuit-breaker failure "
         "(0: only crashes trip breakers)",
     )
+
+
+def _batch_size_arg(value: str) -> int:
+    """argparse type for ``--batch-size``: a strictly positive integer."""
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be a positive integer, got {value!r}"
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be positive, got {size}"
+        )
+    return size
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -749,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=1,
         help="run each phase N times and keep the best wall time "
         "(use 3+ when recording a committed baseline)",
+    )
+    bench.add_argument(
+        "--batch-size", type=_batch_size_arg, action="append", default=None,
+        metavar="N", dest="batch_sizes",
+        help="also run the batched family (mixedb) at this batch size via "
+        "the engine's multi_get/multi_scan/multi_put path, with a scalar "
+        "batch-of-1 reference run; repeat the flag for a sweep",
     )
     bench.add_argument("--json", help="write the report JSON to this path")
     bench.add_argument(

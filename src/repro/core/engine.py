@@ -17,9 +17,10 @@ policy, or the full AdCache stack with a controller attached.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import sanitize
 from repro.cache.admission import FrequencyAdmission, PartialScanAdmission
@@ -29,6 +30,8 @@ from repro.cache.kp_cache import KPCache
 from repro.cache.kv_cache import KVCache
 from repro.cache.range_cache import RangeCache
 from repro.core.stats import StatsCollector, WindowStats
+from repro.lsm.block import BlockHandle, DataBlock
+from repro.lsm.iterator import BlockFetch
 from repro.lsm.tree import LSMTree
 from repro.obs import names as N
 from repro.obs.recorder import NULL_RECORDER, Recorder
@@ -267,7 +270,259 @@ class KVEngine:
             self._maybe_end_window()
         return result
 
-    def _scan_tree(self, start: str, length: int) -> List[Entry]:
+    def multi_get(self, keys: Sequence[str]) -> List[Optional[str]]:  # hot-path
+        """Batched point lookups through the query handling path.
+
+        Three stages, each preserving the scalar path's per-key
+        effects:
+
+        1. cache probes in arrival order (range -> KV -> MemTable ->
+           KP), recording hits exactly as :meth:`get` does — except
+           that a key repeated within the batch is probed once: all
+           requests see the same pre-batch snapshot, so later
+           occurrences share the first's result and count as hits
+           (no I/O happened for them);
+        2. one table-major batched SSTable pass over the remaining
+           misses — vectorized bloom probes and per-batch
+           duplicate-block coalescing
+           (:meth:`~repro.lsm.tree.LSMTree.multi_get_from_sstables`);
+        3. fills for the found keys: KV puts in arrival order, one
+           arrival-order vectorized sketch pass for admission
+           (:meth:`~repro.cache.admission.FrequencyAdmission.observe_and_decide_batch`),
+           and a sort-and-splice run into the range cache
+           (:meth:`~repro.cache.range_cache.RangeCache.insert_points`).
+
+        A batch of one executes :meth:`get`'s exact effect sequence —
+        digests, fingerprints, and counters are bit-identical.  Larger
+        batches keep identical admission decisions and counter totals
+        for the probe work but spend fewer block fetches; that saving
+        is the point.
+        """
+        collector = self.collector
+        window_size = self.window_size
+        range_cache = self.range_cache
+        kv_cache = self.kv_cache
+        kp_cache = self.kp_cache
+        tree = self.tree
+        n = len(keys)
+        out: List[Optional[str]] = [None] * n
+        pending_idx: List[int] = []
+        pending_keys: List[str] = []
+        first_of: Dict[str, int] = {}
+        dups: List[Tuple[int, int]] = []
+        get_point = range_cache.get_point if range_cache is not None else None
+        kv_get = kv_cache.get if kv_cache is not None else None
+        get_from_memtable = tree.get_from_memtable
+        kp_lookup = kp_cache.lookup if kp_cache is not None else None
+        tree_fetch = tree.fetch_block
+        note_point = collector.note_point
+        current = collector.current
+        for i in range(n):
+            key = keys[i]
+            if n > 1:
+                first = first_of.get(key)
+                if first is not None:
+                    # Duplicate within the batch: same snapshot, same
+                    # answer; copied from the first occurrence after the
+                    # tree pass resolves it.
+                    dups.append((i, first))
+                    note_point(True)
+                    if current.ops >= window_size:
+                        self._maybe_end_window()
+                        current = collector.current
+                    continue
+                first_of[key] = i
+            if get_point is not None:
+                value = get_point(key)
+                if value is not None:
+                    out[i] = value
+                    note_point(True)
+                    if current.ops >= window_size:
+                        self._maybe_end_window()
+                        current = collector.current
+                    continue
+            if kv_get is not None:
+                value = kv_get(key)
+                if value is not None:
+                    out[i] = value
+                    note_point(False, True)
+                    if current.ops >= window_size:
+                        self._maybe_end_window()
+                        current = collector.current
+                    continue
+            found, value = get_from_memtable(key)
+            if found:
+                out[i] = value
+                note_point(False)
+                if current.ops >= window_size:
+                    self._maybe_end_window()
+                    current = collector.current
+                continue
+            if kp_lookup is not None:
+                hit, value = kp_lookup(key, tree_fetch)
+                if hit:
+                    out[i] = value
+                    note_point(False)
+                    if current.ops >= window_size:
+                        self._maybe_end_window()
+                        current = collector.current
+                    continue
+            pending_idx.append(i)
+            pending_keys.append(key)
+        if pending_idx:
+            values, origins = tree.multi_get_from_sstables(pending_keys)
+            found_keys: List[str] = []
+            found_values: List[str] = []
+            found_origins: List[Optional[BlockHandle]] = []
+            for j, value in enumerate(values):
+                if value is not None:
+                    found_keys.append(pending_keys[j])
+                    found_values.append(value)
+                    found_origins.append(origins[j])
+            if found_keys:
+                if kv_cache is not None:
+                    for key, value in zip(found_keys, found_values):
+                        kv_cache.put(key, value)
+                if range_cache is not None:
+                    if self.freq_admission is not None:
+                        decisions = self.freq_admission.observe_and_decide_batch(
+                            found_keys
+                        )
+                    else:
+                        decisions = [True] * len(found_keys)
+                    admitted = [
+                        (key, value)
+                        for key, value, admit in zip(
+                            found_keys, found_values, decisions
+                        )
+                        if admit
+                    ]
+                    rejected = len(found_keys) - len(admitted)
+                    if rejected:
+                        range_cache.stats.rejections += rejected
+                    if admitted:
+                        range_cache.insert_points(admitted)
+                if kp_cache is not None:
+                    for key, origin in zip(found_keys, found_origins):
+                        if origin is not None:
+                            kp_cache.remember(key, origin)
+            for j, i in enumerate(pending_idx):
+                out[i] = values[j]
+                collector.note_point(False)
+                if collector.current.ops >= window_size:
+                    self._maybe_end_window()
+        for i, first in dups:
+            out[i] = out[first]
+        return out
+
+    def multi_put(self, pairs: Sequence[Entry]) -> None:  # hot-path
+        """Batched inserts; the per-pair effect sequence is exactly
+        :meth:`put`'s (WAL and MemTable work cannot coalesce without
+        changing flush timing), with the attribute lookups hoisted out
+        of the loop."""
+        tree = self.tree
+        range_cache = self.range_cache
+        kv_cache = self.kv_cache
+        kp_cache = self.kp_cache
+        collector = self.collector
+        window_size = self.window_size
+        lock = self._write_lock
+        for key, value in pairs:
+            with lock:
+                tree.put(key, value)
+            if range_cache is not None:
+                range_cache.on_write(key, value)
+            if kv_cache is not None:
+                kv_cache.on_write(key, value)
+            if kp_cache is not None:
+                kp_cache.on_write(key)
+            collector.note_write()
+            if collector.current.ops >= window_size:
+                self._maybe_end_window()
+
+    def multi_scan(
+        self, requests: Sequence[Tuple[str, int]]
+    ) -> List[List[Entry]]:  # hot-path
+        """Batched scan dispatch with within-batch block coalescing.
+
+        All requests in one batch observe the same pre-batch snapshot
+        (callers hand the engine read-only runs — see
+        :func:`~repro.bench.harness.apply_batch` and the router's
+        same-kind runs).  Requests execute in arrival order — cache
+        admissions and evictions evolve exactly as the scalar loop's
+        would — with two batch-only savings:
+
+        * **coalesced block fetches** — tree scans in the batch share a
+          block memo, so scans touching the same data block fetch it
+          once (one block-cache probe, at most one metered read);
+        * **covering-window reuse** — each tree scan's materialized
+          result is the first ``length`` live entries >= ``start`` and
+          lists *every* live entry of its window, so a later request
+          whose window sits inside the most recent one is sliced out
+          directly: no merge, no fetches, no re-admission.
+
+        A batch of one runs the scalar :meth:`scan` verbatim — digests,
+        fingerprints, and counters are bit-identical.  Larger batches
+        return identical entries per request; window-served requests
+        count as range hits (no I/O happened).
+        """
+        n = len(requests)
+        if n == 1:
+            start, length = requests[0]
+            return [self.scan(start, length)]
+        collector = self.collector
+        window_size = self.window_size
+        range_cache = self.range_cache
+        out: List[List[Entry]] = [[] for _ in range(n)]
+        memo_start: Optional[str] = None
+        memo_keys: List[str] = []
+        memo_entries: List[Entry] = []
+        block_memo: Dict[BlockHandle, DataBlock] = {}
+        tree_fetch = self.tree.fetch_block
+
+        def fetch(handle: BlockHandle) -> DataBlock:
+            block = block_memo.get(handle)
+            if block is None:
+                block = tree_fetch(handle)
+                block_memo[handle] = block
+            return block
+
+        for i in range(n):
+            start, length = requests[i]
+            if range_cache is not None:
+                cached = range_cache.get_range(start, length)
+                if cached is not None:
+                    out[i] = cached
+                    collector.note_scan(length, True)
+                    if collector.current.ops >= window_size:
+                        self._maybe_end_window()
+                    continue
+            if memo_start is not None and start >= memo_start:
+                lo = bisect.bisect_left(memo_keys, start)
+                if len(memo_keys) - lo >= length:
+                    out[i] = memo_entries[lo : lo + length]
+                    collector.note_scan(length, True)
+                    if collector.current.ops >= window_size:
+                        self._maybe_end_window()
+                    continue
+            result = self._scan_tree(start, length, fetch=fetch)
+            if range_cache is not None and result:
+                self._fill_scan(start, result)
+            collector.note_scan(length, False)
+            if collector.current.ops >= window_size:
+                self._maybe_end_window()
+            out[i] = result
+            memo_start = start
+            memo_entries = result
+            memo_keys = [key for key, _ in result]
+        return out
+
+    def _scan_tree(
+        self,
+        start: str,
+        length: int,
+        fetch: Optional[BlockFetch] = None,
+    ) -> List[Entry]:
         """Scan the LSM-tree, optionally capping block-cache fills.
 
         The paper notes its partial-admission policy "can also be
@@ -275,9 +530,14 @@ class KVEngine:
         of the number of keys is controlled": a scan may fill at most
         ``admit_count(blocks_touched)`` blocks.  (Single-writer hook;
         under multi-client load leave ``block_scan_admission`` unset.)
+
+        ``fetch`` is the batched dispatcher's per-batch memoizing block
+        reader (:meth:`multi_scan`); ``None`` reads every block through
+        the tree's own fetch path.
         """
+        tree_scan = self.tree.scan
         if self.block_scan_admission is None or self.block_cache is None:
-            return self.tree.scan(start, length)
+            return tree_scan(start, length, fetch)
         expected_blocks = max(1, length // self.tree.options.entries_per_block)
         budget = self.block_scan_admission.admit_count(expected_blocks)
         remaining = [budget]
@@ -291,7 +551,7 @@ class KVEngine:
         previous = self.block_cache.admission_hook
         self.block_cache.admission_hook = hook
         try:
-            return self.tree.scan(start, length)
+            return tree_scan(start, length, fetch)
         finally:
             self.block_cache.admission_hook = previous
 

@@ -501,6 +501,11 @@ def check_hot_path_numpy_indexing(
                 continue
             if isinstance(sub.slice, ast.Slice):
                 continue  # slicing stays vectorised; only scalars pay per-element
+            if isinstance(sub.slice, ast.Tuple) and any(
+                isinstance(el, ast.Slice) for el in sub.slice.elts
+            ):
+                continue  # row/column views like a[i, :] or a[:, j] are
+                # vectorised too — the result is an array, not a numpy scalar
             yield Violation(
                 path,
                 sub.lineno,
@@ -510,6 +515,70 @@ def check_hot_path_numpy_indexing(
                 f"hot-path function {func.name}(); per-element numpy access "
                 f"is ~100x a list index — convert to plain ints/lists first",
             )
+
+
+#: Scalar hot-path probes with vectorised batch counterparts (PERF002).
+_BATCHABLE_PROBES = {
+    "estimate": "estimate_batch",
+    "may_contain": "may_contain_batch",
+    "fetch_block": "a per-batch fetch memo (see LSMTree.multi_get_from_sstables)",
+}
+
+#: Loop constructs a per-element probe can hide in (PERF002).
+_LOOP_NODES = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
+               ast.GeneratorExp)
+
+
+@rule("PERF002")
+def check_hot_path_scalar_probe_loops(
+    tree: ast.Module, path: str
+) -> Iterator[Violation]:
+    """No per-element probe loops where a batched variant exists.
+
+    ``estimate``, ``may_contain`` and ``fetch_block`` all have batched
+    counterparts on the hot path (``estimate_batch``,
+    ``may_contain_batch``, and the batched executors' per-batch fetch
+    memo) that hash, probe or fetch for a whole batch in one vectorised
+    call.  Calling the scalar form from a loop inside a ``# hot-path``
+    function re-pays the per-call digest/lookup cost once per element —
+    the exact overhead the batch variants amortise.  Batch variants
+    themselves (``*_batch`` / ``multi_*`` functions) are exempt: their
+    small-batch scalar fallback loops are the intended crossover below
+    which numpy overhead beats its savings.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source_lines = fh.read().splitlines()
+    except OSError:
+        return
+    for func in _hot_path_functions(tree, source_lines):
+        if func.name.endswith("_batch") or func.name.startswith("multi_"):
+            continue  # the batch variants' intentional scalar fallbacks
+        seen: set = set()
+        for loop in ast.walk(func):
+            if not isinstance(loop, _LOOP_NODES):
+                continue
+            for sub in ast.walk(loop):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _BATCHABLE_PROBES
+                ):
+                    continue
+                site = (sub.lineno, sub.col_offset)
+                if site in seen:
+                    continue  # nested loops walk the same call twice
+                seen.add(site)
+                yield Violation(
+                    path,
+                    sub.lineno,
+                    sub.col_offset,
+                    "PERF002",
+                    f"per-element .{sub.func.attr}() call in a loop inside "
+                    f"hot-path function {func.name}(); a batched variant "
+                    f"exists ({_BATCHABLE_PROBES[sub.func.attr]}) — probe "
+                    f"the whole batch in one call",
+                )
 
 
 @rule("OBS001")

@@ -13,11 +13,21 @@ rate so tests can validate the measured one against it.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, List, Sequence
+
+import numpy as np
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
+
+#: Golden-ratio mix distinguishing a filter's second base hash; shared
+#: with batch callers that precompute digests (see ``fnv1a_batch_multi``).
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+#: Batches at or below this size take the scalar hash loop — numpy's
+#: fixed per-call overhead beats its per-key savings under ~8 keys.
+_SCALAR_BATCH_MAX = 7
 
 
 def _fnv1a(data: bytes, salt: int) -> int:  # hot-path
@@ -33,6 +43,107 @@ def _fnv1a(data: bytes, salt: int) -> int:  # hot-path
 def fnv1a(data: bytes, salt: int = 0) -> int:
     """Public 64-bit salted FNV-1a hash (shared by sketches and shards)."""
     return _fnv1a(data, salt)
+
+
+def fnv1a_batch(datas: Sequence[bytes], salt: int) -> "np.ndarray":
+    """Salted 64-bit FNV-1a of every byte string in ``datas`` at once.
+
+    The scalar hash folds one byte at a time; here the fold loop runs
+    over byte *positions* (bounded by the longest input) with numpy
+    doing the xor/multiply across the whole batch per position, so the
+    Python-level work is O(max_len) instead of O(total bytes).  uint64
+    arithmetic wraps modulo 2**64, which is exactly the scalar
+    ``& _MASK64`` — every element is bit-identical to :func:`fnv1a`.
+
+    Returns a uint64 ndarray; callers doing per-element work should
+    ``.tolist()`` it first (PERF001: numpy scalar indexing is slow).
+    """
+    n = len(datas)
+    basis = np.uint64((_FNV_OFFSET ^ salt) & _MASK64)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    lengths = [len(d) for d in datas]
+    max_len = max(lengths)
+    h = np.full(n, basis, dtype=np.uint64)
+    if max_len == 0:
+        return h
+    min_len = min(lengths)
+    if min_len == max_len:
+        # Uniform-length fast path (the common key shape): one buffer
+        # build, no per-position masking.
+        buf = (
+            np.frombuffer(b"".join(datas), dtype=np.uint8)
+            .reshape(n, max_len)
+            .astype(np.uint64)
+        )
+        mask = None
+        lens = None
+    else:
+        buf = np.zeros((n, max_len), dtype=np.uint64)
+        for i, data in enumerate(datas):
+            if data:
+                buf[i, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        lens = np.asarray(lengths, dtype=np.int64)
+        mask = True
+    prime = np.uint64(_FNV_PRIME)
+    for pos in range(max_len):
+        if mask is None or pos < min_len:
+            h = (h ^ buf[:, pos]) * prime
+        else:
+            assert lens is not None
+            h = np.where(lens > pos, (h ^ buf[:, pos]) * prime, h)
+    return h
+
+
+def fnv1a_batch_ints(datas: Sequence[bytes], salt: int) -> List[int]:
+    """:func:`fnv1a_batch` as plain Python ints (one per input)."""
+    return [int(v) for v in fnv1a_batch(datas, salt).tolist()]
+
+
+def fnv1a_batch_multi(
+    datas: Sequence[bytes], salts: Sequence[int]
+) -> "np.ndarray":  # hot-path
+    """Salted FNV-1a of every input under every salt in one 2D pass.
+
+    Returns a ``(len(salts), len(datas))`` uint64 array where
+    ``out[j][i] == fnv1a(datas[i], salts[j])`` exactly.  Because the
+    salt only perturbs the hash basis, one fold loop over byte
+    positions serves every salt simultaneously — the numpy xor/multiply
+    broadcasts over the whole salts x inputs matrix, amortizing the
+    per-call overhead that made one :func:`fnv1a_batch` call per salt
+    (or per bloom filter) a poor trade at small batch sizes.
+    """
+    m, n = len(salts), len(datas)
+    if m == 0 or n == 0:
+        return np.empty((m, n), dtype=np.uint64)
+    basis = np.uint64(_FNV_OFFSET) ^ np.asarray(salts, dtype=np.uint64)
+    h = np.repeat(basis[:, None], n, axis=1)
+    lengths = [len(d) for d in datas]
+    max_len = max(lengths)
+    if max_len == 0:
+        return h
+    min_len = min(lengths)
+    if min_len == max_len:
+        buf = (
+            np.frombuffer(b"".join(datas), dtype=np.uint8)
+            .reshape(n, max_len)
+            .astype(np.uint64)
+        )
+        lens = None
+    else:
+        buf = np.zeros((n, max_len), dtype=np.uint64)
+        for i, data in enumerate(datas):
+            if data:
+                buf[i, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        lens = np.asarray(lengths, dtype=np.int64)
+    prime = np.uint64(_FNV_PRIME)
+    for pos in range(max_len):
+        col = buf[:, pos]
+        if lens is None or pos < min_len:
+            h = (h ^ col) * prime
+        else:
+            h = np.where(lens > pos, (h ^ col) * prime, h)
+    return h
 
 
 def optimal_num_hashes(bits_per_key: int) -> int:
@@ -79,11 +190,39 @@ class BloomFilter:
     def build(
         cls, keys: Iterable[str], bits_per_key: int = 10, seed: int = 0
     ) -> "BloomFilter":
-        """Build a filter sized for and populated with ``keys``."""
+        """Build a filter sized for and populated with ``keys``.
+
+        Population is vectorized: both base digests for every key come
+        from one :func:`fnv1a_batch_multi` pass and the k probe
+        positions from k numpy ops over the batch, so flush and
+        compaction pay one fold loop per SSTable instead of two Python
+        hash loops per key.  Bits are a set-union, so ordering is
+        irrelevant — the filter is bit-identical to scalar :meth:`add`
+        calls.
+        """
         key_list = list(keys)
         bloom = cls(len(key_list), bits_per_key=bits_per_key, seed=seed)
-        for key in key_list:
-            bloom.add(key)
+        n = len(key_list)
+        num_bits = bloom._num_bits
+        if not num_bits or n == 0:
+            return bloom
+        if n <= _SCALAR_BATCH_MAX:
+            for key in key_list:
+                bloom.add(key)
+            return bloom
+        datas = [key.encode("utf-8") for key in key_list]
+        digests = fnv1a_batch_multi(datas, [seed, seed ^ GOLDEN_GAMMA])
+        h1 = digests[0]
+        h2 = digests[1] | np.uint64(1)
+        nb = np.uint64(num_bits)
+        num_hashes = bloom._num_hashes
+        pos = np.empty((num_hashes, n), dtype=np.uint64)
+        for i in range(num_hashes):
+            pos[i] = h1 % nb
+            h1 = h1 + h2  # uint64 wrap == the scalar path's & _MASK64
+        bits = bloom._bits
+        for p in pos.reshape(-1).tolist():  # plain ints (PERF001)
+            bits[p >> 3] |= 1 << (p & 7)
         return bloom
 
     def _positions(self, key: str) -> Iterable[int]:
@@ -129,8 +268,81 @@ class BloomFilter:
             pos = h1 % num_bits
         return True
 
+    def may_contain_hashed(self, h1: int, h2: int) -> bool:  # hot-path
+        """:meth:`may_contain` from precomputed base digests.
+
+        ``h1`` and ``h2`` are the key's two salted FNV-1a digests
+        (salts ``seed`` and ``seed ^ GOLDEN_GAMMA``, as plain ints).
+        Batch callers compute digests for many (key, filter) pairs in
+        one :func:`fnv1a_batch_multi` pass and leave only the bit
+        tests here; the result is bit-identical to ``may_contain(key)``.
+        """
+        num_bits = self._num_bits
+        if not num_bits:
+            return True
+        h2 |= 1
+        bits = self._bits
+        pos = h1 % num_bits
+        for _ in range(self._num_hashes):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h1 = (h1 + h2) & _MASK64
+            pos = h1 % num_bits
+        return True
+
+    def may_contain_batch(self, keys: Sequence[str]) -> List[bool]:  # hot-path
+        """Per-key :meth:`may_contain` for a whole batch at once.
+
+        Both base digests are computed for the batch in one vectorized
+        pass each (:func:`fnv1a_batch`), and the k double-hash probe
+        positions come from k numpy ops over the batch instead of k
+        Python-loop steps per key.  The bit tests stay plain-Python
+        over the ``bytearray`` — per-element numpy access would cost
+        more than it saves (PERF001).  Element i equals
+        ``may_contain(keys[i])`` exactly.
+        """
+        num_bits = self._num_bits
+        n = len(keys)
+        if not num_bits:
+            return [True] * n
+        if n == 0:
+            return []
+        if n <= _SCALAR_BATCH_MAX:
+            # Below the numpy crossover the scalar probe loop wins.
+            may_contain = self.may_contain
+            return [may_contain(key) for key in keys]
+        datas = [key.encode("utf-8") for key in keys]
+        seed = self._seed
+        digests = fnv1a_batch_multi(datas, [seed, seed ^ GOLDEN_GAMMA])
+        h1 = digests[0]
+        h2 = digests[1] | np.uint64(1)
+        nb = np.uint64(num_bits)
+        num_hashes = self._num_hashes
+        pos = np.empty((num_hashes, n), dtype=np.uint64)
+        for i in range(num_hashes):
+            # A whole-row store per *hash* (k rounds), vectorised over the
+            # batch — not a per-element access.
+            pos[i] = h1 % nb  # lint: disable=PERF001
+            h1 = h1 + h2  # uint64 wrap == the scalar path's & _MASK64
+        per_key = pos.T.tolist()  # plain ints before the per-key loop
+        bits = self._bits
+        out = []
+        for positions in per_key:
+            hit = True
+            for p in positions:
+                if not bits[p >> 3] & (1 << (p & 7)):
+                    hit = False
+                    break
+            out.append(hit)
+        return out
+
     def __contains__(self, key: str) -> bool:
         return self.may_contain(key)
+
+    @property
+    def seed(self) -> int:
+        """The salt mixed into both base hashes (digest precompute key)."""
+        return self._seed
 
     @property
     def size_bytes(self) -> int:

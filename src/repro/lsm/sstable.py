@@ -107,6 +107,12 @@ class SSTable:
         """Bloom-filter probe; False means definitely absent."""
         return key in self.bloom
 
+    def may_contain_batch(self, keys: Sequence[str]) -> List[bool]:
+        """Vectorized bloom probe for a whole key batch; element i
+        equals ``may_contain(keys[i])`` exactly (see
+        :meth:`~repro.lsm.bloom.BloomFilter.may_contain_batch`)."""
+        return self.bloom.may_contain_batch(keys)
+
     def find_block_no(self, key: str) -> Optional[int]:  # hot-path
         """Index lookup: the block that may contain ``key``, or None.
 

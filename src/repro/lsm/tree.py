@@ -19,7 +19,7 @@ a block except through ``block_fetch``.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.errors import (
 )
 from repro.faults.retry import RetryPolicy
 from repro.lsm.block import BlockHandle, DataBlock, Entry
+from repro.lsm.bloom import GOLDEN_GAMMA, fnv1a_batch_multi
 from repro.lsm.compaction import CompactionListener, Compactor
 from repro.lsm.iterator import (
     BlockFetch,
@@ -50,6 +51,11 @@ from repro.lsm.version import LevelState
 from repro.lsm.wal import WriteAheadLog
 from repro.obs import names as N
 from repro.obs.recorder import NULL_RECORDER, Recorder
+
+#: Sub-batches at or below this size take the scalar probe loop in
+#: :meth:`LSMTree.multi_get_from_sstables` — numpy's fixed per-call cost
+#: beats its per-key savings under ~8 keys (measured crossover).
+_SCALAR_PROBE_MAX = 7
 
 
 class LSMTree:
@@ -325,6 +331,164 @@ class LSMTree:
                 return value, handle
         return None, None
 
+    def multi_get_from_sstables(
+        self, keys: Sequence[str]
+    ) -> Tuple[List[Optional[str]], List[Optional[BlockHandle]]]:  # hot-path
+        """Batched :meth:`get_from_sstables_with_origin` over ``keys``.
+
+        Two amortizations over the scalar loop:
+
+        * **table-major probing** — each table's bloom filter is
+          consulted for its whole still-unresolved sub-batch in one
+          vectorized pass (:meth:`SSTable.may_contain_batch`) instead
+          of one Python hash loop per key;
+        * **duplicate-block coalescing** — a per-batch block memo means
+          N keys served by one data block cost a single
+          :meth:`fetch_block` (one block-cache probe, at most one
+          metered disk read) instead of N.
+
+        The set of (key, table) bloom probes — and therefore every
+        bloom/counter *total* — is identical to the scalar loop's;
+        only the interleaving across keys differs.  A batch of one
+        takes the scalar path's exact execution order.  Element i of
+        each returned list equals the scalar call's ``(value, handle)``
+        for ``keys[i]``.
+
+        Every base bloom digest the whole walk could need — level-0
+        tables for every fenced key, plus each key's one candidate file
+        per deeper level — comes out of a *single*
+        :func:`fnv1a_batch_multi` pass per batch.  Planning hashes for
+        keys that resolve before reaching a table is deliberate
+        over-approximation: hashing is pure math, so it never perturbs
+        which bloom *tests* run (the walk still probes exactly the
+        scalar set, guarded by the resolution state) or any counter.
+        """
+        n = len(keys)
+        if n <= _SCALAR_PROBE_MAX:
+            # Tiny sub-batches (common when caches absorb most of a
+            # batch): numpy's per-call overhead loses to the scalar
+            # probe loop, and duplicate blocks are too rare to matter.
+            # Per-key probe sets — and counters — match scalar exactly.
+            out_v: List[Optional[str]] = []
+            out_h: List[Optional[BlockHandle]] = []
+            for key in keys:
+                value, handle = self.get_from_sstables_with_origin(key)
+                out_v.append(value)
+                out_h.append(handle)
+            return out_v, out_h
+        values: List[Optional[str]] = [None] * n
+        handles: List[Optional[BlockHandle]] = [None] * n
+        resolved = [False] * n
+        block_memo: Dict[BlockHandle, DataBlock] = {}
+        levels = self.levels
+        find_file = levels.find_file
+        fetch_block = self.fetch_block
+        # ---- plan: which tables can each key touch, at any level ----
+        salts: List[int] = []
+        in_fence: List[int] = []
+        l0_tables: List[SSTable] = []
+        fence = levels.level_fence(0)
+        if fence is not None:
+            lo, hi = fence
+            in_fence = [i for i in range(n) if lo <= keys[i] <= hi]
+            if in_fence:
+                l0_tables = list(levels.iter_level(0))  # newest first
+                for table in l0_tables:
+                    seed = table.bloom.seed
+                    salts.append(seed)
+                    salts.append(seed ^ GOLDEN_GAMMA)
+        plan: List[List[Tuple[int, SSTable]]] = []
+        for level in range(1, self.options.max_levels):
+            fence = levels.level_fence(level)
+            if fence is None:
+                continue
+            lo, hi = fence
+            pairs: List[Tuple[int, SSTable]] = []
+            for i in range(n):
+                key = keys[i]
+                if key < lo or key > hi:
+                    continue
+                table = find_file(level, key)
+                if table is not None:
+                    pairs.append((i, table))
+                    seed = table.bloom.seed
+                    salts.append(seed)
+                    salts.append(seed ^ GOLDEN_GAMMA)
+            if pairs:
+                plan.append(pairs)
+        if not salts:
+            return values, handles
+        # ---- one vectorized digest pass for the whole walk ----
+        uniq = list(dict.fromkeys(salts))
+        datas = [key.encode("utf-8") for key in keys]
+        matrix = fnv1a_batch_multi(datas, uniq).tolist()
+        rows: Dict[int, List[int]] = dict(zip(uniq, matrix))
+        # ---- level 0: table-major, newest first ----
+        for table in l0_tables:
+            if not in_fence:
+                break
+            first_key = table.first_key
+            last_key = table.last_key
+            bloom = table.bloom
+            seed = bloom.seed
+            row1 = rows[seed]
+            row2 = rows[seed ^ GOLDEN_GAMMA]
+            may_contain_hashed = bloom.may_contain_hashed
+            block_handles = table.block_handles
+            find_block_no = table.find_block_no
+            for i in in_fence:
+                key = keys[i]
+                if key < first_key or key > last_key:
+                    continue
+                if not may_contain_hashed(row1[i], row2[i]):
+                    self.bloom_negative_total += 1
+                    continue
+                block_no = find_block_no(key)
+                if block_no is None:
+                    continue
+                handle = block_handles[block_no]
+                block = block_memo.get(handle)
+                if block is None:
+                    block = fetch_block(handle)
+                    block_memo[handle] = block
+                found, value = block.get(key)
+                if found:
+                    values[i] = value
+                    handles[i] = handle
+                    resolved[i] = True
+                else:
+                    self.bloom_false_positive_total += 1
+            in_fence = [i for i in in_fence if not resolved[i]]
+        # ---- deeper levels: one planned file per key ----
+        for pairs in plan:
+            for i, table in pairs:
+                if resolved[i]:
+                    continue
+                bloom = table.bloom
+                seed = bloom.seed
+                if not bloom.may_contain_hashed(
+                    rows[seed][i], rows[seed ^ GOLDEN_GAMMA][i]
+                ):
+                    self.bloom_negative_total += 1
+                    continue
+                key = keys[i]
+                block_no = table.find_block_no(key)
+                if block_no is None:
+                    continue
+                handle = table.block_handles[block_no]
+                block = block_memo.get(handle)
+                if block is None:
+                    block = fetch_block(handle)
+                    block_memo[handle] = block
+                found, value = block.get(key)
+                if found:
+                    values[i] = value
+                    handles[i] = handle
+                    resolved[i] = True
+                else:
+                    self.bloom_false_positive_total += 1
+        return values, handles
+
     def _get_from_table(
         self, table: SSTable, key: str
     ) -> Tuple[bool, Optional[str], Optional[BlockHandle]]:  # hot-path
@@ -345,7 +509,9 @@ class LSMTree:
 
     # -- range scans -----------------------------------------------------------------
 
-    def scan(self, start: str, length: int) -> List[Tuple[str, str]]:  # hot-path
+    def scan(
+        self, start: str, length: int, fetch: Optional[BlockFetch] = None
+    ) -> List[Tuple[str, str]]:  # hot-path
         """Return up to ``length`` live entries with key >= ``start``.
 
         Runs the merge/dedup/limit loop inline rather than through
@@ -354,8 +520,14 @@ class LSMTree:
         where islice stopped pulling), so block-read counts are
         unchanged, but each merged entry no longer trampolines through
         two extra generator frames.
+
+        ``fetch`` overrides the block-read callable; the batched scan
+        executor passes a per-batch memoizing wrapper so scans in one
+        batch that touch the same data block fetch it once (one block
+        cache probe, at most one metered read).  ``None`` — every
+        scalar caller — reads through :meth:`fetch_block` unchanged.
         """
-        sources = self._scan_sources(start)
+        sources = self._scan_sources(start, fetch)
         if length <= 0:
             return []
         out: List[Tuple[str, str]] = []
@@ -419,7 +591,9 @@ class LSMTree:
         """
         return merge_scan(self._scan_sources(start))
 
-    def _scan_sources(self, start: str) -> List[Iterator[MergeItem]]:  # hot-path
+    def _scan_sources(
+        self, start: str, fetch: Optional[BlockFetch] = None
+    ) -> List[Iterator[MergeItem]]:  # hot-path
         """One merge source per sorted run overlapping ``start``.
 
         Building the sources is free of I/O — every generator is
@@ -428,7 +602,8 @@ class LSMTree:
         """
         self._check_open()
         self.scans_total += 1
-        fetch = self.fetch_block
+        if fetch is None:
+            fetch = self.fetch_block
         sources: List[Iterator[MergeItem]] = [
             memtable_source(self.memtable, start, priority=0)
         ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import islice
-from typing import AbstractSet, List, Tuple
+from typing import AbstractSet, Dict, List, Sequence, Tuple
 
 from repro.core.engine import KVEngine
 from repro.errors import ConfigError
@@ -127,6 +127,25 @@ class ShardRouter:
             )
         return plan
 
+    def split_batch(
+        self, ops: Sequence[Operation]
+    ) -> Dict[int, List[Tuple[int, Operation]]]:
+        """Partition a mixed operation batch into per-shard sub-batches.
+
+        Maps each shard to its ``(batch_index, sub_operation)`` list in
+        batch arrival order.  The split is exact: flattening the
+        per-shard lists recovers precisely the pairs that planning each
+        operation individually produces — points land on their single
+        owner, hash-partition scans scatter to every shard, and
+        range-partition scans cover exactly the overlapping slices with
+        their per-shard adjusted start keys.
+        """
+        per_shard: Dict[int, List[Tuple[int, Operation]]] = {}
+        for index, op in enumerate(ops):
+            for shard_id, sub_op in self.plan(op):
+                per_shard.setdefault(shard_id, []).append((index, sub_op))
+        return per_shard
+
     def plan_healthy(
         self, op: Operation, unavailable: AbstractSet[int]
     ) -> Tuple[List[Tuple[int, Operation]], List[int]]:
@@ -173,3 +192,42 @@ class ShardRouter:
         else:
             raise ConfigError(f"unknown operation kind {op.kind!r}")
         return []
+
+    @staticmethod
+    def execute_batch(
+        engine: KVEngine, ops: Sequence[Operation]
+    ) -> List[List[Entry]]:  # hot-path
+        """Run one shard sub-batch through the engine's batched API.
+
+        Maximal same-kind runs preserve per-shard operation order (a
+        get queued after a put of the same key still observes the
+        write) while the ops inside a run share one ``multi_*`` call —
+        bloom probes and sketch hashes vectorized, duplicate block
+        fetches coalesced.  Returns each op's entries (empty for
+        non-scans), aligned with ``ops``.
+        """
+        out: List[List[Entry]] = [[] for _ in ops]
+        i, n = 0, len(ops)
+        while i < n:
+            kind = ops[i].kind
+            j = i + 1
+            while j < n and ops[j].kind == kind:
+                j += 1
+            run = ops[i:j]
+            if kind == "get":
+                engine.multi_get([op.key for op in run])
+            elif kind == "scan":
+                results = engine.multi_scan(
+                    [(op.key, op.length) for op in run]
+                )
+                for offset, entries in enumerate(results):
+                    out[i + offset] = entries
+            elif kind == "put":
+                engine.multi_put([(op.key, op.value or "") for op in run])
+            elif kind == "delete":
+                for op in run:
+                    engine.delete(op.key)
+            else:
+                raise ConfigError(f"unknown operation kind {kind!r}")
+            i = j
+        return out

@@ -76,6 +76,7 @@ from repro.serve.session import (
     TenantConfig,
 )
 from repro.workloads.generator import (
+    Operation,
     WorkloadGenerator,
     WorkloadSpec,
     balanced_workload,
@@ -98,6 +99,12 @@ class ServeConfig:
     cache_bytes: int = 512 * 1024
     partition: str = "hash"
     queue_depth: int = 64
+    #: Operations each open-loop session emits per arrival and each
+    #: shard server drains per service slot.  1 (the default) keeps the
+    #: scalar event sequence — and thus every golden fingerprint —
+    #: byte-for-byte; >1 routes same-kind runs through the engine's
+    #: batched ``multi_*`` API (vectorized probes, coalesced fetches).
+    batch_size: int = 1
     arrival_rate_ops_s: float = 1200.0  # per open-loop client
     closed_clients: int = 0
     think_time_us: float = 1000.0
@@ -153,6 +160,10 @@ class ServeConfig:
             raise ConfigError("window_size must be positive")
         if self.op_deadline_us < 0:
             raise ConfigError("op_deadline_us must be >= 0")
+        if self.batch_size <= 0:
+            raise ConfigError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
         res = self.resilience
         if res is not None and res.fleet_faults is not None and not res.replicas:
             raise ConfigError(
@@ -777,12 +788,28 @@ class _Simulation:
         op = session.next_operation()
         if op is None:
             return
-        # Open-loop arrivals keep coming regardless of this op's fate.
+        burst = [op]
         if session.mode == "open":
-            self.loop.after(
-                session.next_delay_us(), lambda: self.issue(session)
-            )
-        self._dispatch(session, op)
+            # Open-loop sessions emit up to batch_size ops per arrival.
+            # Closed sessions stay one-op-per-think-time: bursting them
+            # would multiply the in-flight window on every completion.
+            while len(burst) < self.config.batch_size:
+                extra = session.next_operation()
+                if extra is None:
+                    break
+                burst.append(extra)
+            # Open-loop arrivals keep coming regardless of this batch's
+            # fate.  A burst consumes one inter-arrival delay per op it
+            # carries, so the offered op rate is the same at every
+            # batch size (and bit-identical to scalar at batch 1).
+            delay = 0.0
+            for _ in burst:
+                delay += session.next_delay_us()
+            self.loop.after(delay, lambda: self.issue(session))
+        if len(burst) == 1:
+            self._dispatch(session, op)
+        else:
+            self._dispatch_batch(session, burst)
 
     def issue_scripted(self, session: ScriptedSession) -> None:
         """Arrival path for scenario-scripted tenants.
@@ -841,6 +868,59 @@ class _Simulation:
             shard = self.shards[shard_id]
             sub = SubRequest(request, shard_id, sub_op, self.loop.now, shard.epoch)
             shard.queue.push(sub)
+            self.maybe_start(shard_id)
+
+    def _dispatch_batch(
+        self, session: ClientSession, ops: List[Operation]
+    ) -> None:
+        """Dispatch one open-loop burst as per-shard sub-batches.
+
+        Every operation is planned and enqueued before any shard starts
+        serving, so an idle shard's first service slot sees the whole
+        sub-batch the router assigned it rather than a batch of one.
+        Queue admission stays all-or-nothing per operation, with the
+        same shed accounting as the scalar path.
+        """
+        if self.res is not None:
+            # The failure model gates arrivals one op at a time (ladder,
+            # breakers, hedges); batching still happens at the servers,
+            # which drain queued backlog in batch_size service slots.
+            for op in ops:
+                self._issue_resilient(session, op)
+            return
+        touched: Set[int] = set()
+        for op in ops:
+            plan = self.router.plan(op)
+            seq = self._next_seq
+            self._next_seq += 1
+            deadline = (
+                self.loop.now + self.config.op_deadline_us
+                if self.config.op_deadline_us
+                else 0.0
+            )
+            request = Request(
+                seq, session.name, op, self.loop.now, len(plan), deadline
+            )
+            self.emit("arrive", seq, session.name, op.kind)
+            queues = [self.shards[shard_id].queue for shard_id, _ in plan]
+            if any(not q.has_room() for q in queues):
+                for q in queues:
+                    if not q.has_room():
+                        q.note_rejected()
+                if self.active:
+                    self._shed("queue_full")
+                session.rejected += 1
+                self.rejected_total += 1
+                self.emit("shed", seq, session.name)
+                continue
+            for shard_id, sub_op in plan:
+                shard = self.shards[shard_id]
+                sub = SubRequest(
+                    request, shard_id, sub_op, self.loop.now, shard.epoch
+                )
+                shard.queue.push(sub)
+                touched.add(shard_id)
+        for shard_id in sorted(touched):
             self.maybe_start(shard_id)
 
     def _issue_resilient(self, session: ClientSession, op) -> None:
@@ -936,6 +1016,9 @@ class _Simulation:
         shard = self.shards[shard_id]
         if shard.down or shard.busy or len(shard.queue) == 0:
             return
+        if self.config.batch_size > 1:
+            self._start_batch(shard)
+            return
         if self.active:
             sub, expired = shard.queue.pop_live(self.loop.now)
             for dead in expired:
@@ -965,6 +1048,78 @@ class _Simulation:
         shard.busy_us += service_us
         self.emit("start", sub.request.seq, shard_id)
         self.loop.after(service_us, lambda: self.complete(sub))
+
+    def _start_batch(self, shard: _Shard) -> None:
+        """Drain up to ``batch_size`` sub-requests into one service slot.
+
+        The popped run executes through the engine's batched API (same-
+        kind runs share one ``multi_*`` call) and the whole slot is
+        charged as one metered delta — coalesced block fetches inside a
+        run cost one simulated read instead of N.
+        """
+        subs: List[SubRequest] = []
+        limit = self.config.batch_size
+        while len(subs) < limit and len(shard.queue):
+            if self.active:
+                sub, expired = shard.queue.pop_live(self.loop.now)
+                for dead in expired:
+                    self._record(shard.shard_id, N.SERVE_SHED_DEADLINE)
+                    self.emit("expire", dead.request.seq, shard.shard_id)
+                    self._sub_dropped(dead, "deadline")
+                if sub is None:
+                    break
+            else:
+                sub = shard.queue.pop()
+            subs.append(sub)
+        if not subs:
+            return
+        shard.busy = True
+        for sub in subs:
+            sub.start_us = self.loop.now
+            self.queue_wait.record(sub.start_us - sub.enqueue_us)
+        if self.obs_recorders:
+            self.obs_recorders[shard.shard_id].advance_to(self.loop.now)
+        results = self.router.execute_batch(
+            shard.engine, [sub.op for sub in subs]
+        )
+        for sub, entries in zip(subs, results):
+            if sub.request.parts is not None:
+                sub.request.parts.append(entries)
+            if self.res is not None:
+                self._ship_to_replica(shard, sub)
+        service_us = max(0.0, shard.clock.charge())
+        shard.busy_us += service_us
+        for sub in subs:
+            self.emit("start", sub.request.seq, shard.shard_id)
+        self.loop.after(service_us, lambda: self._complete_batch(subs))
+
+    def _complete_batch(self, subs: List[SubRequest]) -> None:
+        """Batched twin of :meth:`complete` for one service slot."""
+        shard = self.shards[subs[0].shard]
+        live = [sub for sub in subs if sub.epoch == shard.epoch]
+        for sub in subs:
+            if sub.epoch != shard.epoch:
+                # The executor died while this slot was in flight.
+                self.emit("drop", sub.request.seq, sub.shard, "crash_inflight")
+                self._sub_dropped(sub, "crash_inflight")
+        if not live:
+            return
+        shard.busy = False
+        timeout = self.res.op_timeout_us if self.res else 0.0
+        for sub in live:
+            request = sub.request
+            request.remaining -= 1
+            self.emit("finish", request.seq, sub.shard)
+            if shard.breaker is not None:
+                service_us = self.loop.now - sub.start_us
+                if timeout and service_us > timeout:
+                    shard.breaker.record_failure(self.loop.now, "timeout")
+                else:
+                    shard.breaker.record_success(self.loop.now)
+                self._flush_breaker_trace(sub.shard)
+            if request.remaining == 0:
+                self.finish_request(request)
+        self.maybe_start(subs[0].shard)
 
     def complete(self, sub: SubRequest) -> None:
         shard = self.shards[sub.shard]

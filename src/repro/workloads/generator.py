@@ -226,6 +226,30 @@ def balanced_workload(num_keys: int, skew: float = 0.9, **kw) -> WorkloadSpec:
     )
 
 
+def batched_mixed_workload(num_keys: int, skew: float = 0.9, **kw) -> WorkloadSpec:
+    """Get-heavy mix for the batched-execution bench family.
+
+    90% point lookups / 5% short scans (length 8) / 5% writes over a
+    scrambled-zipf keyspace: a read-dominant OLTP-style mix where the
+    batched path's honest advantages (one vectorized digest pass per
+    miss batch, coalesced block fetches, within-batch duplicate
+    sharing) actually apply.  Scan and write work is cache-churn-bound
+    — the admission/eviction effort is identical scalar or batched — so
+    heavier mixes dilute what batching can show.
+    """
+    return WorkloadSpec(
+        num_keys=num_keys,
+        get_ratio=0.9,
+        short_scan_ratio=0.05,
+        write_ratio=0.05,
+        short_scan_length=8,
+        point_skew=skew,
+        scan_skew=skew,
+        name="mixedb",
+        **kw,
+    )
+
+
 def long_scan_workload(num_keys: int, skew: float = 0.9, **kw) -> WorkloadSpec:
     """100% scans of fixed length 64."""
     return WorkloadSpec(

@@ -155,6 +155,53 @@ class TestRun:
             assert phase.ops_per_sec > 0
             assert len(phase.fingerprint) == 64
 
+    def test_run_phase_validates_batch_size(self):
+        with pytest.raises(ConfigError, match="batch_size must be positive, got 0"):
+            run_phase(
+                "mixed", num_keys=10, ops=10, cache_bytes=1024,
+                strategy="adcache", seed=0, calibration=1.0, batch_size=0,
+            )
+        with pytest.raises(ConfigError, match="batch_size must be positive, got -4"):
+            run_phase(
+                "mixed", num_keys=10, ops=10, cache_bytes=1024,
+                strategy="adcache", seed=0, calibration=1.0, batch_size=-4,
+            )
+
+    def test_run_phase_batch_of_one_matches_scalar_bit_for_bit(self):
+        kwargs = dict(
+            num_keys=64, ops=80, cache_bytes=32 * 1024,
+            strategy="adcache", seed=11, calibration=1_000_000.0,
+        )
+        scalar = run_phase("mixedb", **kwargs)
+        batched = run_phase("mixedb", batch_size=1, **kwargs)
+        assert batched.name == "mixedb"  # batch of one keeps the bare name
+        assert batched.fingerprint == scalar.fingerprint
+        assert batched.sst_reads == scalar.sst_reads
+        assert batched.hit_rate == scalar.hit_rate
+
+    def test_run_phase_batched_name_carries_batch_size(self):
+        result = run_phase(
+            "mixedb", num_keys=64, ops=80, cache_bytes=32 * 1024,
+            strategy="adcache", seed=11, calibration=1_000_000.0, batch_size=8,
+        )
+        assert result.name == "mixedb@b8"
+        assert result.ops == 80
+
+    def test_run_perf_batch_sizes_add_the_family_with_scalar_reference(self):
+        report, _ = run_perf(
+            quick=True, num_keys=64, ops_per_phase=60, cache_bytes=32 * 1024,
+            batch_sizes=[2],
+        )
+        names = [p.name for p in report.phases]
+        assert names == ["point", "scan", "mixed", "mixedb", "mixedb@b2"]
+
+    def test_run_perf_rejects_bad_batch_sizes(self):
+        with pytest.raises(ConfigError, match="batch_size must be positive"):
+            run_perf(
+                quick=True, num_keys=64, ops_per_phase=60,
+                cache_bytes=32 * 1024, batch_sizes=[8, 0],
+            )
+
     def test_run_perf_profile_text(self):
         _, profile_text = run_perf(
             num_keys=64, ops_per_phase=40, cache_bytes=32 * 1024,

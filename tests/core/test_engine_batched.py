@@ -1,0 +1,254 @@
+"""Batched engine API: scalar parity, coalescing, batch-of-1 identity.
+
+Every test builds *twin* engines from identically seeded databases and
+compares the batched path against the scalar loop — the batched API's
+contract is that values always match, a batch of one is bit-identical
+(every counter), and larger batches only ever *save* metered I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import seed_database
+from repro.bench.strategies import build_engine
+from repro.core.engine import KVEngine
+from repro.lsm.options import LSMOptions
+from repro.lsm.tree import LSMTree
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.keys import key_of, value_of
+
+NUM_KEYS = 600
+
+
+def _options():
+    return LSMOptions(memtable_entries=32, entries_per_sstable=64)
+
+
+def _twin_engines(strategy="adcache", cache_bytes=48 * 1024, seed=5):
+    """Two engines over identically seeded trees (same strategy + seed)."""
+    return tuple(
+        build_engine(
+            strategy, seed_database(NUM_KEYS, _options(), seed=7),
+            cache_bytes, seed=seed,
+        )
+        for _ in range(2)
+    )
+
+
+def _counters(engine):
+    """Every deterministic counter the batched path must preserve."""
+    totals = engine.collector.totals()
+    tree = engine.tree
+    return {
+        "points": totals.points,
+        "point_hits": totals.range_point_hits,
+        "kv_hits": totals.kv_hits,
+        "scans": totals.scans,
+        "scan_hits": totals.range_scan_hits,
+        "writes": totals.writes,
+        "disk_reads": tree.disk.block_reads_total,
+        "bloom_negative": tree.bloom_negative_total,
+        "bloom_fp": tree.bloom_false_positive_total,
+        "compactions": totals.compactions,
+    }
+
+
+def _mixed_ops(count, seed=3, scan_ratio=0.2, write_ratio=0.2):
+    spec = WorkloadSpec(
+        num_keys=NUM_KEYS,
+        get_ratio=1.0 - scan_ratio - write_ratio,
+        short_scan_ratio=scan_ratio,
+        write_ratio=write_ratio,
+        short_scan_length=8,
+        name="twin-mix",
+    )
+    return list(WorkloadGenerator(spec, seed=seed).ops(count))
+
+
+class TestMultiGetParity:
+    def test_values_match_scalar_loop_including_duplicates(self):
+        batched, scalar = _twin_engines()
+        keys = [key_of(i % 40) for i in range(0, 120, 3)]  # repeats hot keys
+        for chunk in range(0, len(keys), 16):
+            batch = keys[chunk : chunk + 16]
+            assert batched.multi_get(batch) == [scalar.get(k) for k in batch]
+
+    def test_unique_key_batch_counters_match_scalar(self):
+        # With no within-batch duplicates the batched probe sequence is
+        # exactly the scalar one: every hit/miss and bloom counter must
+        # agree.  Metered disk reads may only *drop* — that saving
+        # (coalesced duplicate-block fetches) is the batched path's point.
+        batched, scalar = _twin_engines()
+        keys = [key_of(i) for i in range(0, 512, 4)]
+        for chunk in range(0, len(keys), 32):
+            batch = keys[chunk : chunk + 32]
+            assert batched.multi_get(batch) == [scalar.get(k) for k in batch]
+        ours, theirs = _counters(batched), _counters(scalar)
+        saved = theirs.pop("disk_reads") - ours.pop("disk_reads")
+        assert saved >= 0
+        assert ours == theirs
+
+    def test_duplicate_keys_count_as_hits_and_share_one_probe(self):
+        batched, scalar = _twin_engines()
+        dup = key_of(17)
+        batch = [dup] * 12
+        values = batched.multi_get(batch)
+        expected = scalar.get(dup)
+        assert values == [expected] * 12
+        totals = batched.collector.totals()
+        assert totals.points == 12
+        # Only the first occurrence could miss; the 11 copies are hits.
+        assert totals.range_point_hits >= 11
+
+    def test_missing_keys_return_none(self):
+        batched, scalar = _twin_engines()
+        batch = [f"zz-missing-{i:03d}" for i in range(10)] + [key_of(3)]
+        assert batched.multi_get(batch) == [scalar.get(k) for k in batch]
+        assert batched.multi_get(batch)[:10] == [None] * 10
+
+
+class TestBlockCoalescing:
+    def test_gets_in_one_block_cost_one_metered_read(self):
+        # A bare engine (no caches) makes the metered disk the only read
+        # absorber: the scalar loop pays one block read per get, the
+        # batched pass memoizes fetched blocks for the whole batch.
+        def bare_engine():
+            tree = LSMTree(LSMOptions())  # 4 entries/block, one big SSTable
+            tree.bulk_load(
+                ((key_of(i), value_of(i)) for i in range(64)), seed=7
+            )
+            return KVEngine(tree)
+
+        batch = [key_of(i) for i in range(8)]  # spans exactly 2 data blocks
+        batched, scalar = bare_engine(), bare_engine()
+
+        before = scalar.tree.disk.block_reads_total
+        scalar_values = [scalar.get(k) for k in batch]
+        scalar_reads = scalar.tree.disk.block_reads_total - before
+
+        before = batched.tree.disk.block_reads_total
+        values = batched.multi_get(batch)
+        batched_reads = batched.tree.disk.block_reads_total - before
+
+        assert values == scalar_values == [value_of(i) for i in range(8)]
+        assert scalar_reads == 8  # one fetch per get, nothing caches them
+        assert batched_reads == 2  # one fetch per distinct block
+
+    def test_overlapping_scans_share_fetched_blocks(self):
+        def bare_engine():
+            tree = LSMTree(LSMOptions())
+            tree.bulk_load(
+                ((key_of(i), value_of(i)) for i in range(128)), seed=7
+            )
+            return KVEngine(tree)
+
+        requests = [(key_of(0), 16), (key_of(4), 16), (key_of(8), 16)]
+        batched, scalar = bare_engine(), bare_engine()
+
+        scalar_results = [scalar.scan(s, ln) for s, ln in requests]
+        scalar_reads = scalar.tree.disk.block_reads_total
+
+        results = batched.multi_scan(requests)
+        batched_reads = batched.tree.disk.block_reads_total
+
+        assert results == scalar_results
+        assert batched_reads < scalar_reads
+
+
+class TestMultiScanParity:
+    def test_results_match_scalar_loop(self):
+        batched, scalar = _twin_engines()
+        gen = WorkloadGenerator(
+            WorkloadSpec(
+                num_keys=NUM_KEYS, short_scan_ratio=1.0,
+                short_scan_length=8, name="scans",
+            ),
+            seed=9,
+        )
+        ops = list(gen.ops(96))
+        for chunk in range(0, len(ops), 12):
+            requests = [(op.key, op.length) for op in ops[chunk : chunk + 12]]
+            batch_results = batched.multi_scan(requests)
+            scalar_results = [scalar.scan(s, ln) for s, ln in requests]
+            assert batch_results == scalar_results
+        assert (
+            batched.tree.disk.block_reads_total
+            <= scalar.tree.disk.block_reads_total
+        )
+
+    def test_covering_window_requests_count_as_hits(self):
+        batched, _ = _twin_engines(strategy="block")  # no range cache
+        total_before = batched.collector.totals()
+        # The second request's window sits inside the first's result.
+        results = batched.multi_scan([(key_of(100), 16), (key_of(104), 8)])
+        assert [k for k, _ in results[1]] == [
+            k for k, _ in results[0][4:12]
+        ]
+        totals = batched.collector.totals()
+        assert totals.scans - total_before.scans == 2
+        assert totals.range_scan_hits - total_before.range_scan_hits == 1
+
+
+class TestMultiPutParity:
+    def test_state_and_counters_match_scalar_puts(self):
+        batched, scalar = _twin_engines()
+        pairs = [(key_of(i), value_of(i, 9)) for i in range(50, 90)]
+        batched.multi_put(pairs)
+        for key, value in pairs:
+            scalar.put(key, value)
+        assert _counters(batched) == _counters(scalar)
+        probe = [key for key, _ in pairs[::5]]
+        assert batched.multi_get(probe) == [scalar.get(k) for k in probe]
+
+
+class TestBatchOfOneIdentity:
+    def test_batch_of_one_is_bit_identical_to_scalar(self):
+        # The determinism contract: driving every op through the multi_*
+        # API with singleton batches must reproduce the scalar engine's
+        # counters exactly — double-run, not just value equality.
+        batched, scalar = _twin_engines()
+        for op in _mixed_ops(300):
+            if op.kind == "get":
+                assert batched.multi_get([op.key]) == [scalar.get(op.key)]
+            elif op.kind == "scan":
+                assert batched.multi_scan([(op.key, op.length)]) == [
+                    scalar.scan(op.key, op.length)
+                ]
+            elif op.kind == "put":
+                batched.multi_put([(op.key, op.value or "")])
+                scalar.put(op.key, op.value or "")
+            else:
+                batched.delete(op.key)
+                scalar.delete(op.key)
+        assert _counters(batched) == _counters(scalar)
+
+    @pytest.mark.parametrize("strategy", ["adcache", "block", "kv", "range"])
+    def test_double_run_reproduces_across_compositions(self, strategy):
+        ops = _mixed_ops(200)
+
+        def run():
+            engine = build_engine(
+                strategy, seed_database(NUM_KEYS, _options(), seed=7),
+                48 * 1024, seed=5,
+            )
+            for chunk in range(0, len(ops), 16):
+                batch = ops[chunk : chunk + 16]
+                gets = [op.key for op in batch if op.kind == "get"]
+                if gets:
+                    engine.multi_get(gets)
+                scans = [
+                    (op.key, op.length) for op in batch if op.kind == "scan"
+                ]
+                if scans:
+                    engine.multi_scan(scans)
+                writes = [
+                    (op.key, op.value or "")
+                    for op in batch
+                    if op.kind == "put"
+                ]
+                if writes:
+                    engine.multi_put(writes)
+            return _counters(engine)
+
+        assert run() == run()

@@ -7,8 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lsm.bloom import (
+    GOLDEN_GAMMA,
     BloomFilter,
     fnv1a,
+    fnv1a_batch_multi,
     optimal_num_hashes,
     theoretical_fpr,
 )
@@ -74,3 +76,69 @@ class TestHash:
 def test_property_inserted_keys_always_found(keys):
     bloom = BloomFilter.build(keys, bits_per_key=10)
     assert all(bloom.may_contain(k) for k in keys)
+
+
+class TestBatchHashing:
+    def test_fnv1a_batch_multi_equals_scalar_grid(self):
+        datas = [f"key-{i}".encode() for i in range(11)]
+        salts = [0, 7, 0x9E3779B97F4A7C15]
+        matrix = fnv1a_batch_multi(datas, salts).tolist()
+        for j, salt in enumerate(salts):
+            for i, data in enumerate(datas):
+                assert matrix[j][i] == fnv1a(data, salt)
+
+    def test_fnv1a_batch_multi_ragged_lengths(self):
+        datas = [b"", b"a", b"abcdefghij" * 4, b"xy"]
+        salts = [3, 4]
+        matrix = fnv1a_batch_multi(datas, salts).tolist()
+        for j, salt in enumerate(salts):
+            assert matrix[j] == [fnv1a(d, salt) for d in datas]
+
+    def test_fnv1a_batch_multi_empty(self):
+        assert fnv1a_batch_multi([], [1]).shape == (1, 0)
+        assert fnv1a_batch_multi([b"a"], []).shape == (0, 1)
+
+
+class TestBatchProbing:
+    def test_may_contain_batch_equals_scalar(self):
+        keys = [f"k{i}" for i in range(60)]
+        bloom = BloomFilter.build(keys[:30], bits_per_key=10, seed=5)
+        probes = keys + [f"other-{i}" for i in range(40)]
+        assert bloom.may_contain_batch(probes) == [
+            bloom.may_contain(k) for k in probes
+        ]
+
+    def test_may_contain_batch_small_batch_fallback(self):
+        bloom = BloomFilter.build([f"k{i}" for i in range(20)], seed=2)
+        probes = ["k1", "missing", "k3"]
+        assert bloom.may_contain_batch(probes) == [
+            bloom.may_contain(k) for k in probes
+        ]
+
+    def test_may_contain_hashed_equals_may_contain(self):
+        bloom = BloomFilter.build([f"k{i}" for i in range(25)], seed=9)
+        seed = bloom.seed
+        for key in [f"k{i}" for i in range(25)] + ["absent-a", "absent-b"]:
+            data = key.encode("utf-8")
+            h1 = fnv1a(data, seed)
+            h2 = fnv1a(data, seed ^ GOLDEN_GAMMA)
+            assert bloom.may_contain_hashed(h1, h2) == bloom.may_contain(key)
+
+    def test_vectorized_build_is_bit_identical_to_scalar_adds(self):
+        keys = [f"key-{i:04d}" for i in range(100)]  # > scalar crossover
+        built = BloomFilter.build(keys, bits_per_key=10, seed=4)
+        manual = BloomFilter(len(keys), bits_per_key=10, seed=4)
+        for key in keys:
+            manual.add(key)
+        assert built._bits == manual._bits
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.text(min_size=0, max_size=24), min_size=8, max_size=40),
+    st.integers(min_value=0, max_value=2**32),
+)
+def test_property_batch_probe_equals_scalar(keys, seed):
+    """may_contain_batch matches the scalar probe for arbitrary keys."""
+    bloom = BloomFilter.build(keys[: len(keys) // 2], bits_per_key=8, seed=seed)
+    assert bloom.may_contain_batch(keys) == [bloom.may_contain(k) for k in keys]

@@ -219,3 +219,112 @@ class TestHealthAwarePlanning:
         assert all(
             shard != 2 for live, _ in first for shard, _ in live
         )
+
+
+def _batch_mix(count, seed=21):
+    spec = WorkloadSpec(
+        num_keys=NUM_KEYS,
+        get_ratio=0.5,
+        short_scan_ratio=0.25,
+        write_ratio=0.2,
+        delete_ratio=0.05,
+        short_scan_length=16,
+        name="batch-mix",
+    )
+    return list(WorkloadGenerator(spec, seed=seed).ops(count))
+
+
+class TestBatchSplitting:
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_split_union_equals_per_op_plans(self, partition):
+        """Flattening the per-shard split recovers exactly the per-op plans."""
+        router = ShardRouter(3, NUM_KEYS, partition)
+        ops = _batch_mix(80)
+        split = router.split_batch(ops)
+        got = sorted(
+            (index, shard, sub.kind, sub.key, sub.length)
+            for shard, pairs in split.items()
+            for index, sub in pairs
+        )
+        expected = sorted(
+            (index, shard, sub.kind, sub.key, sub.length)
+            for index, op in enumerate(ops)
+            for shard, sub in router.plan(op)
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_per_shard_sub_batches_preserve_arrival_order(self, partition):
+        router = ShardRouter(4, NUM_KEYS, partition)
+        split = router.split_batch(_batch_mix(80))
+        for pairs in split.values():
+            indices = [index for index, _ in pairs]
+            assert indices == sorted(indices)
+
+    def test_empty_batch_splits_to_nothing(self):
+        assert ShardRouter(3, NUM_KEYS).split_batch([]) == {}
+
+
+class TestBatchedFleetOracle:
+    """split_batch + execute_batch must be equivalent to replaying the
+    same batch op-by-op through a scalar fleet: identical scan gathers
+    and identical final shard state (per-shard batched runs may save
+    metered reads, never change answers)."""
+
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_batched_fleet_matches_scalar_replay(self, partition):
+        router = ShardRouter(3, NUM_KEYS, partition)
+        batched_fleet = _build_sharded(router)
+        scalar_fleet = _build_sharded(router)
+        ops = _batch_mix(240)
+        scans_checked = 0
+        for chunk in range(0, len(ops), 12):
+            batch = ops[chunk : chunk + 12]
+            # Batched fleet: one execute_batch per shard sub-batch.
+            parts_by_index = {}
+            for shard in sorted(router.split_batch(batch)):
+                pairs = router.split_batch(batch)[shard]
+                outs = ShardRouter.execute_batch(
+                    batched_fleet[shard], [sub for _, sub in pairs]
+                )
+                for (index, _), entries in zip(pairs, outs):
+                    parts_by_index.setdefault(index, {})[shard] = entries
+            # Scalar fleet: per-op plan + execute, then compare gathers.
+            for index, op in enumerate(batch):
+                plan = router.plan(op)
+                parts = [
+                    router.execute(scalar_fleet[shard], sub)
+                    for shard, sub in plan
+                ]
+                if op.kind != "scan":
+                    continue
+                expected = router.merge_scan(parts, op.length)
+                got = router.merge_scan(
+                    [parts_by_index[index][shard] for shard, _ in plan],
+                    op.length,
+                )
+                assert got == expected, f"scan {op.key} diverged"
+                scans_checked += 1
+        assert scans_checked > 30
+        # Final state parity: every probed key agrees shard-by-shard.
+        for key_id in range(0, NUM_KEYS, 7):
+            key = key_of(key_id)
+            shard = router.shard_of_key(key)
+            assert batched_fleet[shard].get(key) == scalar_fleet[shard].get(key)
+        # Coalescing may only ever save metered reads, never add them.
+        assert sum(
+            e.tree.disk.block_reads_total for e in batched_fleet
+        ) <= sum(e.tree.disk.block_reads_total for e in scalar_fleet)
+
+    def test_batched_run_observes_earlier_writes_in_same_batch(self):
+        router = ShardRouter(1, NUM_KEYS)
+        engine = _build_sharded(router)[0]
+        key = key_of(5)
+        ops = [
+            Operation("put", key, value="updated"),
+            Operation("get", key),
+            Operation("scan", key, length=1),
+        ]
+        outs = ShardRouter.execute_batch(engine, ops)
+        assert outs[2] == [(key, "updated")]
+        assert engine.get(key) == "updated"

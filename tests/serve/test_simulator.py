@@ -150,3 +150,43 @@ class TestStrategies:
         assert result.fleet_window.ops == sum(
             s.subrequests_served for s in result.shards
         )
+
+
+class TestBatchedServing:
+    def test_batched_run_is_deterministic(self):
+        a = _run(seed=31, batch_size=4)
+        b = _run(seed=31, batch_size=4)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.shed_by_reason == b.shed_by_reason
+
+    def test_batch_of_one_matches_default_config(self):
+        # batch_size=1 takes the scalar dispatch path; explicitly passing
+        # it must not perturb the simulation in any observable way.
+        assert (
+            _run(seed=32, batch_size=1).fingerprint()
+            == _run(seed=32).fingerprint()
+        )
+
+    def test_batched_conservation_holds(self):
+        result = _run(seed=33, batch_size=4)
+        assert result.issued == FAST["total_ops"]
+        assert result.completed + result.rejected == result.issued
+        served = sum(s.subrequests_served for s in result.shards)
+        assert result.queue_wait.count == served
+
+    def test_batched_sheds_under_deadline_pressure_account_and_repeat(self):
+        kwargs = dict(
+            seed=34,
+            batch_size=4,
+            queue_depth=2,
+            arrival_rate_ops_s=20_000.0,
+            op_deadline_us=300.0,
+        )
+        result = _run(**kwargs)
+        assert result.rejected > 0
+        assert result.completed + result.rejected == result.issued
+        assert result.shed_by_reason.get("queue_full", 0) > 0
+        assert result.shed_by_reason.get("deadline", 0) > 0
+        again = _run(**kwargs)
+        assert again.fingerprint() == result.fingerprint()
+        assert again.shed_by_reason == result.shed_by_reason
