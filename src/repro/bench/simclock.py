@@ -45,6 +45,11 @@ class CostModel:
     seek_per_run_us: float = 1.5  # iterator setup per sorted run
     failed_read_us: float = 100.0  # a faulted read attempt still costs the device
     corruption_repair_us: float = 500.0  # replica fetch + checksum rebuild
+    # Shared second tier (serving fleets only): a probe is a shared-map
+    # lookup with cross-shard coordination; a hit additionally pays the
+    # transfer — slower than any L1 hit, ~4x cheaper than the disk.
+    l2_probe_us: float = 2.0
+    l2_hit_us: float = 25.0
 
 
 @dataclass
@@ -67,6 +72,8 @@ class ClockReading:
     failed_reads: int = 0
     corruption_repairs: int = 0
     retry_latency_us: float = 0.0
+    l2_probes: int = 0
+    l2_hits: int = 0
 
     @classmethod
     def capture(cls, engine: KVEngine) -> "ClockReading":  # hot-path
@@ -100,6 +107,11 @@ class ClockReading:
             block_lookups = block_insertions = 0
         # Seek work: one iterator per sorted run per scan (current shape).
         runs_seeked = scans * max(1, tree.num_sorted_runs)
+        tier2 = engine.tier2_client
+        if tier2 is not None:
+            l2_probes, l2_hits = tier2.probes, tier2.hits
+        else:
+            l2_probes = l2_hits = 0
         return cls(
             disk_reads=tree.disk.block_reads_total,
             points=points,
@@ -117,6 +129,8 @@ class ClockReading:
             failed_reads=tree.disk.failed_reads_total,
             corruption_repairs=tree.disk.corruption_repairs_total,
             retry_latency_us=tree.retry_latency_us_total,
+            l2_probes=l2_probes,
+            l2_hits=l2_hits,
         )
 
 
@@ -177,4 +191,8 @@ def elapsed_us(
         + (after.failed_reads - before.failed_reads) * c.failed_read_us
         + (after.corruption_repairs - before.corruption_repairs) * c.corruption_repair_us
         + (after.retry_latency_us - before.retry_latency_us)
+        # L2 terms stay at the tail: with no tier attached both deltas
+        # are zero and adding 0.0 last keeps legacy sums bit-identical.
+        + (after.l2_probes - before.l2_probes) * c.l2_probe_us
+        + (after.l2_hits - before.l2_hits) * c.l2_hit_us
     )

@@ -10,7 +10,9 @@ This implementation adapts ARC to the container/policy split: ghost-list
 consultation happens in :meth:`record_insert` (which the container calls
 on every admitted miss), and :meth:`select_victim` implements REPLACE.
 Sizes are tracked in keys rather than bytes; for the fixed-size entries
-used in this simulator the two are proportional.
+used in this simulator the two are proportional.  The ghost bookkeeping
+is the shared :class:`~repro.cache.ghost.GhostList` (also the promotion
+signal for the fleet L2 tier, :mod:`repro.cache.tier2`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
 from repro.cache.base import EvictionPolicy
+from repro.cache.ghost import GhostList
 from repro.errors import CacheError, InvariantError
 
 K = TypeVar("K", bound=Hashable)
@@ -41,8 +44,8 @@ class ARCPolicy(EvictionPolicy[K], Generic[K]):
         self._p = 0.0  # adaptive target size of T1
         self._t1: "OrderedDict[K, None]" = OrderedDict()
         self._t2: "OrderedDict[K, None]" = OrderedDict()
-        self._b1: "OrderedDict[K, None]" = OrderedDict()
-        self._b2: "OrderedDict[K, None]" = OrderedDict()
+        self._b1: GhostList[K] = GhostList(capacity_hint)
+        self._b2: GhostList[K] = GhostList(capacity_hint)
 
     @property
     def p(self) -> float:
@@ -54,17 +57,16 @@ class ARCPolicy(EvictionPolicy[K], Generic[K]):
             # Ghost hit in B1: T1 was evicted too eagerly -> grow p.
             delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
             self._p = min(float(self._c), self._p + delta)
-            del self._b1[key]
+            self._b1.discard(key)
             self._t2[key] = None
         elif key in self._b2:
             # Ghost hit in B2 -> shrink p.
             delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
             self._p = max(0.0, self._p - delta)
-            del self._b2[key]
+            self._b2.discard(key)
             self._t2[key] = None
         else:
             self._t1[key] = None
-        self._trim_ghosts()
 
     def record_access(self, key: K) -> None:
         if key in self._t1:
@@ -84,41 +86,36 @@ class ARCPolicy(EvictionPolicy[K], Generic[K]):
     def record_evict(self, key: K) -> None:
         if key in self._t1:
             del self._t1[key]
-            self._b1[key] = None
+            self._b1.record(key)
         elif key in self._t2:
             del self._t2[key]
-            self._b2[key] = None
-        self._trim_ghosts()
+            self._b2.record(key)
 
     def record_remove(self, key: K) -> None:
         # Invalidation: forget entirely, no ghost (not a policy mistake).
         self._t1.pop(key, None)
         self._t2.pop(key, None)
-        self._b1.pop(key, None)
-        self._b2.pop(key, None)
-
-    def _trim_ghosts(self) -> None:
-        while len(self._b1) > self._c:
-            self._b1.popitem(last=False)
-        while len(self._b2) > self._c:
-            self._b2.popitem(last=False)
+        self._b1.discard(key)
+        self._b2.discard(key)
 
     def check_invariants(self) -> None:
         """T1/T2/B1/B2 pairwise disjointness, ghost bounds, and p's range."""
         lists = {
-            "T1": self._t1,
-            "T2": self._t2,
-            "B1": self._b1,
-            "B2": self._b2,
+            "T1": self._t1.keys(),
+            "T2": self._t2.keys(),
+            "B1": self._b1.keys(),
+            "B2": self._b2.keys(),
         }
         names = list(lists)
         for i, a in enumerate(names):
             for b in names[i + 1 :]:
-                overlap = lists[a].keys() & lists[b].keys()
+                overlap = lists[a] & lists[b]
                 if overlap:
                     raise InvariantError(
                         f"ARCPolicy: {a} and {b} share keys {sorted(map(repr, overlap))[:3]}"
                     )
+        self._b1.check_invariants()
+        self._b2.check_invariants()
         if len(self._b1) > self._c or len(self._b2) > self._c:
             raise InvariantError(
                 f"ARCPolicy ghost lists exceed capacity {self._c}: "

@@ -192,6 +192,10 @@ class BudgetedCache(CacheBase, Generic[K, V]):
         self._data: Dict[K, Tuple[V, int]] = {}
         self._used = 0
         self.stats = CacheStats()
+        #: Capacity-eviction listener ``(key, value)``; invalidations do
+        #: not fire it (a removed key is dead, not demoted).  The tiered
+        #: serving cache uses this as its L1 demotion feed.
+        self.on_evict: Optional[Callable[[K, V], None]] = None
         self._sanitizer = sanitize.from_env()
 
     # -- capacity ---------------------------------------------------------------
@@ -286,6 +290,7 @@ class BudgetedCache(CacheBase, Generic[K, V]):
 
     def _evict_to_fit(self) -> int:
         evicted = 0
+        on_evict = self.on_evict
         while self._used > self._budget and self._data:
             victim = self._policy.select_victim()
             entry = self._data.pop(victim, None)
@@ -295,6 +300,8 @@ class BudgetedCache(CacheBase, Generic[K, V]):
             self._policy.record_evict(victim)
             self.stats.evictions += 1
             evicted += 1
+            if on_evict is not None:
+                on_evict(victim, entry[0])
         return evicted
 
     # -- sanitizer protocol ------------------------------------------------------

@@ -78,6 +78,17 @@ class BlockCache(CacheBase):
     def _shard_of(self, handle: BlockHandle) -> int:
         return hash(handle) % self._num_shards
 
+    def set_backing_fetch(self, fetch: BlockFetch) -> None:
+        """Rewire where misses are served from (e.g. a shared L2 tier)."""
+        self._backing_fetch = fetch
+
+    def set_eviction_listener(
+        self, listener: Optional[Callable[[BlockHandle, DataBlock], None]]
+    ) -> None:
+        """Observe every capacity eviction (the L2 demotion feed)."""
+        for shard in self._shards:
+            shard.on_evict = listener
+
     # -- the read path hook ------------------------------------------------------
 
     def fetch_through(self, handle: BlockHandle) -> DataBlock:  # hot-path

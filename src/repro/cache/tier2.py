@@ -1,0 +1,309 @@
+"""Fleet-shared second cache tier with ghost-directed admission.
+
+The serving fleet's per-shard block/range caches (L1) are partitioned:
+a byte granted to one shard is invisible to every other, so a skewed
+tenant can thrash its own shard's L1 while the rest of the fleet holds
+cold bytes.  :class:`Tier2Cache` is a single shared tier between every
+shard's L1 and the simulated disk — slower than an L1 hit (the sim
+clock charges a configurable fetch latency), far cheaper than a disk
+read — that turns one shard's evicted-but-hot blocks into fleet-wide
+capacity, the motivation LSbM-tree (arXiv:1606.02015) gives for a
+dedicated second buffer under compaction churn.
+
+Structure is ARC-flavoured (Megiddo & Modha, FAST'03): resident blocks
+live in a recency list T1 or a frequency list T2; two
+:class:`~repro.cache.ghost.GhostList`\\ s B1/B2 remember recent
+evictions and steer the adaptive recency target ``p``.  Admission is
+*filtered*: an L1 victim enters only with proven reuse — a ghost hit
+(the block was here before and was re-demanded) or a decaying
+Count-Min sketch count of at least two across the fleet (the sketch
+observes every L2 probe miss).  Everything else is rejected, which is
+what keeps one scan-heavy shard from flushing the shared tier.
+
+Keys are ``(shard_id, BlockHandle)``: each serving shard owns its own
+simulated disk, so raw handles collide across shards and must be
+namespaced.  When a shard's engine is replaced (replica promotion),
+:meth:`tier2_drop_shard` purges its namespace — the new engine's
+SSTable ids would otherwise alias the dead primary's cached blocks.
+
+Determinism and ownership: the cache draws no randomness (the sketch
+is seeded) and every mutation happens through the ``tier2_*`` methods,
+which only the owning serve-side coordinator
+(:class:`repro.serve.tier2.Tier2Coordinator`) may call from inside the
+event loop — lint rule OWN004 enforces the call-site restriction
+program-wide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.cache.base import CacheBase
+from repro.cache.ghost import GhostList
+from repro.cache.sketch import CountMinSketch
+from repro.errors import CacheError, InvariantError
+from repro.lsm.block import BlockHandle, DataBlock
+
+#: One entry's key: the owning serve shard plus its block handle.
+Tier2Key = Tuple[int, BlockHandle]
+
+
+class Tier2Cache(CacheBase):
+    """Shared L2 block cache: ARC ghosts + double-hit admission.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Shared capacity across the whole fleet.
+    block_size:
+        Charge per cached block (one LSM data block).
+    sketch_seed:
+        Salt for the admission sketch's row hashes.
+    ghost_capacity:
+        Keys each ghost list remembers; defaults to the resident
+        capacity in blocks (the classic ARC bound).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        block_size: int,
+        sketch_seed: int = 0,
+        ghost_capacity: Optional[int] = None,
+    ) -> None:
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        if block_size <= 0:
+            raise CacheError("block_size must be positive")
+        self.block_size = block_size
+        self._budget = budget_bytes
+        capacity = max(1, budget_bytes // block_size)
+        self._capacity = capacity
+        self._p = 0.0  # adaptive target size of T1, in blocks
+        self._t1: "OrderedDict[Tier2Key, DataBlock]" = OrderedDict()
+        self._t2: "OrderedDict[Tier2Key, DataBlock]" = OrderedDict()
+        ghosts = ghost_capacity if ghost_capacity is not None else capacity
+        self._b1: GhostList[Tier2Key] = GhostList(max(1, ghosts))
+        self._b2: GhostList[Tier2Key] = GhostList(max(1, ghosts))
+        self._sketch = CountMinSketch(
+            width=2048, depth=4, saturation=16, seed=sketch_seed
+        )
+        # Fleet-visible outcome counters (single writer: the serve
+        # coordinator mutates, everyone else reads).
+        self.hits = 0
+        self.misses = 0
+        self.ghost_hits_recency = 0  # B1 hits at admission
+        self.ghost_hits_frequency = 0  # B2 hits at admission
+        self.demotions = 0  # L1 victims offered
+        self.admits = 0
+        self.rejects = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        """Current shared capacity in bytes."""
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes charged by resident blocks."""
+        return (len(self._t1) + len(self._t2)) * self.block_size
+
+    @property
+    def ghost_hits(self) -> int:
+        """Total admission-time ghost hits (recency + frequency)."""
+        return self.ghost_hits_recency + self.ghost_hits_frequency
+
+    @property
+    def reuse_signal(self) -> int:
+        """Monotone evidence the shared tier is earning its bytes.
+
+        Hits are realised savings; ghost hits are savings a larger L2
+        would have realised.  The budget arbiter reads the deltas of
+        this signal to learn the fleet L1/L2 split.
+        """
+        return self.hits + self.ghost_hits_recency + self.ghost_hits_frequency
+
+    # -- reads ------------------------------------------------------------
+
+    @staticmethod
+    def _sketch_key(key: Tier2Key) -> str:
+        shard_id, handle = key
+        return f"{shard_id}:{handle.sst_id}:{handle.block_no}"
+
+    def tier2_probe(self, key: Tier2Key) -> Optional[DataBlock]:  # hot-path
+        """Serve one L1-miss lookup; observes demand for admission.
+
+        A T1 hit promotes the block to T2 (its second touch proves
+        reuse); a T2 hit refreshes recency.  A miss feeds the sketch —
+        the fleet-wide demand count the double-hit filter consults when
+        this block is later demoted out of some shard's L1.
+        """
+        block = self._t1.pop(key, None)
+        if block is not None:
+            self._t2[key] = block
+            self.hits += 1
+            return block
+        block = self._t2.get(key)
+        if block is not None:
+            self._t2.move_to_end(key)
+            self.hits += 1
+            return block
+        self.misses += 1
+        self._sketch.increment(self._sketch_key(key))
+        return None
+
+    # -- admission (L1 demotion) -------------------------------------------
+
+    def tier2_offer(self, key: Tier2Key, block: DataBlock) -> bool:
+        """Offer an L1 victim; admits only blocks seen twice fleet-wide.
+
+        Admission evidence, in priority order:
+
+        * **B1 ghost hit** — the block was evicted from L2's recency
+          side and demanded again: grow ``p`` and seat it in T2;
+        * **B2 ghost hit** — evicted from the frequency side and back:
+          shrink ``p``, seat in T2;
+        * **sketch count >= 2** — at least two L2 misses for this block
+          across the fleet: seat in T1 (first residency, unproven).
+
+        Anything else is rejected — a single cold read does not earn
+        shared bytes.  Returns whether the block was admitted.
+        """
+        self.demotions += 1
+        if self.block_size > self._budget:
+            self.rejects += 1
+            return False
+        if key in self._t1 or key in self._t2:
+            # Already resident (another shard re-fetched it first or a
+            # probe raced a demotion through the loop); refresh only.
+            self.rejects += 1
+            return False
+        if key in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self._capacity), self._p + delta)
+            self._b1.discard(key)
+            self.ghost_hits_recency += 1
+            self._t2[key] = block
+        elif key in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            self._b2.discard(key)
+            self.ghost_hits_frequency += 1
+            self._t2[key] = block
+        elif self._sketch.estimate(self._sketch_key(key)) >= 2:
+            self._t1[key] = block
+        else:
+            self.rejects += 1
+            return False
+        self.admits += 1
+        self._evict_to_fit()
+        self._after_mutation()
+        return True
+
+    def _evict_to_fit(self) -> int:
+        """REPLACE: evict T1 past target ``p`` (else T2) into ghosts."""
+        evicted = 0
+        while self.used_bytes > self._budget and (self._t1 or self._t2):
+            if self._t1 and (len(self._t1) > self._p or not self._t2):
+                victim, _ = self._t1.popitem(last=False)
+                self._b1.record(victim)
+            else:
+                victim, _ = self._t2.popitem(last=False)
+                self._b2.record(victim)
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+    # -- maintenance -------------------------------------------------------
+
+    def tier2_resize(self, budget_bytes: int) -> int:
+        """Rebound the shared budget; returns evictions forced."""
+        if budget_bytes < 0:
+            raise CacheError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        self._capacity = max(1, budget_bytes // self.block_size)
+        self._p = min(self._p, float(self._capacity))
+        evicted = self._evict_to_fit()
+        self._after_mutation()
+        return evicted
+
+    def tier2_drop_shard(self, shard_id: int) -> int:
+        """Purge one shard's namespace (its engine was replaced).
+
+        A promoted replica allocates SSTable ids from its own simulated
+        disk, so the dead primary's cached blocks would alias fresh
+        handles with stale bytes.  Ghosts and sketch history go too:
+        the signal they encode belongs to the dead namespace.
+        """
+        dropped = 0
+        for resident in (self._t1, self._t2):
+            stale = [key for key in resident if key[0] == shard_id]
+            for key in stale:
+                del resident[key]
+                dropped += 1
+        for ghost in (self._b1, self._b2):
+            for key in [k for k in ghost if k[0] == shard_id]:
+                ghost.discard(key)
+        self.invalidations += dropped
+        self._after_mutation()
+        return dropped
+
+    def tier2_clear(self) -> None:
+        """Drop every resident block and all history."""
+        self.invalidations += len(self._t1) + len(self._t2)
+        self._t1.clear()
+        self._t2.clear()
+        for ghost in (self._b1, self._b2):
+            for key in list(ghost):
+                ghost.discard(key)
+        self._after_mutation()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __contains__(self, key: Tier2Key) -> bool:
+        return key in self._t1 or key in self._t2
+
+    # -- sanitizer protocol -------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Budget conservation, list disjointness, ghost bounds, p range."""
+        if self.used_bytes > self._budget:
+            raise InvariantError(
+                f"Tier2Cache over budget at rest: used_bytes "
+                f"{self.used_bytes} > budget_bytes {self._budget}"
+            )
+        lists = {
+            "T1": self._t1.keys(),
+            "T2": self._t2.keys(),
+            "B1": self._b1.keys(),
+            "B2": self._b2.keys(),
+        }
+        names = list(lists)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                overlap = lists[a] & lists[b]
+                if overlap:
+                    raise InvariantError(
+                        f"Tier2Cache: {a} and {b} share keys "
+                        f"{sorted(map(repr, overlap))[:3]}"
+                    )
+        self._b1.check_invariants()
+        self._b2.check_invariants()
+        if not 0.0 <= self._p <= float(self._capacity):
+            raise InvariantError(
+                f"Tier2Cache adaptive target p={self._p} outside "
+                f"[0, {self._capacity}]"
+            )
+        if self.admits + self.rejects != self.demotions:
+            raise InvariantError(
+                f"Tier2Cache admission accounting drift: {self.admits} "
+                f"admits + {self.rejects} rejects != {self.demotions} offers"
+            )

@@ -317,6 +317,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workload=_spec(args),
         num_keys=args.num_keys,
         cache_bytes=args.cache_kb * 1024,
+        l2_budget_bytes=args.l2_budget_kb * 1024,
         partition=args.partition,
         queue_depth=args.queue_depth,
         arrival_rate_ops_s=args.arrival_rate,
@@ -381,6 +382,7 @@ def cmd_atlas(args: argparse.Namespace) -> int:
         arrival_rate_ops_s=args.arrival_rate,
         num_shards=args.shards,
         cache_kb=args.cache_kb,
+        l2_fraction=args.l2_fraction,
         window_size=args.window_size,
         double_run=not args.single_run,
     )
@@ -678,6 +680,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="completed requests between budget-arbiter rounds (0 = off)",
     )
     serve.add_argument(
+        "--l2-budget-kb", type=int, default=0,
+        help="carve this much of --cache-kb into a fleet-shared L2 tier "
+        "(0 = flat legacy fleet; see docs/tiered_cache.md)",
+    )
+    serve.add_argument(
         "--window-size", type=int, default=250,
         help="per-shard controller window (ops)",
     )
@@ -715,6 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
     atlas.add_argument("--arrival-rate", type=float, default=2000.0)
     atlas.add_argument("--shards", type=int, default=2)
     atlas.add_argument("--cache-kb", type=int, default=256)
+    atlas.add_argument(
+        "--l2-fraction", type=float, default=0.25,
+        help="fraction of the cache budget '+l2' strategy cells carve "
+        "into the shared tier (total budget stays --cache-kb)",
+    )
     atlas.add_argument("--window-size", type=int, default=250)
     atlas.add_argument(
         "--single-run", action="store_true",

@@ -38,6 +38,7 @@ from repro.obs.recorder import NULL_RECORDER, Recorder
 
 if TYPE_CHECKING:  # bench.simclock imports this module; runtime import is local
     from repro.bench.simclock import SimClock
+    from repro.serve.tier2 import Tier2Client
 
 Entry = Tuple[str, str]
 #: Controller callback: receives the sealed window's statistics.
@@ -104,6 +105,9 @@ class KVEngine:
             block_cache.stats if block_cache is not None else None
         )
         self.crashes_total = 0
+        #: Shared-L2 hook; set by the serving layer's Tier2Coordinator
+        #: when the fleet runs tiered (None keeps the flat read path).
+        self.tier2_client: Optional["Tier2Client"] = None
         # Observability: a NullRecorder by default, so every instrumented
         # site costs one attribute read when observability is off.
         self.recorder: Recorder = NULL_RECORDER
@@ -111,6 +115,7 @@ class KVEngine:
         self._obs_block_stats: Optional[CacheStats] = None
         self._obs_range_stats: Optional[CacheStats] = None
         self._obs_admit_snapshot: Tuple[int, int] = (0, 0)
+        self._obs_l2_snapshot: Tuple[int, int, int, int] = (0, 0, 0, 0)
 
     # -- observability ---------------------------------------------------------------
 
@@ -196,6 +201,17 @@ class KVEngine:
             recorder.inc(N.ADMIT_POINT_ACCEPTED, admitted - prev_admitted)
             recorder.inc(N.ADMIT_POINT_REJECTED, rejected - prev_rejected)
             self._obs_admit_snapshot = (admitted, rejected)
+        client = self.tier2_client
+        if client is not None:
+            probes, hits = client.probes, client.hits
+            demotions, admits = client.demotions, client.admits
+            p0, h0, d0, a0 = self._obs_l2_snapshot
+            recorder.inc(N.L2_HITS, hits - h0)
+            recorder.inc(N.L2_MISSES, (probes - hits) - (p0 - h0))
+            recorder.inc(N.L2_DEMOTIONS, demotions - d0)
+            recorder.inc(N.L2_ADMITS, admits - a0)
+            recorder.inc(N.L2_REJECTS, (demotions - admits) - (d0 - a0))
+            self._obs_l2_snapshot = (probes, hits, demotions, admits)
         for gauge, value in (
             (N.G_RANGE_OCCUPANCY, window.range_occupancy),
             (N.G_BLOCK_OCCUPANCY, window.block_occupancy),

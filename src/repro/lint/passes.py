@@ -15,7 +15,11 @@ lets them see the defects the per-module pass structurally cannot:
   shards run in separate processes;
 * **OWN002** — a registered metric counter incremented by more than
   one owning class anywhere in the program (the single-writer rule,
-  enforced globally rather than per call site).
+  enforced globally rather than per call site);
+* **OWN004** — a ``tier2_*`` mutator of the fleet-shared second cache
+  tier invoked outside the tier's owning modules, the static half of
+  the rule that all shared-L2 mutation flows through the serve event
+  loop's coordinator.
 
 The sibling syntactic members of these families (DET003 unordered
 float accumulation, OWN003 callback capture after handoff) live in
@@ -478,4 +482,54 @@ def check_metric_single_writer(project: Project) -> Iterator[Violation]:
                 f"metric {metric.rpartition('.')[2]} has {len(writers)} "
                 f"writers across the program ({shown}); window counters "
                 f"need a single owning writer to merge deterministically",
+            )
+
+
+# -- OWN004: shared second-tier mutation stays with its owner ----------------
+
+#: The shared tier's mutation surface is its ``tier2_*`` methods; only
+#: the cache's own module and the serve-side coordinator module may
+#: call them (both are named ``tier2``).
+_TIER2_OWNER_MODULE = "tier2"
+
+
+@whole_program_rule("OWN004")
+def check_tier2_mutation_ownership(project: Project) -> Iterator[Violation]:
+    """Fleet-shared Tier2 state may only be mutated through its owning
+    component on the serve event loop.
+
+    The second cache tier is the one mutable structure every shard
+    aliases, so its determinism story leans entirely on single-writer
+    ordering: all probes, offers, resizes, and shard purges flow
+    through the ``Tier2Coordinator`` inside loop callbacks.  A stray
+    ``tier2_*`` call from an engine, a session, or a metrics helper
+    would mutate shared state outside that ordering — correct-looking
+    today, nondeterministic the moment call order shifts.  This pass
+    flags any ``*.tier2_*(...)`` call in a module other than the
+    tier's own implementation modules (``repro.cache.tier2`` /
+    ``repro.serve.tier2``).  Test modules are exempt.  Fix by routing
+    the mutation through the coordinator's surface (``probe`` /
+    ``offer`` / ``set_budget`` / ``drop_shard``).
+    """
+    for qual in sorted(project.table.functions):
+        info = project.table.functions[qual]
+        if _is_test_module(info.modname):
+            continue
+        if info.modname.rpartition(".")[2] == _TIER2_OWNER_MODULE:
+            continue
+        for sub in ast.walk(info.node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr.startswith("tier2_")
+            ):
+                continue
+            yield Violation(
+                info.path,
+                sub.lineno,
+                sub.col_offset,
+                "OWN004",
+                f"shared-tier mutator {sub.func.attr}() called from "
+                f"{info.modname}; Tier2 state is single-writer — route "
+                f"the mutation through the serve loop's Tier2Coordinator",
             )

@@ -89,6 +89,32 @@ BLOCK_REJECTIONS = register(
     "cache.block.rejections", COUNTER, "block-cache scan-admission rejections"
 )
 
+# -- shared second-tier (L2) cache counters -----------------------------------
+# Per-shard flow counters are folded by each shard's engine from its
+# tier2 client; fleet-level ghost/eviction counters are folded by the
+# serving simulator from the shared cache (single writer each way).
+
+L2_HITS = register("cache.l2.hits", COUNTER, "shared-L2 hits on L1 misses")
+L2_MISSES = register("cache.l2.misses", COUNTER, "shared-L2 misses (went to disk)")
+L2_DEMOTIONS = register(
+    "cache.l2.demotions", COUNTER, "L1 victims offered to the shared L2"
+)
+L2_ADMITS = register(
+    "cache.l2.admits", COUNTER, "demoted blocks admitted by the double-hit filter"
+)
+L2_REJECTS = register(
+    "cache.l2.rejects", COUNTER, "demoted blocks rejected by the double-hit filter"
+)
+L2_GHOST_HITS_RECENCY = register(
+    "cache.l2.ghost_hits.recency", COUNTER, "admissions proven by a B1 ghost hit"
+)
+L2_GHOST_HITS_FREQUENCY = register(
+    "cache.l2.ghost_hits.frequency", COUNTER, "admissions proven by a B2 ghost hit"
+)
+L2_EVICTIONS = register(
+    "cache.l2.evictions", COUNTER, "shared-L2 evictions into the ghost lists"
+)
+
 # -- admission-control decision counters -------------------------------------
 
 ADMIT_POINT_ACCEPTED = register(
@@ -204,6 +230,12 @@ G_DEGRADE_LEVEL = register(
 G_SCENARIO_PHASE = register(
     "gauge.serve.scenario_phase", GAUGE, "index of the scenario phase in force"
 )
+G_L2_BUDGET_SHARE = register(
+    "gauge.l2.budget_share", GAUGE, "shared-L2 fraction of the fleet cache budget"
+)
+G_L2_OCCUPANCY = register(
+    "gauge.l2.occupancy", GAUGE, "shared-L2 used/budget at the last split decision"
+)
 
 # -- histograms (log-bucketed) ------------------------------------------------
 
@@ -253,6 +285,7 @@ EV_BREAKER = "breaker"
 EV_HEDGE = "hedge"
 EV_DEGRADE = "degrade"
 EV_PHASE = "phase_change"
+EV_L2_SPLIT = "l2_split"
 
 #: The closed set of event kinds a trace line may carry.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -282,4 +315,5 @@ EVENT_KINDS: Tuple[str, ...] = (
     EV_HEDGE,
     EV_DEGRADE,
     EV_PHASE,
+    EV_L2_SPLIT,
 )

@@ -14,15 +14,24 @@ out).  Two stabilisers keep the arbiter from thrashing the caches:
 * a **min-share floor** guarantees every shard a working set, and
 * a **max-step** limit rate-limits per-rebalance share movement, since
   every downsize forcibly evicts hot entries.
+
+When the fleet runs tiered, the arbiter also owns the L1/L2 boundary:
+the shared :class:`~repro.serve.tier2.Tier2Coordinator`'s budget is
+carved out of the same fleet total, and its fraction is learned at each
+rebalance by weighing the shared tier's recent reuse signal (hits plus
+ghost hits — bytes L2 did or would have served) against the fleet's
+recent L1 miss mass, clamped and rate-limited like the per-shard
+shares.  The shard engines then split the remaining L1 pool.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.engine import KVEngine
 from repro.errors import ConfigError, InvariantError
 from repro.serve.base import ServeComponent
+from repro.serve.tier2 import Tier2Coordinator
 
 
 class BudgetArbiter(ServeComponent):
@@ -39,6 +48,12 @@ class BudgetArbiter(ServeComponent):
         "rebalances",
         "evictions_forced",
         "history",
+        "_tier2",
+        "l2_share",
+        "min_l2_share",
+        "max_l2_share",
+        "_l2_reuse_mark",
+        "l2_history",
     )
 
     def __init__(
@@ -47,6 +62,9 @@ class BudgetArbiter(ServeComponent):
         total_budget_bytes: int,
         min_share: float = 0.05,
         max_step: float = 0.25,
+        tier2: Optional[Tier2Coordinator] = None,
+        min_l2_share: float = 0.05,
+        max_l2_share: float = 0.5,
     ) -> None:
         super().__init__()
         n = len(engines)
@@ -60,10 +78,31 @@ class BudgetArbiter(ServeComponent):
             )
         if not 0.0 < max_step <= 1.0:
             raise ConfigError(f"max_step must lie in (0, 1], got {max_step}")
+        if not 0.0 <= min_l2_share <= max_l2_share < 1.0:
+            raise ConfigError(
+                f"need 0 <= min_l2_share <= max_l2_share < 1, got "
+                f"[{min_l2_share}, {max_l2_share}]"
+            )
         self._engines = list(engines)
         self.total_budget_bytes = total_budget_bytes
         self.min_share = min_share
         self.max_step = max_step
+        self._tier2 = tier2
+        self.min_l2_share = min_l2_share
+        self.max_l2_share = max_l2_share
+        if tier2 is not None:
+            if tier2.budget_bytes >= total_budget_bytes:
+                raise ConfigError(
+                    f"tier2 budget {tier2.budget_bytes} must leave L1 room "
+                    f"inside the {total_budget_bytes}-byte fleet budget"
+                )
+            self.l2_share = tier2.budget_bytes / total_budget_bytes
+            self._l2_reuse_mark = tier2.reuse_signal
+        else:
+            self.l2_share = 0.0
+            self._l2_reuse_mark = 0
+        #: ``(time_us, l2_share)`` after each rebalance (tiered only).
+        self.l2_history: List[Tuple[float, float]] = []
         #: Current per-shard budget fractions (sum to 1).
         self.shares: List[float] = [1.0 / n] * n
         # Window-sourced miss totals at the last rebalance: the
@@ -81,10 +120,17 @@ class BudgetArbiter(ServeComponent):
         """Engines under arbitration."""
         return len(self._engines)
 
+    @property
+    def l1_pool_bytes(self) -> int:
+        """Bytes left for the shard L1s after the shared tier's carve-out."""
+        tier2 = self._tier2
+        return self.total_budget_bytes - (tier2.budget_bytes if tier2 else 0)
+
     def budgets(self) -> List[int]:
-        """Integer per-shard budgets for the current shares."""
-        budgets = [int(self.total_budget_bytes * s) for s in self.shares]
-        budgets[0] += self.total_budget_bytes - sum(budgets)
+        """Integer per-shard budgets for the current shares (L1 pool)."""
+        pool = self.l1_pool_bytes
+        budgets = [int(pool * s) for s in self.shares]
+        budgets[0] += pool - sum(budgets)
         return budgets
 
     def _apply_shares(self) -> int:
@@ -116,6 +162,7 @@ class BudgetArbiter(ServeComponent):
         marks = [e.collector.lifetime.io_miss for e in self._engines]
         deltas = [max(0, m - old) for m, old in zip(marks, self._miss_marks)]
         self._miss_marks = marks
+        evicted_l2 = self._rebalance_tier(sum(deltas), now_us)
         # Marginal utility ~ recent miss mass; +1 keeps idle shards alive.
         weights = [float(d) + 1.0 for d in deltas]
         total_weight = sum(weights)
@@ -136,11 +183,35 @@ class BudgetArbiter(ServeComponent):
             self.shares = [
                 self.min_share + e / total_excess * free for e in excess
             ]
-        evicted = self._apply_shares()
+        evicted = evicted_l2 + self._apply_shares()
         self.rebalances += 1
         self.evictions_forced += evicted
         self.history.append((now_us, tuple(self.shares)))
         self._after_mutation()
+        return evicted
+
+    def _rebalance_tier(self, fleet_miss_delta: int, now_us: float) -> int:
+        """Move the L1/L2 boundary from recent reuse vs miss evidence."""
+        tier2 = self._tier2
+        if tier2 is None:
+            return 0
+        reuse = tier2.reuse_signal
+        reuse_delta = max(0, reuse - self._l2_reuse_mark)
+        self._l2_reuse_mark = reuse
+        # Marginal utility of the shared tier ~ blocks it served or
+        # ghost-proved it would have served; of the L1 pool ~ the disk
+        # reads the shards still paid.  +1 on each side keeps a cold
+        # start from slamming the boundary to a clamp.
+        w_l2 = float(reuse_delta) + 1.0
+        w_l1 = float(fleet_miss_delta) + 1.0
+        target = w_l2 / (w_l2 + w_l1)
+        target = max(self.min_l2_share, min(self.max_l2_share, target))
+        step = max(-self.max_step, min(self.max_step, target - self.l2_share))
+        self.l2_share = self.l2_share + step
+        evicted = tier2.set_budget(
+            max(1, int(self.total_budget_bytes * self.l2_share))
+        )
+        self.l2_history.append((now_us, self.l2_share))
         return evicted
 
     # -- sanitizer protocol -----------------------------------------------------
@@ -162,13 +233,26 @@ class BudgetArbiter(ServeComponent):
                 f"BudgetArbiter shares sum to {sum(self.shares)!r}, not 1"
             )
         fleet = sum(e.cache_budget_total for e in self._engines)
+        if self._tier2 is not None:
+            fleet += self._tier2.budget_bytes
         if fleet != self.total_budget_bytes:
             raise InvariantError(
-                f"BudgetArbiter budget leak: engines hold {fleet} bytes "
-                f"of a {self.total_budget_bytes}-byte fleet budget"
+                f"BudgetArbiter budget leak: engines + shared tier hold "
+                f"{fleet} bytes of a {self.total_budget_bytes}-byte fleet "
+                f"budget"
             )
         if self.rebalances != len(self.history):
             raise InvariantError(
                 f"BudgetArbiter history drift: {len(self.history)} entries "
                 f"for {self.rebalances} rebalances"
             )
+        if self._tier2 is not None:
+            if not 0.0 <= self.l2_share < 1.0:
+                raise InvariantError(
+                    f"BudgetArbiter l2_share out of [0, 1): {self.l2_share}"
+                )
+            if len(self.l2_history) != self.rebalances:
+                raise InvariantError(
+                    f"BudgetArbiter l2 history drift: {len(self.l2_history)} "
+                    f"entries for {self.rebalances} rebalances"
+                )

@@ -62,6 +62,7 @@ from repro.obs.recorder import (
 from repro.obs.trace import export_fleet_events
 from repro.serve.arbiter import BudgetArbiter
 from repro.serve.events import EventLoop
+from repro.serve.tier2 import Tier2Coordinator
 from repro.serve.queueing import Request, RequestQueue, SubRequest
 from repro.serve.resilience import (
     CircuitBreaker,
@@ -97,6 +98,12 @@ class ServeConfig:
     workload: Optional[WorkloadSpec] = None  # default: balanced(num_keys)
     num_keys: int = 4000
     cache_bytes: int = 512 * 1024
+    #: Bytes of ``cache_bytes`` carved out for the fleet-shared second
+    #: tier (0 keeps the flat, byte-identical legacy fleet).  The
+    #: arbiter may move the L1/L2 boundary later; the *total* stays
+    #: ``cache_bytes`` either way, so tiered-vs-flat comparisons are at
+    #: equal budget.
+    l2_budget_bytes: int = 0
     partition: str = "hash"
     queue_depth: int = 64
     #: Operations each open-loop session emits per arrival and each
@@ -164,6 +171,11 @@ class ServeConfig:
             raise ConfigError(
                 f"batch_size must be positive, got {self.batch_size}"
             )
+        if not 0 <= self.l2_budget_bytes < self.cache_bytes:
+            raise ConfigError(
+                f"l2_budget_bytes must lie in [0, cache_bytes), got "
+                f"{self.l2_budget_bytes} of {self.cache_bytes}"
+            )
         res = self.resilience
         if res is not None and res.fleet_faults is not None and not res.replicas:
             raise ConfigError(
@@ -180,6 +192,16 @@ class ServeConfig:
     def resilience_active(self) -> bool:
         """Whether any non-legacy behaviour (and trace records) can occur."""
         return self.resilience is not None or self.op_deadline_us > 0
+
+    @property
+    def tier2_active(self) -> bool:
+        """Whether the run carries a shared second cache tier."""
+        return self.l2_budget_bytes > 0
+
+    @property
+    def l1_pool_bytes(self) -> int:
+        """Bytes the shard L1s split after the shared tier's carve-out."""
+        return self.cache_bytes - self.l2_budget_bytes
 
 
 @dataclass
@@ -250,6 +272,19 @@ class ServeResult:
     obs_recorders: List[ObsRecorder] = field(default_factory=list, repr=False)
     #: Fleet-wide reduction of the per-shard metric windows.
     obs_fleet_windows: List[WindowSnapshot] = field(default_factory=list, repr=False)
+    #: Shared-tier summary (tiered runs only; all zeros on flat runs).
+    l2_probes: int = 0
+    l2_hits: int = 0
+    l2_demotions: int = 0
+    l2_admits: int = 0
+    l2_rejects: int = 0
+    l2_ghost_hits: int = 0
+    l2_evictions: int = 0
+    l2_budget_bytes: int = 0
+    l2_used_bytes: int = 0
+    l2_share_final: float = 0.0
+    #: Rendered L1/L2 boundary moves, one line per arbitration round.
+    l2_log: List[str] = field(default_factory=list)
 
     def export_obs(self, directory: str) -> Dict[str, str]:
         """Write obs artifacts: one subdirectory per shard + a fleet view.
@@ -336,6 +371,15 @@ class ServeResult:
                     f"{int(s.crashed)}:{int(s.promoted)}:"
                     f"{s.failover_us:.3f}:{s.wal_replayed}".encode()
                 )
+        if self.config.tier2_active:
+            h.update(
+                f"{self.l2_probes}:{self.l2_hits}:{self.l2_demotions}:"
+                f"{self.l2_admits}:{self.l2_rejects}:{self.l2_ghost_hits}:"
+                f"{self.l2_evictions}:{self.l2_budget_bytes}:"
+                f"{self.l2_used_bytes}:{self.l2_share_final:.6f}".encode()
+            )
+            for line in self.l2_log:
+                h.update(line.encode())
         return h.hexdigest()
 
     def format_report(self) -> str:
@@ -427,6 +471,20 @@ class ServeResult:
                 lines.append(f"breaker: {line}")
             for line in self.degrade_log:
                 lines.append(f"degrade: {line}")
+        if self.config.tier2_active:
+            probed = self.l2_probes
+            hit_rate = self.l2_hits / probed if probed else 0.0
+            lines.append(
+                f"tier2: budget={self.l2_budget_bytes // 1024} KB "
+                f"(share {self.l2_share_final:.3f}) "
+                f"hits={self.l2_hits}/{self.l2_probes} "
+                f"(rate {hit_rate:.3f}) "
+                f"admitted={self.l2_admits}/{self.l2_demotions} "
+                f"ghost_hits={self.l2_ghost_hits} "
+                f"evictions={self.l2_evictions}"
+            )
+            for line in self.l2_log:
+                lines.append(f"l2split: {line}")
         lines.append(f"trace digest: {self.trace_digest}")
         return "\n".join(lines)
 
@@ -486,7 +544,10 @@ class _Shard:
 
 def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
     per_shard_ids = router.shard_ids()
-    base = config.cache_bytes // config.num_shards
+    # Shard L1s split the pool left after the shared tier's carve-out
+    # (the whole budget when tiering is off).
+    pool = config.l1_pool_bytes
+    base = pool // config.num_shards
     res = config.resilience
     # Key-space-growth schedules preload only a prefix of the keyspace;
     # the rest comes into existence through the scenario's writes.  The
@@ -508,7 +569,7 @@ def _build_shards(config: ServeConfig, router: ShardRouter) -> List[_Shard]:
         )
         share = base
         if shard_id == 0:
-            share = config.cache_bytes - base * (config.num_shards - 1)
+            share = pool - base * (config.num_shards - 1)
         engine = build_engine(
             config.strategy,
             tree,
@@ -639,6 +700,23 @@ class _Simulation:
             config.num_shards, self.spec.num_keys, config.partition
         )
         self.shards = _build_shards(config, self.router)
+        self.tier2: Optional[Tier2Coordinator] = None
+        if config.tier2_active:
+            # One shared tier for the fleet: its budget is the carve-out
+            # the shards' L1 pool already excludes.  All mutation happens
+            # through the coordinator inside loop callbacks, so two
+            # same-seed runs replay the exact probe/demotion order.
+            self.tier2 = Tier2Coordinator(
+                config.l2_budget_bytes,
+                self.shards[0].engine.tree.options.block_size,
+                sketch_seed=config.seed + 43,
+            )
+            self.tier2.sanitize_from_env(seed=config.seed + 43)
+            for shard in self.shards:
+                self.tier2.attach(shard.shard_id, shard.engine)
+                # The attach rewired the read path; rebase the clock so
+                # no pre-run capture skew leaks into the first charge.
+                shard.clock.rebase()
         self.obs_recorders: List[ObsRecorder] = []
         if config.obs:
             for shard in self.shards:
@@ -656,7 +734,9 @@ class _Simulation:
         self.arbiter: Optional[BudgetArbiter] = None
         if config.rebalance_every > 0:
             self.arbiter = BudgetArbiter(
-                [s.engine for s in self.shards], config.cache_bytes
+                [s.engine for s in self.shards],
+                config.cache_bytes,
+                tier2=self.tier2,
             )
             self.arbiter.sanitize_from_env(seed=config.seed + 17)
         self.ladder: Optional[DegradationLadder] = None
@@ -682,6 +762,11 @@ class _Simulation:
         self._acked: Dict[str, tuple] = {}
         self._breaker_emitted = [0] * config.num_shards
         self._ladder_emitted = 0
+        # Fleet-level L2 obs marks (ghost hits recency/frequency,
+        # evictions): folded as deltas on recorder 0 at each rebalance,
+        # mirroring the ladder trace — the simulation is their single
+        # writer, the shard engines own the per-shard flow counters.
+        self._l2_obs_mark = (0, 0, 0)
         self._next_seq = 0
         self._hasher = hashlib.sha256()
         self.trace: List[str] = []
@@ -744,6 +829,32 @@ class _Simulation:
                     N.EV_DEGRADE, src=src, dst=dst, pressure=pressure
                 )
         self._ladder_emitted = len(ladder.transitions)
+
+    def _flush_l2_obs(self) -> None:
+        """Fold fleet-level shared-tier deltas onto recorder 0."""
+        tier2 = self.tier2
+        if tier2 is None or not self.obs_recorders:
+            return
+        cache = tier2.cache
+        ghr, ghf, ev = (
+            cache.ghost_hits_recency,
+            cache.ghost_hits_frequency,
+            cache.evictions,
+        )
+        ghr0, ghf0, ev0 = self._l2_obs_mark
+        self._l2_obs_mark = (ghr, ghf, ev)
+        recorder = self.obs_recorders[0]
+        recorder.advance_to(self.loop.now)
+        recorder.inc(N.L2_GHOST_HITS_RECENCY, ghr - ghr0)
+        recorder.inc(N.L2_GHOST_HITS_FREQUENCY, ghf - ghf0)
+        recorder.inc(N.L2_EVICTIONS, ev - ev0)
+        share = (
+            tier2.budget_bytes / self.config.cache_bytes
+            if self.config.cache_bytes
+            else 0.0
+        )
+        recorder.set_gauge(N.G_L2_BUDGET_SHARE, share)
+        recorder.set_gauge(N.G_L2_OCCUPANCY, cache.occupancy)
 
     # -- resilience helpers ------------------------------------------------
 
@@ -1208,6 +1319,22 @@ class _Simulation:
                 evicted,
                 " ".join(f"{s:.4f}" for s in self.arbiter.shares),
             )
+            if self.tier2 is not None:
+                self.emit(
+                    "l2split",
+                    f"{self.arbiter.l2_share:.4f}",
+                    self.tier2.budget_bytes,
+                    self.tier2.used_bytes,
+                )
+                if self.obs_recorders:
+                    self._flush_l2_obs()
+                    recorder = self.obs_recorders[0]
+                    recorder.event(
+                        N.EV_L2_SPLIT,
+                        share=round(self.arbiter.l2_share, 6),
+                        budget=self.tier2.budget_bytes,
+                        evicted=evicted,
+                    )
         if session.mode == "closed":
             self.loop.after(
                 session.next_delay_us(), lambda: self.issue(session)
@@ -1319,6 +1446,14 @@ class _Simulation:
         # primary: torn-tail verification, fresh MemTable, cold caches.
         replayed = replica.crash_and_recover()
         shard.wal_replayed = replayed
+        if self.tier2 is not None:
+            # The dead primary's SSTable ids would alias the promoted
+            # engine's freshly-allocated ones inside the shared
+            # namespace: purge the shard's L2 slice, then splice the
+            # newcomer under the tier like any other member.
+            dropped = self.tier2.drop_shard(shard_id)
+            self.tier2.attach(shard_id, replica)
+            self.emit("l2drop", shard_id, dropped)
         shard.engine = replica
         shard.clock = shard.replica_clock
         shard.clock.charge()  # absorb replay I/O into a fresh baseline
@@ -1404,6 +1539,8 @@ class _Simulation:
                 self.arbiter.check_invariants()
             if self.ladder is not None:
                 self.ladder.check_invariants()
+            if self.tier2 is not None:
+                self.tier2.check_invariants()
         return self._result()
 
     def _check_acked_writes(self) -> tuple:
@@ -1478,6 +1615,37 @@ class _Simulation:
                 f"{time_us:.3f} L{src}->L{dst} pressure={pressure:.4f}"
                 for time_us, src, dst, pressure in self.ladder.transitions
             ]
+        l2_probes = l2_hits = l2_demotions = l2_admits = l2_rejects = 0
+        l2_ghost_hits = l2_evictions = 0
+        l2_budget = l2_used = 0
+        l2_share_final = 0.0
+        l2_log: List[str] = []
+        if self.tier2 is not None:
+            self._flush_l2_obs()  # fold the tail beyond the last rebalance
+            cache = self.tier2.cache
+            for shard in self.shards:
+                client = shard.engine.tier2_client
+                if client is None:
+                    continue
+                l2_probes += client.probes
+                l2_hits += client.hits
+                l2_demotions += client.demotions
+                l2_admits += client.admits
+            l2_rejects = l2_demotions - l2_admits
+            l2_ghost_hits = cache.ghost_hits
+            l2_evictions = cache.evictions
+            l2_budget = self.tier2.budget_bytes
+            l2_used = self.tier2.used_bytes
+            l2_share_final = (
+                l2_budget / self.config.cache_bytes
+                if self.config.cache_bytes
+                else 0.0
+            )
+            if self.arbiter is not None:
+                l2_log = [
+                    f"{time_us:.3f} share={share:.4f}"
+                    for time_us, share in self.arbiter.l2_history
+                ]
         obs_fleet_windows: List[WindowSnapshot] = []
         if self.obs_recorders:
             for recorder in self.obs_recorders:
@@ -1517,6 +1685,17 @@ class _Simulation:
             acked_writes_checked=acked_checked,
             obs_recorders=self.obs_recorders,
             obs_fleet_windows=obs_fleet_windows,
+            l2_probes=l2_probes,
+            l2_hits=l2_hits,
+            l2_demotions=l2_demotions,
+            l2_admits=l2_admits,
+            l2_rejects=l2_rejects,
+            l2_ghost_hits=l2_ghost_hits,
+            l2_evictions=l2_evictions,
+            l2_budget_bytes=l2_budget,
+            l2_used_bytes=l2_used,
+            l2_share_final=l2_share_final,
+            l2_log=l2_log,
         )
 
 

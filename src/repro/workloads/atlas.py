@@ -41,6 +41,18 @@ from repro.workloads.scenarios import (
 #: learned baselines and the static split.
 DEFAULT_STRATEGIES = ("adcache", "range-lecar", "range-cacheus", "block")
 
+#: Strategy-name suffix selecting the tiered fleet: ``block+l2`` runs the
+#: ``block`` engines with ``l2_fraction`` of the (same total) cache
+#: budget carved into the fleet-shared second tier.
+L2_SUFFIX = "+l2"
+
+
+def split_strategy(name: str) -> Tuple[str, bool]:
+    """``(base_strategy, tiered?)`` for an atlas strategy axis name."""
+    if name.endswith(L2_SUFFIX):
+        return name[: -len(L2_SUFFIX)], True
+    return name, False
+
 
 @dataclass
 class AtlasConfig:
@@ -55,6 +67,9 @@ class AtlasConfig:
     arrival_rate_ops_s: float = 2000.0
     num_shards: int = 2
     cache_kb: int = 256
+    #: Budget fraction ``+l2`` cells carve into the shared tier; the
+    #: total stays ``cache_kb`` so tiered-vs-flat is at equal budget.
+    l2_fraction: float = 0.25
     queue_depth: int = 64
     window_size: int = 250
     rebalance_every: int = 1000
@@ -73,13 +88,18 @@ class AtlasConfig:
         if not self.strategies:
             raise ConfigError("atlas needs >= 1 strategy")
         for strategy in self.strategies:
-            if strategy not in STRATEGIES:
+            base, _ = split_strategy(strategy)
+            if base not in STRATEGIES:
                 raise ConfigError(
                     f"unknown strategy {strategy!r}; choose from "
-                    f"{sorted(STRATEGIES)}"
+                    f"{sorted(STRATEGIES)} (optionally with '{L2_SUFFIX}')"
                 )
         if self.cache_kb <= 0:
             raise ConfigError(f"cache_kb must be positive, got {self.cache_kb}")
+        if not 0.0 < self.l2_fraction < 1.0:
+            raise ConfigError(
+                f"l2_fraction must lie in (0, 1), got {self.l2_fraction}"
+            )
 
     def scenario_params(self) -> ScenarioParams:
         """The shared scenario knobs for this sweep."""
@@ -92,13 +112,16 @@ class AtlasConfig:
         )
 
     def serve_config(self, schedule: ScenarioSchedule, strategy: str) -> ServeConfig:
-        """The serving config for one cell."""
+        """The serving config for one cell (``+l2`` names go tiered)."""
+        base, tiered = split_strategy(strategy)
+        cache_bytes = self.cache_kb * 1024
         return ServeConfig(
             schedule=schedule,
-            strategy=strategy,
+            strategy=base,
             num_shards=self.num_shards,
             seed=self.seed,
-            cache_bytes=self.cache_kb * 1024,
+            cache_bytes=cache_bytes,
+            l2_budget_bytes=int(cache_bytes * self.l2_fraction) if tiered else 0,
             queue_depth=self.queue_depth,
             window_size=self.window_size,
             rebalance_every=self.rebalance_every,

@@ -345,6 +345,47 @@ def test_own003_quiet_when_mutation_precedes_handoff(tmp_path):
     assert _run(root, ["OWN003"]) == []
 
 
+# -- OWN004: shared second-tier mutation stays with its owner ----------------
+
+_OWN004_FILES = {
+    "tier2.py": (
+        "class Tier2Cache:\n"
+        "    def tier2_probe(self, key):\n"
+        "        return None\n"
+        "    def tier2_offer(self, key, block):\n"
+        "        return self.tier2_probe(key) is None\n"
+    ),
+    "shortcut.py": (
+        "def sneaky_fill(cache, key, block):\n"
+        "    return cache.tier2_offer(key, block)\n"
+    ),
+}
+
+
+def test_own004_flags_tier2_mutation_outside_owner_modules(tmp_path):
+    root = _write(tmp_path, _OWN004_FILES)
+    findings = _run(root, ["OWN004"])
+    assert [f.rule_id for f in findings] == ["OWN004"]
+    assert findings[0].path.rsplit("/", 1)[-1] == "shortcut.py"
+    assert "tier2_offer" in findings[0].message
+    assert "Tier2Coordinator" in findings[0].message
+
+
+def test_own004_quiet_inside_the_tier_modules(tmp_path):
+    # The cache's own module (and the serve coordinator module, also
+    # named tier2) may call the mutators freely.
+    files = {"tier2.py": _OWN004_FILES["tier2.py"]}
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN004"]) == []
+
+
+def test_own004_exempts_test_modules(tmp_path):
+    files = dict(_OWN004_FILES)
+    files["test_l2.py"] = files.pop("shortcut.py")
+    root = _write(tmp_path, files)
+    assert _run(root, ["OWN004"]) == []
+
+
 # -- selection plumbing ------------------------------------------------------
 
 

@@ -34,6 +34,35 @@ class TestRegistry:
         with pytest.raises(ObsError, match="histogram"):
             reg.inc(N.H_WINDOW_IO_MISS)
 
+    def test_every_l2_name_is_registered_and_listed(self):
+        # The tiered serving path emits these; a typo'd or unregistered
+        # name would fail at inc() time and at --validate, so the full
+        # vocabulary must be in the closed registry (and thus rendered
+        # by `repro report --list-metrics`).
+        from repro.obs.report import list_metrics
+
+        counters = (
+            N.L2_HITS,
+            N.L2_MISSES,
+            N.L2_DEMOTIONS,
+            N.L2_ADMITS,
+            N.L2_REJECTS,
+            N.L2_GHOST_HITS_RECENCY,
+            N.L2_GHOST_HITS_FREQUENCY,
+            N.L2_EVICTIONS,
+        )
+        reg = MetricsRegistry()
+        for name in counters:
+            assert name in N.METRICS
+            reg.inc(name)  # registered as a counter
+        for gauge in (N.G_L2_BUDGET_SHARE, N.G_L2_OCCUPANCY):
+            assert gauge in N.METRICS
+            reg.set_gauge(gauge, 0.5)
+        assert N.EV_L2_SPLIT in N.EVENT_KINDS
+        listing = list_metrics()
+        for name in counters + (N.G_L2_BUDGET_SHARE, N.G_L2_OCCUPANCY):
+            assert name in listing
+
     def test_window_snapshot_holds_deltas_not_totals(self):
         reg = MetricsRegistry()
         reg.inc(N.WINDOW_OPS, 100)

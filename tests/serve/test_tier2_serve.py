@@ -1,0 +1,159 @@
+"""The tiered fleet end to end: determinism with L2 active, byte-exact
+legacy behaviour with it off, budget conservation across the split, and
+read-path wiring for both cache-ful and cache-less strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import ServeConfig, run_serve
+from repro.serve.simulator import _Simulation
+
+FAST = dict(
+    num_clients=4,
+    num_shards=2,
+    total_ops=1_200,
+    num_keys=1_000,
+    cache_bytes=128 * 1024,
+    window_size=200,
+    rebalance_every=400,
+    keep_trace=True,
+)
+
+TIERED = dict(FAST, l2_budget_bytes=32 * 1024)
+
+
+def _run(**overrides):
+    kwargs = dict(FAST)
+    kwargs.update(overrides)
+    return run_serve(ServeConfig(**kwargs))
+
+
+class TestConfig:
+    def test_l2_budget_must_fit_inside_cache(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(**dict(FAST, l2_budget_bytes=FAST["cache_bytes"]))
+        with pytest.raises(ConfigError):
+            ServeConfig(**dict(FAST, l2_budget_bytes=-1))
+
+    def test_tier2_active_and_pool(self):
+        config = ServeConfig(**TIERED)
+        assert config.tier2_active
+        assert config.l1_pool_bytes == 96 * 1024
+        flat = ServeConfig(**FAST)
+        assert not flat.tier2_active
+        assert flat.l1_pool_bytes == flat.cache_bytes
+
+
+class TestDeterminism:
+    def test_double_run_fingerprints_match_with_l2(self):
+        a = _run(l2_budget_bytes=TIERED["l2_budget_bytes"])
+        b = _run(l2_budget_bytes=TIERED["l2_budget_bytes"])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.l2_probes > 0 and a.l2_demotions > 0
+
+    def test_l2_budget_changes_the_run(self):
+        flat = _run()
+        tiered = _run(l2_budget_bytes=32 * 1024)
+        assert flat.fingerprint() != tiered.fingerprint()
+
+    def test_disabled_tier_is_byte_identical_legacy(self):
+        # The tiered machinery at budget 0 must not perturb a legacy
+        # run in any observable way: same trace, same fingerprint.
+        legacy = _run()
+        explicit = _run(l2_budget_bytes=0)
+        assert legacy.trace == explicit.trace
+        assert legacy.fingerprint() == explicit.fingerprint()
+        assert explicit.l2_probes == 0 and explicit.l2_budget_bytes == 0
+
+    def test_tiered_batched_run_is_deterministic(self):
+        a = _run(l2_budget_bytes=32 * 1024, batch_size=4)
+        b = _run(l2_budget_bytes=32 * 1024, batch_size=4)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestBudgetConservation:
+    def test_l1_plus_l2_equals_total_after_rebalances(self):
+        sim = _Simulation(ServeConfig(**TIERED))
+        result = sim.run()
+        assert result.rebalances > 0
+        assert sim.tier2 is not None
+        engines = sum(s.engine.cache_budget_total for s in sim.shards)
+        assert engines + sim.tier2.budget_bytes == TIERED["cache_bytes"]
+        assert sim.tier2.used_bytes <= sim.tier2.budget_bytes
+        sim.tier2.check_invariants()
+        if sim.arbiter is not None:
+            sim.arbiter.check_invariants()
+
+    def test_arbiter_moves_the_boundary_within_clamps(self):
+        result = _run(
+            l2_budget_bytes=32 * 1024, total_ops=2_400, rebalance_every=300
+        )
+        assert result.rebalances >= 2
+        assert len(result.l2_log) == result.rebalances
+        assert 0.0 < result.l2_share_final < 1.0
+
+    def test_conservation_holds_without_arbiter(self):
+        result = _run(l2_budget_bytes=32 * 1024, rebalance_every=0)
+        assert result.rebalances == 0
+        # Fixed carve-out: shards hold the pool, L2 keeps its grant.
+        shard_budgets = sum(s.budget_bytes for s in result.shards)
+        assert shard_budgets == FAST["cache_bytes"] - 32 * 1024
+        assert result.l2_budget_bytes == 32 * 1024
+
+
+class TestWiring:
+    def test_block_strategy_demotes_through_l1_evictions(self):
+        result = _run(l2_budget_bytes=32 * 1024, strategy="block")
+        # L1 evictions feed L2 demotions; some survive the filter.
+        assert result.l2_demotions > 0
+        assert result.l2_admits + result.l2_rejects == result.l2_demotions
+
+    def test_range_strategy_without_block_cache_admits_on_fill(self):
+        # range-lecar engines have no block cache: the client sits as
+        # the tree's block fetch and admits on demand-fill instead.
+        result = _run(l2_budget_bytes=32 * 1024, strategy="range-lecar")
+        assert result.l2_probes > 0
+        assert result.l2_demotions > 0
+
+    def test_l2_hits_reduce_fleet_disk_reads(self):
+        # Deterministic fixture: at this seed the shared tier converts
+        # enough cross-shard reuse into L2 hits to beat the flat fleet
+        # at the same total byte budget.
+        flat = _run(total_ops=3_000)
+        tiered = _run(total_ops=3_000, l2_budget_bytes=32 * 1024)
+        assert tiered.l2_hits > 0
+        flat_io = sum(s.disk_reads for s in flat.shards)
+        tiered_io = sum(s.disk_reads for s in tiered.shards)
+        assert tiered_io < flat_io
+
+    def test_report_renders_tier2_section(self):
+        result = _run(l2_budget_bytes=32 * 1024)
+        text = result.format_report()
+        assert "tier2:" in text and "ghost_hits=" in text
+        flat_text = _run().format_report()
+        assert "tier2:" not in flat_text
+
+
+class TestObs:
+    def test_tiered_obs_export_validates(self, tmp_path):
+        from repro.obs.schema import validate_export
+
+        result = _run(l2_budget_bytes=32 * 1024, obs=True)
+        out = tmp_path / "obs"
+        result.export_obs(str(out))
+        problems = validate_export(str(out))
+        assert problems == []
+
+    def test_l2_counters_flow_into_fleet_windows(self):
+        from repro.obs import names as N
+
+        result = _run(l2_budget_bytes=32 * 1024, obs=True)
+        totals = {}
+        for window in result.obs_fleet_windows:
+            for name, value in window.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        assert totals.get(N.L2_DEMOTIONS, 0) == result.l2_demotions
+        assert totals.get(N.L2_HITS, 0) == result.l2_hits
+        assert totals.get(N.L2_ADMITS, 0) == result.l2_admits
